@@ -1,0 +1,75 @@
+"""ABL-CHURN — worker churn sensitivity (§I "short connectivity cycles").
+
+Not a paper figure: the paper motivates REACT with a "highly dynamic crowd"
+but evaluates on a static worker set.  This ablation quantifies the
+robustness claim: REACT's on-time fraction under increasingly aggressive
+connectivity cycles (mean online session of ∞/600/180/60 s, with 60 s
+absences), and the same sweep for the Traditional baseline.  The middleware
+mechanisms under test: withdrawal/re-queue of a departing worker's task and
+history-preserving re-registration.
+"""
+
+from repro.experiments.config import EndToEndConfig
+from repro.experiments.endtoend import run_endtoend
+from repro.platform.policies import react_policy, traditional_policy
+from repro.stats.summaries import format_table
+
+SESSIONS = (None, 600.0, 180.0, 60.0)
+
+
+def _config(session):
+    return EndToEndConfig(
+        n_workers=150,
+        arrival_rate=1.5,
+        n_tasks=1200,
+        drain_time=400,
+        seed=23,
+        churn_mean_session=session,
+        churn_mean_absence=60.0,
+    )
+
+
+def test_ablation_churn_single_run_timing(benchmark):
+    result = benchmark.pedantic(
+        run_endtoend,
+        args=(react_policy(), _config(180.0)),
+        rounds=1,
+        iterations=1,
+    )
+    result.metrics.check_conservation()
+
+
+def test_ablation_churn_report(benchmark):
+    def sweep():
+        rows = []
+        for session in SESSIONS:
+            label = "static" if session is None else f"{session:.0f}s"
+            react = run_endtoend(react_policy(), _config(session))
+            trad = run_endtoend(traditional_policy(), _config(session))
+            rows.append(
+                (
+                    label,
+                    f"{react.summary['on_time_fraction']:.1%}",
+                    f"{trad.summary['on_time_fraction']:.1%}",
+                    int(react.summary["reassignments"]),
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("# ablation: churn (mean online session; 60 s absences)")
+    print(format_table(["session", "react_on_time", "trad_on_time",
+                        "react_reassign"], rows))
+
+    on_time = [float(r[1].rstrip("%")) for r in rows]
+    # The system stays fully functional at every churn level; in fact, at
+    # light load churn *helps* REACT: a departing worker's task is
+    # withdrawn and re-queued immediately, which rescues tasks stuck with
+    # dawdlers the Eq. 2 monitor cannot touch yet (untrained profiles).
+    # Churn acts as a blunt universal timeout — an emergent effect worth
+    # knowing about when reading the paper's §I motivation.
+    assert all(v > 60.0 for v in on_time)
+    # REACT beats Traditional at every churn level
+    for _, react_s, trad_s, _ in rows:
+        assert float(react_s.rstrip("%")) > float(trad_s.rstrip("%"))

@@ -1,0 +1,39 @@
+"""ABL-C — the cycles trade-off (§IV-A "Time vs. Optimal result trade-off").
+
+"This parameter plays a significant role both to the optimality of the
+solution and to the execution time" — the sweep quantifies output quality
+(fraction of the Hungarian optimum) and wall-clock per cycle budget, plus
+the §IV-A adaptive-cycles extension.
+"""
+
+import numpy as np
+
+from repro.core.matching.react import ReactMatcher, ReactParameters
+from repro.experiments.ablations import ablate_cycles
+from repro.experiments.config import AblationConfig
+from repro.experiments.reporting import report_ablation
+from repro.graph.bipartite import BipartiteGraph
+
+_GRAPH = BipartiteGraph.full(np.random.default_rng(2).random((300, 300)))
+
+
+def test_ablation_cycles_react_10k(benchmark):
+    matcher = ReactMatcher(ReactParameters(cycles=10_000))
+    result = benchmark(matcher.match, _GRAPH, np.random.default_rng(0))
+    result.validate()
+
+
+def test_ablation_cycles_report(benchmark):
+    result = benchmark.pedantic(
+        ablate_cycles, args=(AblationConfig(),),
+        kwargs=dict(n_workers=300, n_tasks=300), rounds=1, iterations=1,
+    )
+    print()
+    print(report_ablation(result))
+
+    fixed = [p for p in result.points if not p.adaptive]
+    # more cycles -> strictly better output across the sweep's endpoints
+    assert fixed[-1].output_weight > fixed[0].output_weight
+    # the adaptive rule reaches at least the best fixed setting's quality
+    adaptive = next(p for p in result.points if p.adaptive)
+    assert adaptive.output_weight >= 0.95 * max(p.output_weight for p in fixed)

@@ -1,0 +1,69 @@
+"""ABL-MODEL — does the §IV-B power-law choice matter?
+
+The paper justifies its deadline model with the power-law observation from
+Ipeirotis' AMT analysis.  This ablation swaps the distribution family behind
+Eqs. 2-3 (power law / empirical CCDF / lognormal) on the reduced end-to-end
+workload and measures how much of REACT's advantage survives.  The expected
+answer — and a useful finding for adopters — is that the *mechanism*
+(monitor + reassignment) carries most of the benefit, with the tail family
+a second-order effect.
+"""
+
+from repro.experiments.config import EndToEndConfig
+from repro.experiments.endtoend import run_endtoend
+from repro.platform.policies import react_policy, traditional_policy
+from repro.stats.summaries import format_table
+
+MODELS = ("power-law", "empirical", "lognormal")
+CONFIG = EndToEndConfig(
+    n_workers=150, arrival_rate=1.875, n_tasks=1600, drain_time=400, seed=42
+)
+
+
+def test_ablation_model_single_run_timing(benchmark):
+    result = benchmark.pedantic(
+        run_endtoend,
+        args=(react_policy(duration_model="empirical"), CONFIG),
+        rounds=1,
+        iterations=1,
+    )
+    result.metrics.check_conservation()
+
+
+def test_ablation_model_report(benchmark):
+    def sweep():
+        rows = []
+        for model in MODELS:
+            run = run_endtoend(react_policy(duration_model=model), CONFIG)
+            rows.append(
+                (
+                    model,
+                    f"{run.summary['on_time_fraction']:.1%}",
+                    f"{run.summary['positive_feedback_fraction']:.1%}",
+                    int(run.summary["reassignments"]),
+                )
+            )
+        baseline = run_endtoend(traditional_policy(), CONFIG)
+        rows.append(
+            (
+                "traditional",
+                f"{baseline.summary['on_time_fraction']:.1%}",
+                f"{baseline.summary['positive_feedback_fraction']:.1%}",
+                0,
+            )
+        )
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("# ablation: duration-distribution family behind Eqs. 2-3")
+    print(format_table(["model", "on_time", "positive_fb", "reassignments"], rows))
+
+    on_time = {r[0]: float(r[1].rstrip("%")) for r in rows}
+    # every family clearly beats the no-model baseline: the mechanism is
+    # what matters most
+    for model in MODELS:
+        assert on_time[model] > on_time["traditional"] + 10.0
+    # families agree within a modest band
+    model_values = [on_time[m] for m in MODELS]
+    assert max(model_values) - min(model_values) < 12.0

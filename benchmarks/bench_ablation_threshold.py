@@ -1,0 +1,40 @@
+"""ABL-T — Eq. 2 reassignment-threshold ablation (§IV-B's 10% choice).
+
+Sweeps the probability threshold under which the Dynamic Assignment
+Component pulls a running task.  Threshold 0 disables reassignment entirely;
+very high thresholds pull eagerly and churn workers.
+"""
+
+from repro.experiments.ablations import _small_endtoend, ablate_threshold
+from repro.experiments.config import AblationConfig
+from repro.experiments.endtoend import run_endtoend
+from repro.experiments.reporting import report_ablation
+from repro.platform.policies import react_policy
+
+
+def test_ablation_threshold_single_run_timing(benchmark):
+    result = benchmark.pedantic(
+        run_endtoend,
+        args=(react_policy(reassign_threshold=0.1), _small_endtoend(11)),
+        rounds=1,
+        iterations=1,
+    )
+    result.metrics.check_conservation()
+
+
+def test_ablation_threshold_report(benchmark):
+    result = benchmark.pedantic(
+        ablate_threshold, args=(AblationConfig(),), rounds=1, iterations=1
+    )
+    print()
+    print(report_ablation(result))
+
+    by_threshold = {p.value: p for p in result.points}
+    # no reassignment at threshold 0
+    assert by_threshold[0.0].reassignments == 0
+    # the paper's 10% beats doing nothing
+    assert by_threshold[0.1].on_time_fraction > by_threshold[0.0].on_time_fraction
+    # reassignment volume grows with the threshold
+    values = sorted(by_threshold)
+    counts = [by_threshold[v].reassignments for v in values]
+    assert counts == sorted(counts)

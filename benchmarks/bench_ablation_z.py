@@ -1,0 +1,38 @@
+"""ABL-Z — cold-start training-length ablation (§V-C's z = 3).
+
+z controls both how long a new worker is boosted (full edges at maximum
+weight) and how many duration observations the Eq. 2/3 model needs before
+activating.  z = 0 means no training phase at all; large z delays the
+probabilistic protections.
+"""
+
+from repro.experiments.ablations import _small_endtoend, ablate_training_z
+from repro.experiments.config import AblationConfig
+from repro.experiments.endtoend import run_endtoend
+from repro.experiments.reporting import report_ablation
+from repro.platform.policies import react_policy
+
+
+def test_ablation_z_single_run_timing(benchmark):
+    result = benchmark.pedantic(
+        run_endtoend,
+        args=(react_policy(min_history=3), _small_endtoend(11)),
+        rounds=1,
+        iterations=1,
+    )
+    result.metrics.check_conservation()
+
+
+def test_ablation_z_report(benchmark):
+    result = benchmark.pedantic(
+        ablate_training_z, args=(AblationConfig(),), rounds=1, iterations=1
+    )
+    print()
+    print(report_ablation(result))
+
+    fractions = {p.value: p.on_time_fraction for p in result.points}
+    # every setting still produces a functioning system
+    assert all(f > 0.3 for f in fractions.values())
+    # a very long training phase (z=10) cannot beat the paper's z=3: the
+    # model stays blind to dawdlers for too long
+    assert fractions[3.0] >= fractions[10.0] - 0.02

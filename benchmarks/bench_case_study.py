@@ -1,0 +1,35 @@
+"""§V-C case study — synthetic CrowdFlower trace statistics.
+
+Regenerates the statistics the paper extracted from its CrowdFlower
+traffic-estimation job and used to parameterise the simulation:
+50% of responses under 20 s, stragglers up to 6 h, 70% of workers with
+trust above 0.5, and the resulting 60-120 s deadline recommendation.
+"""
+
+import numpy as np
+
+from repro.workload.crowdflower import analyze_case_study, generate_case_study
+
+
+def test_case_study_generation_timing(benchmark):
+    rng = np.random.default_rng(13)
+    trace = benchmark(generate_case_study, rng, 5000, 500)
+    assert len(trace) == 5000
+
+
+def test_case_study_report_and_anchors(benchmark):
+    rng = np.random.default_rng(13)
+    trace = generate_case_study(rng, n_responses=20_000, n_workers=1500)
+    report = benchmark.pedantic(analyze_case_study, args=(trace,), rounds=1, iterations=1)
+    print()
+    print("# §V-C case study (synthetic trace vs. paper anchors)")
+    print(f"median response:      {report.median_response_seconds:.1f} s  (paper ~20 s)")
+    print(f"fraction < 20 s:      {report.fraction_under_20s:.1%}  (paper 50%)")
+    print(f"max response:         {report.max_response_seconds/3600:.2f} h  (paper: up to 6 h)")
+    print(f"trust > 0.5:          {report.fraction_trust_above_half:.1%}  (paper 70%)")
+    print(f"deadline range:       {report.recommended_deadline_range}  (paper 60-120 s)")
+
+    assert abs(report.fraction_under_20s - 0.5) < 0.03
+    assert abs(report.fraction_trust_above_half - 0.7) < 0.04
+    assert report.max_response_seconds > 3600.0
+    assert report.recommended_deadline_range == (60.0, 120.0)

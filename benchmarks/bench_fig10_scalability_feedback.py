@@ -1,0 +1,45 @@
+"""Fig. 10 — % of positive feedback vs. graph size.
+
+Paper: "The graph seems to be proportional to figure 9 for all approaches"
+— feedback tracks the on-time fraction because positive feedback requires
+an on-time completion; REACT's edge over Traditional persists at every size
+because Eq. 1 routes work to accurate workers.
+"""
+
+import numpy as np
+
+from repro.experiments.reporting import report_fig10
+from repro.workload.population import PopulationConfig, generate_population
+
+from _common import scalability_results
+
+
+def test_fig10_population_generation_timing(benchmark):
+    """Wall-clock of generating the paper's largest worker population."""
+    rng = np.random.default_rng(0)
+    population = benchmark(generate_population, rng, PopulationConfig(size=1000))
+    assert len(population) == 1000
+
+
+def test_fig10_report_and_shape(benchmark):
+    sweep = scalability_results()
+    report = benchmark.pedantic(report_fig10, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(report)
+
+    for p in sweep.points:
+        # positive feedback requires an on-time completion
+        assert p.positive_feedback_fraction <= p.on_time_fraction + 1e-9
+
+    react = {p.n_workers: p.positive_feedback_fraction for p in sweep.series("react")}
+    trad = {
+        p.n_workers: p.positive_feedback_fraction
+        for p in sweep.series("traditional")
+    }
+    greedy = {p.n_workers: p.positive_feedback_fraction for p in sweep.series("greedy")}
+
+    for size in react:
+        assert react[size] > trad[size]
+    # Greedy's feedback collapses along with its missed deadlines (Fig. 10
+    # mirrors Fig. 9).
+    assert greedy[1000] < greedy[100] / 2

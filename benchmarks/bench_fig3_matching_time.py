@@ -1,0 +1,65 @@
+"""Fig. 3 — matching execution time vs. number of tasks.
+
+Paper setup: 1000 workers, full graph, tasks 1→1000; REACT/Metropolis at
+1000 and 3000 cycles vs. Greedy.  Paper anchors: Greedy 99.7 s at 1000
+tasks; REACT/Metropolis 12 s @1000 cycles and 45 s @3000.
+
+This bench measures our Python matchers' wall-clock on the paper's full
+1000×1000 worst case (one point per algorithm — the sweep lives in the
+report printed at the end) and asserts the scaling *shape*: greedy's model
+time dominates the randomized matchers at the large end exactly as in the
+published figure.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.greedy import GreedyMatcher
+from repro.core.matching.metropolis import MetropolisMatcher, MetropolisParameters
+from repro.core.matching.react import ReactMatcher, ReactParameters
+from repro.experiments.reporting import report_fig3
+from repro.graph.bipartite import BipartiteGraph
+
+from _common import matching_results
+
+_WEIGHTS = np.random.default_rng(7).random((1000, 1000))
+_GRAPH = BipartiteGraph.full(_WEIGHTS)
+
+
+@pytest.mark.parametrize(
+    "matcher",
+    [
+        ReactMatcher(ReactParameters(cycles=1000)),
+        ReactMatcher(ReactParameters(cycles=3000)),
+        MetropolisMatcher(MetropolisParameters(cycles=1000)),
+        MetropolisMatcher(MetropolisParameters(cycles=3000)),
+        GreedyMatcher(),
+    ],
+    ids=["react@1000", "react@3000", "metropolis@1000", "metropolis@3000", "greedy"],
+)
+def test_fig3_full_graph_matching_time(benchmark, matcher):
+    rng = np.random.default_rng(3)
+    result = benchmark(matcher.match, _GRAPH, rng)
+    result.validate()
+
+
+def test_fig3_report_and_shape(benchmark):
+    sweep = matching_results()
+    report = benchmark.pedantic(report_fig3, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(report)
+    # Paper shape: greedy's model time grows superlinearly (O(V·E) = O(V²W))
+    # and overtakes the fixed-cycle matchers as tasks increase — at this
+    # sweep's 300-task endpoint it has already passed react@1000 (the full
+    # 1000-task crossover against react@3000 is asserted by the calibrated
+    # anchors in tests/platform/test_cost.py: 99.7 s vs 45 s).
+    largest = max(p.n_tasks for p in sweep.points)
+    mid = sorted({p.n_tasks for p in sweep.points})[-2]
+    greedy_large = next(p for p in sweep.series("greedy") if p.n_tasks == largest)
+    greedy_mid = next(p for p in sweep.series("greedy") if p.n_tasks == mid)
+    react_large = next(p for p in sweep.series("react", 1000) if p.n_tasks == largest)
+    react_mid = next(p for p in sweep.series("react", 1000) if p.n_tasks == mid)
+    assert greedy_large.model_seconds > react_large.model_seconds
+    greedy_growth = greedy_large.model_seconds / greedy_mid.model_seconds
+    react_growth = react_large.model_seconds / react_mid.model_seconds
+    assert greedy_growth > react_growth

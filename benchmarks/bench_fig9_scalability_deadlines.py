@@ -1,0 +1,51 @@
+"""Fig. 9 — % of tasks finished before the deadline vs. graph size.
+
+Paper sweep: {100, 250, 500, 750, 1000} workers at {1.5, 3.125, 6.25,
+9.375, 12.5} tasks/s.  Shapes: Greedy beats REACT at size 100 but drops to
+16% at size 1000; REACT is "a little influenced" by size; Traditional is
+essentially flat.
+"""
+
+from repro.experiments.config import ScalabilityConfig
+from repro.experiments.reporting import report_fig9
+from repro.experiments.scalability import run_scalability
+from repro.platform.policies import react_policy
+
+from _common import scalability_results
+
+#: Tiny sweep used only for the wall-clock timing round.
+TIMING_SWEEP = ScalabilityConfig(
+    worker_sizes=(40,), rates=(0.5,), duration=200.0, drain_time=300.0
+)
+
+
+def test_fig9_sweep_timing(benchmark):
+    result = benchmark.pedantic(
+        run_scalability,
+        args=(TIMING_SWEEP, [react_policy()]),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.points) == 1
+
+
+def test_fig9_report_and_shape(benchmark):
+    sweep = scalability_results()
+    report = benchmark.pedantic(report_fig9, args=(sweep,), rounds=1, iterations=1)
+    print()
+    print(report)
+
+    react = {p.n_workers: p.on_time_fraction for p in sweep.series("react")}
+    greedy = {p.n_workers: p.on_time_fraction for p in sweep.series("greedy")}
+    trad = {p.n_workers: p.on_time_fraction for p in sweep.series("traditional")}
+
+    # Greedy wins (or ties) at the smallest size but collapses at the top.
+    assert greedy[100] >= react[100] - 0.03
+    assert greedy[1000] < 0.25  # paper: 16%
+    assert greedy[1000] < greedy[100] / 2
+    # REACT degrades only mildly across a 10x size increase.
+    assert max(react.values()) - min(react.values()) < 0.10
+    # Traditional is flat and always below REACT.
+    assert max(trad.values()) - min(trad.values()) < 0.10
+    for size in react:
+        assert react[size] > trad[size]

@@ -1,0 +1,7 @@
+"""Benchmark-suite configuration: make `_common` importable and default to
+group-by-name output."""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Compare the WBGM algorithms head-to-head on one assignment problem.
+
+A miniature of the paper's Figs. 3-4: build a full worker×task graph with
+quality weights, run every matcher in the library — REACT (Algorithm 1) at
+two cycle budgets, the Metropolis baseline, the paper's per-task Greedy,
+the sorted-greedy variant, uniform (AMT-like) assignment, and the Hungarian
+optimum — and print output weight, optimality, matched tasks and wall-clock.
+
+Run:  python examples/matching_comparison.py [workers] [tasks]
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core.matching import available_matchers, create_matcher
+from repro.graph.bipartite import BipartiteGraph
+from repro.stats.summaries import format_table
+
+
+def main() -> None:
+    n_workers = int(sys.argv[1]) if len(sys.argv) > 1 else 400
+    n_tasks = int(sys.argv[2]) if len(sys.argv) > 2 else 400
+    rng = np.random.default_rng(99)
+    graph = BipartiteGraph.full(rng.random((n_workers, n_tasks)))
+
+    print(f"Full bipartite graph: {n_workers} workers x {n_tasks} tasks "
+          f"({graph.n_edges} edges), weights U[0,1]")
+    print(f"registered matchers: {', '.join(available_matchers())}")
+    print()
+
+    optimal = create_matcher("hungarian").match(graph)
+    configurations = [
+        ("hungarian", {}),
+        ("greedy", {}),
+        ("sorted-greedy", {}),
+        ("react", dict(cycles=1000)),
+        ("react", dict(cycles=3000)),
+        ("react", dict(adaptive_cycles=True, cycles=1000)),
+        ("metropolis", dict(cycles=1000)),
+        ("metropolis", dict(cycles=3000)),
+        ("uniform", {}),
+    ]
+    rows = []
+    for name, kwargs in configurations:
+        matcher = create_matcher(name, **kwargs)
+        start = time.perf_counter()
+        result = matcher.match(graph, np.random.default_rng(1))
+        wall = time.perf_counter() - start
+        result.validate()
+        label = name
+        if kwargs.get("adaptive_cycles"):
+            label += "@adaptive"
+        elif "cycles" in kwargs:
+            label += f"@{kwargs['cycles']}"
+        rows.append(
+            (
+                label,
+                f"{result.total_weight:.2f}",
+                f"{result.total_weight / optimal.total_weight:.1%}",
+                result.size,
+                f"{wall * 1e3:.1f}",
+            )
+        )
+
+    print(format_table(["algorithm", "output", "optimality", "matched", "wall_ms"], rows))
+    print()
+    print("Paper shapes to look for: greedy ~ optimal on full graphs;")
+    print("react > metropolis at equal cycles; uniform far behind;")
+    print("the adaptive-cycles extension closes the gap to greedy.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""The paper's primary contribution: matching algorithms, Eq. 1 weights,
+and the Eq. 2/3 probabilistic deadline model."""
+
+from .deadline import DeadlineEstimate, DeadlineEstimator
+from .matching import (
+    GreedyMatcher,
+    HungarianMatcher,
+    Matcher,
+    MatchingError,
+    MatchingResult,
+    MetropolisMatcher,
+    MetropolisParameters,
+    ReactMatcher,
+    ReactParameters,
+    SortedGreedyMatcher,
+    UniformMatcher,
+    available_matchers,
+    create_matcher,
+)
+from .weights import (
+    AccuracyWeight,
+    ConstantWeight,
+    DistanceWeight,
+    HybridWeight,
+    WeightFunction,
+    make_weight_function,
+)
+
+__all__ = [
+    "DeadlineEstimate",
+    "DeadlineEstimator",
+    "GreedyMatcher",
+    "HungarianMatcher",
+    "Matcher",
+    "MatchingError",
+    "MatchingResult",
+    "MetropolisMatcher",
+    "MetropolisParameters",
+    "ReactMatcher",
+    "ReactParameters",
+    "SortedGreedyMatcher",
+    "UniformMatcher",
+    "available_matchers",
+    "create_matcher",
+    "AccuracyWeight",
+    "ConstantWeight",
+    "DistanceWeight",
+    "HybridWeight",
+    "WeightFunction",
+    "make_weight_function",
+]

@@ -1,0 +1,180 @@
+"""Probabilistic deadline model (paper §IV-B, Eqs. 2-3).
+
+For a worker with execution-time history ``k_1..k_n`` the Profiling
+Component fits a power law (``k_min`` = the worker's fastest recorded time,
+α via the CSN MLE — see :mod:`repro.stats.powerlaw`).  With CCDF
+``P(k) = Pr(K >= k)`` the two decision probabilities are:
+
+* **Edge instantiation** (Eq. 3), evaluated at graph-construction time:
+
+      Pr(ExecTime < TimeToDeadline) = 1 − P(TimeToDeadline)
+
+  The Scheduling Component only creates the edge when this exceeds an
+  application-defined lower bound.
+
+* **Mid-flight reassignment** (Eq. 2), evaluated by the Dynamic Assignment
+  Component for a task that has been running ``t`` seconds:
+
+      Pr(t < ExecTime < TTD) = 1 − (P(TTD) + (1 − P(t))) = P(t) − P(TTD)
+
+  When it drops below the reassignment threshold (10% in the paper) the
+  task is pulled back and rescheduled — "the probabilities for these
+  distributions decrease rapidly after they exceed the typical values", so
+  the remaining time may still suffice for a faster worker.
+
+Workers with fewer than ``min_history`` completed tasks have no usable fit;
+the paper trains each worker on his first ``z = 3`` tasks, during which both
+probabilities are treated as certain (edges always instantiated, no
+reassignment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..model.worker import WorkerProfile
+from ..stats.duration_models import DurationModelFamily, PowerLawFamily
+from ..stats.powerlaw import FitMethod, PowerLawFit
+
+
+@dataclass(frozen=True)
+class DeadlineEstimate:
+    """One Eq. 2/3 evaluation, kept for tracing and tests."""
+
+    probability: float
+    fit: Optional[PowerLawFit]
+    trained: bool
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError(f"probability out of [0,1]: {self.probability}")
+
+
+class DeadlineEstimator:
+    """Evaluates Eqs. (2) and (3) against worker histories.
+
+    Parameters
+    ----------
+    min_history:
+        The paper's ``z``: minimum completed tasks before the probabilistic
+        model activates for a worker (3 in the experiments).
+    fit_method:
+        Which MLE variant estimates α (paper's discrete form by default).
+    """
+
+    def __init__(
+        self,
+        min_history: int = 3,
+        fit_method: FitMethod = FitMethod.PAPER_DISCRETE,
+        family: Optional[DurationModelFamily] = None,
+    ) -> None:
+        if min_history < 0:
+            raise ValueError(f"min_history must be >= 0, got {min_history}")
+        self.min_history = min_history
+        self.fit_method = fit_method
+        # The distribution family is pluggable (ABL-MODEL ablation); the
+        # paper's power law is the default.
+        self.family = family if family is not None else PowerLawFamily(fit_method)
+        # Fit cache keyed by worker id; worker histories are append-only, so
+        # a cached fit stays valid until the completed-task count changes.
+        # This matters: graph construction re-fits every worker every batch.
+        self._fit_cache: dict[int, tuple[int, object]] = {}
+
+    # ------------------------------------------------------------- fitting
+    def fit_worker(self, worker: WorkerProfile):
+        """Fitted duration model for the worker, or None while untrained."""
+        if worker.completed_tasks < self.min_history or worker.completed_tasks == 0:
+            return None
+        cached = self._fit_cache.get(worker.worker_id)
+        if cached is not None and cached[0] == worker.completed_tasks:
+            return cached[1]
+        fit = self.family.fit(worker.execution_times)
+        self._fit_cache[worker.worker_id] = (worker.completed_tasks, fit)
+        return fit
+
+    # ------------------------------------------------------------- Eq. (3)
+    def completion_probability(
+        self, worker: WorkerProfile, time_to_deadline: float
+    ) -> DeadlineEstimate:
+        """Eq. (3): Pr(ExecTime < TimeToDeadline) for a fresh assignment."""
+        if time_to_deadline <= 0:
+            return DeadlineEstimate(probability=0.0, fit=None, trained=False)
+        fit = self.fit_worker(worker)
+        if fit is None:
+            # Untrained worker: the paper instantiates all edges for the
+            # first z assignments, i.e. treats completion as certain.
+            return DeadlineEstimate(probability=1.0, fit=None, trained=False)
+        prob = 1.0 - float(fit.ccdf(time_to_deadline))
+        return DeadlineEstimate(probability=min(max(prob, 0.0), 1.0), fit=fit, trained=True)
+
+    def completion_probability_matrix(
+        self,
+        workers: Sequence[WorkerProfile],
+        time_to_deadline: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized Eq. (3): (len(workers), len(ttd)) probabilities.
+
+        This is the graph-construction hot path: one CCDF evaluation per
+        worker over the whole deadline vector instead of a Python call per
+        candidate edge.
+        """
+        ttd = np.asarray(time_to_deadline, dtype=np.float64)
+        out = np.empty((len(workers), len(ttd)), dtype=np.float64)
+        for i, worker in enumerate(workers):
+            fit = self.fit_worker(worker)
+            if fit is None:
+                out[i, :] = 1.0
+            else:
+                out[i, :] = 1.0 - fit.ccdf(ttd)
+        # Expired deadlines can never be met, trained or not.
+        out[:, ttd <= 0] = 0.0
+        return np.clip(out, 0.0, 1.0)
+
+    # ------------------------------------------------------------- Eq. (2)
+    def window_probability(
+        self,
+        worker: WorkerProfile,
+        elapsed: float,
+        time_to_deadline: float,
+    ) -> DeadlineEstimate:
+        """Eq. (2): Pr(t < ExecTime < TimeToDeadline) mid-execution.
+
+        ``elapsed`` is ``t_ij`` (seconds since assignment); ``time_to_deadline``
+        is measured from the *assignment* instant, so the window is
+        ``(elapsed, time_to_deadline)``.
+        """
+        if elapsed < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed}")
+        if time_to_deadline <= elapsed:
+            # Deadline already inside the elapsed window: no chance left.
+            return DeadlineEstimate(probability=0.0, fit=None, trained=False)
+        fit = self.fit_worker(worker)
+        if fit is None:
+            return DeadlineEstimate(probability=1.0, fit=None, trained=False)
+        # 1 - (P(TTD) + (1 - P(t))) = P(t) - P(TTD); clamp guards the tiny
+        # negative values the formula yields when t < k_min (both CCDFs 1).
+        prob = float(fit.ccdf(elapsed)) - float(fit.ccdf(time_to_deadline))
+        return DeadlineEstimate(probability=min(max(prob, 0.0), 1.0), fit=fit, trained=True)
+
+    def should_reassign(
+        self,
+        worker: WorkerProfile,
+        elapsed: float,
+        time_to_deadline: float,
+        threshold: float,
+    ) -> bool:
+        """Reassignment rule: pull the task when Eq. (2) < ``threshold``.
+
+        Untrained workers are never reassigned (the paper: "the first 3
+        tasks in every worker are not going to be reassigned so as to train
+        the system about his performance").
+        """
+        if not (0.0 <= threshold <= 1.0):
+            raise ValueError(f"threshold must be in [0,1], got {threshold}")
+        estimate = self.window_probability(worker, elapsed, time_to_deadline)
+        if not estimate.trained:
+            return False
+        return estimate.probability < threshold

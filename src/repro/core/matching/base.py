@@ -1,0 +1,143 @@
+"""Matcher interface and matching-result container.
+
+All matchers consume a :class:`~repro.graph.bipartite.BipartiteGraph` and
+produce a :class:`MatchingResult` — a set of selected edges such that no two
+share a vertex (the constraint set of the paper's §III-C maximization
+problem).  The randomized matchers additionally accept an RNG so that the
+platform can route their randomness through a named stream.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ...graph.bipartite import BipartiteGraph
+
+
+class MatchingError(ValueError):
+    """Raised when a produced matching violates the one-to-one constraints."""
+
+
+@dataclass(frozen=True)
+class MatchingResult:
+    """Outcome of one matcher invocation.
+
+    Attributes
+    ----------
+    graph:
+        The input graph (kept so validation and weight audits are possible).
+    edge_indices:
+        Indices into the graph's edge arrays; the selected matching M.
+    algorithm:
+        Matcher name (for reporting).
+    cycles_used:
+        Iterations consumed (randomized matchers) or 0.
+    stats:
+        Free-form per-run counters (accepted/rejected moves etc.).
+    """
+
+    graph: BipartiteGraph
+    edge_indices: np.ndarray
+    algorithm: str
+    cycles_used: int = 0
+    stats: Dict[str, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        idx = np.ascontiguousarray(self.edge_indices, dtype=np.int64)
+        object.__setattr__(self, "edge_indices", idx)
+        if len(idx) and (idx.min() < 0 or idx.max() >= self.graph.n_edges):
+            raise MatchingError("edge index out of range")
+        if len(np.unique(idx)) != len(idx):
+            raise MatchingError("duplicate edge in matching")
+
+    # ----------------------------------------------------------- contents
+    @property
+    def size(self) -> int:
+        """Cardinality |M|."""
+        return len(self.edge_indices)
+
+    @property
+    def total_weight(self) -> float:
+        """The objective Σ w_ij x_ij the paper maximizes (fitness g(x))."""
+        return float(self.graph.edge_weights[self.edge_indices].sum())
+
+    @property
+    def workers(self) -> np.ndarray:
+        return self.graph.edge_workers[self.edge_indices]
+
+    @property
+    def tasks(self) -> np.ndarray:
+        return self.graph.edge_tasks[self.edge_indices]
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """(worker_index, task_index) pairs of the matching."""
+        return list(zip(self.workers.tolist(), self.tasks.tolist()))
+
+    def task_assignment(self) -> Dict[int, int]:
+        """task index → worker index mapping."""
+        return {int(t): int(w) for w, t in zip(self.workers, self.tasks)}
+
+    # ---------------------------------------------------------- validation
+    def validate(self) -> None:
+        """Raise :class:`MatchingError` unless M is a valid matching.
+
+        Checks the two §III-C constraint families: each worker in at most
+        one selected edge, each task in at most one selected edge.
+        """
+        workers = self.workers
+        tasks = self.tasks
+        if len(np.unique(workers)) != len(workers):
+            raise MatchingError("a worker appears in two matched edges")
+        if len(np.unique(tasks)) != len(tasks):
+            raise MatchingError("a task appears in two matched edges")
+
+    @property
+    def is_valid(self) -> bool:
+        try:
+            self.validate()
+        except MatchingError:
+            return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MatchingResult(algorithm={self.algorithm!r}, size={self.size}, "
+            f"weight={self.total_weight:.4f})"
+        )
+
+
+class Matcher(abc.ABC):
+    """Abstract weighted-bipartite-graph matcher."""
+
+    #: Short identifier used in reports and the registry.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def match(
+        self, graph: BipartiteGraph, rng: Optional[np.random.Generator] = None
+    ) -> MatchingResult:
+        """Compute a matching of ``graph``.
+
+        Deterministic matchers ignore ``rng``; randomized ones require it
+        (a fresh default generator is created when omitted, but platform
+        code always passes the named matcher stream for reproducibility).
+        """
+
+    def _rng(self, rng: Optional[np.random.Generator]) -> np.random.Generator:
+        return np.random.default_rng() if rng is None else rng
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+def empty_result(graph: BipartiteGraph, algorithm: str) -> MatchingResult:
+    """The empty matching (used for empty graphs)."""
+    return MatchingResult(
+        graph=graph,
+        edge_indices=np.empty(0, dtype=np.int64),
+        algorithm=algorithm,
+    )

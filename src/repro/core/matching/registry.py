@@ -1,0 +1,80 @@
+"""Name → matcher factory registry.
+
+Experiment configs refer to matchers by name ("react", "greedy", ...); the
+registry turns those names into configured instances so the harnesses stay
+declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from .base import Matcher
+from .greedy import GreedyMatcher, SortedGreedyMatcher
+from .hungarian import HungarianMatcher
+from .metropolis import MetropolisMatcher, MetropolisParameters
+from .react import ReactMatcher, ReactParameters
+
+MatcherFactory = Callable[..., Matcher]
+
+_REGISTRY: Dict[str, MatcherFactory] = {}
+
+
+def register(name: str, factory: MatcherFactory) -> None:
+    """Register a matcher factory; re-registering a name is an error."""
+    if name in _REGISTRY:
+        raise ValueError(f"matcher {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def create_matcher(
+    name: str,
+    *,
+    cycles: Optional[int] = None,
+    k_constant: Optional[float] = None,
+    adaptive_cycles: bool = False,
+) -> Matcher:
+    """Instantiate a matcher by registry name.
+
+    ``cycles`` / ``k_constant`` apply to the randomized matchers and are
+    rejected (rather than silently ignored) for deterministic ones.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(
+            f"unknown matcher {name!r}; known: {sorted(_REGISTRY)}"
+        )
+    randomized = name in ("react", "metropolis")
+    if not randomized and (cycles is not None or k_constant is not None or adaptive_cycles):
+        raise ValueError(f"matcher {name!r} does not take cycles/K parameters")
+    if name == "react":
+        params = ReactParameters(
+            cycles=1000 if cycles is None else cycles,
+            k_constant=0.05 if k_constant is None else k_constant,
+            adaptive_cycles=adaptive_cycles,
+        )
+        return ReactMatcher(params)
+    if name == "metropolis":
+        params = MetropolisParameters(
+            cycles=1000 if cycles is None else cycles,
+            k_constant=0.05 if k_constant is None else k_constant,
+        )
+        return MetropolisMatcher(params)
+    return _REGISTRY[name]()
+
+
+def available_matchers() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+# Built-in registrations.
+register("react", ReactMatcher)
+register("metropolis", MetropolisMatcher)
+register("greedy", GreedyMatcher)
+register("sorted-greedy", SortedGreedyMatcher)
+register("hungarian", HungarianMatcher)
+
+# UniformMatcher registers here too, imported late to avoid a cycle in
+# postponed-annotation evaluation order.
+from .uniform import UniformMatcher  # noqa: E402
+
+register("uniform", UniformMatcher)

@@ -1,0 +1,62 @@
+"""Traditional (AMT-like) uniform assignment baseline.
+
+Section V-C: "in the traditional approach we try to simulate the traditional
+non real-time crowdsourcing systems, such as the AMT.  Hence, we use uniform
+matching for the assignment and the probabilistic model that we developed is
+not being used."
+
+Workers on AMT self-select tasks without regard to skill or deadline;
+uniform random matching over the available edges models that.  Each task is
+given a uniformly random still-free neighbouring worker, in random task
+order (so neither early tasks nor early workers are systematically
+favoured).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...graph.bipartite import BipartiteGraph
+from .base import Matcher, MatchingResult, empty_result
+
+
+class UniformMatcher(Matcher):
+    """Uniform random task→worker matching; ignores edge weights."""
+
+    name = "uniform"
+
+    def match(
+        self, graph: BipartiteGraph, rng: Optional[np.random.Generator] = None
+    ) -> MatchingResult:
+        if graph.is_empty:
+            return empty_result(graph, self.name)
+        rng = self._rng(rng)
+        ew = graph.edge_workers
+        et = graph.edge_tasks
+
+        order = np.argsort(et, kind="stable")
+        sorted_tasks = et[order]
+        boundaries = np.searchsorted(sorted_tasks, np.arange(graph.n_tasks + 1))
+
+        worker_free = np.ones(graph.n_workers, dtype=bool)
+        chosen: list[int] = []
+        for task in rng.permutation(graph.n_tasks):
+            start, stop = boundaries[task], boundaries[task + 1]
+            if start == stop:
+                continue
+            candidates = order[start:stop]
+            free = candidates[worker_free[ew[candidates]]]
+            if len(free) == 0:
+                continue
+            e = int(free[rng.integers(0, len(free))])
+            worker_free[ew[e]] = False
+            chosen.append(e)
+
+        return MatchingResult(
+            graph=graph,
+            edge_indices=np.asarray(sorted(chosen), dtype=np.int64),
+            algorithm=self.name,
+            stats={"tasks_matched": len(chosen)},
+        )

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` dispatch."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

@@ -1,0 +1,199 @@
+"""Command-line entry point: ``python -m repro.experiments <figure>``.
+
+Regenerates any figure of the paper (or an ablation/case-study report) and
+prints the corresponding text report.  ``--quick`` shrinks every workload to
+a laptop-friendly size while preserving the qualitative shapes; the full
+paper-scale runs are the defaults.  ``--out DIR`` additionally writes the
+raw series as CSV/JSON into ``DIR`` (figures 3-10 only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..workload.crowdflower import analyze_case_study, generate_case_study
+from .ablations import ablate_cycles, ablate_k_constant, ablate_threshold, ablate_training_z
+from .config import EndToEndConfig, MatchingSweepConfig, ScalabilityConfig
+from .endtoend import run_comparison
+from .export import export_endtoend, export_matching_sweep, export_scalability
+from .voting import VotingConfig, report_voting, run_voting_comparison
+from .matching_bench import run_matching_sweep
+from .reporting import (
+    report_ablation,
+    report_fig3,
+    report_fig4,
+    report_fig5,
+    report_fig6,
+    report_fig7,
+    report_fig8,
+    report_fig9,
+    report_fig10,
+)
+from .scalability import run_scalability
+
+
+def _matching_config(quick: bool) -> MatchingSweepConfig:
+    if quick:
+        return MatchingSweepConfig(
+            n_workers=200, task_counts=(1, 50, 100, 200), cycles_settings=(200, 600)
+        )
+    return MatchingSweepConfig()
+
+
+def _endtoend_config(quick: bool) -> EndToEndConfig:
+    if quick:
+        return EndToEndConfig(
+            n_workers=150, arrival_rate=1.875, n_tasks=1600, drain_time=400
+        )
+    return EndToEndConfig()
+
+
+def _scalability_config(quick: bool) -> ScalabilityConfig:
+    if quick:
+        return ScalabilityConfig(
+            worker_sizes=(50, 100, 200),
+            rates=(0.75, 1.5, 3.0),
+            duration=300.0,
+            drain_time=300.0,
+        )
+    return ScalabilityConfig()
+
+
+def _maybe_export(out: Optional[str], writer, *args) -> str:
+    if out is None:
+        return ""
+    written = writer(*args)
+    paths = written if isinstance(written, list) else [written]
+    return "\n".join(f"# wrote {p}" for p in paths)
+
+
+def _run_fig3(quick: bool, out: Optional[str] = None) -> str:
+    sweep = run_matching_sweep(_matching_config(quick))
+    note = _maybe_export(out, export_matching_sweep, sweep, f"{out}/fig3_4.csv" if out else "")
+    return report_fig3(sweep) + ("\n" + note if note else "")
+
+
+def _run_fig4(quick: bool, out: Optional[str] = None) -> str:
+    sweep = run_matching_sweep(_matching_config(quick))
+    note = _maybe_export(out, export_matching_sweep, sweep, f"{out}/fig3_4.csv" if out else "")
+    return report_fig4(sweep) + ("\n" + note if note else "")
+
+
+def _endtoend_report(quick: bool, out: Optional[str], report) -> str:
+    results = run_comparison(_endtoend_config(quick))
+    note = _maybe_export(out, export_endtoend, results, out or "")
+    return report(results) + ("\n" + note if note else "")
+
+
+def _run_fig5(quick: bool, out: Optional[str] = None) -> str:
+    return _endtoend_report(quick, out, report_fig5)
+
+
+def _run_fig6(quick: bool, out: Optional[str] = None) -> str:
+    return _endtoend_report(quick, out, report_fig6)
+
+
+def _run_fig7(quick: bool, out: Optional[str] = None) -> str:
+    return _endtoend_report(quick, out, report_fig7)
+
+
+def _run_fig8(quick: bool, out: Optional[str] = None) -> str:
+    return _endtoend_report(quick, out, report_fig8)
+
+
+def _run_fig9(quick: bool, out: Optional[str] = None) -> str:
+    result = run_scalability(_scalability_config(quick))
+    note = _maybe_export(out, export_scalability, result, f"{out}/fig9_10.csv" if out else "")
+    return report_fig9(result) + ("\n" + note if note else "")
+
+
+def _run_fig10(quick: bool, out: Optional[str] = None) -> str:
+    result = run_scalability(_scalability_config(quick))
+    note = _maybe_export(out, export_scalability, result, f"{out}/fig9_10.csv" if out else "")
+    return report_fig10(result) + ("\n" + note if note else "")
+
+
+def _run_case_study(quick: bool, out: Optional[str] = None) -> str:
+    rng = np.random.default_rng(13)
+    report = analyze_case_study(generate_case_study(rng, n_responses=200 if quick else 2000))
+    lines = [
+        "# CrowdFlower case study (synthetic trace; paper §V-C anchors)",
+        f"responses:                 {report.n_responses}",
+        f"median response:           {report.median_response_seconds:.1f} s (paper: ~20 s)",
+        f"fraction under 20 s:       {report.fraction_under_20s:.1%} (paper: 50%)",
+        f"p90 response:              {report.p90_response_seconds:.1f} s",
+        f"max response:              {report.max_response_seconds/3600:.2f} h (paper: up to 6 h)",
+        f"trust > 0.5:               {report.fraction_trust_above_half:.1%} (paper: 70%)",
+        f"recommended deadline:      {report.recommended_deadline_range} s (paper: 60-120 s)",
+    ]
+    return "\n".join(lines)
+
+
+def _run_voting(quick: bool, out: Optional[str] = None) -> str:
+    config = (
+        VotingConfig(n_workers=80, arrival_rate=0.4, n_tasks=500,
+                     replication_levels=(1, 3))
+        if quick
+        else VotingConfig()
+    )
+    return report_voting(run_voting_comparison(config))
+
+
+def _run_ablations(quick: bool, out: Optional[str] = None) -> str:
+    blocks = [
+        report_ablation(ablate_cycles()),
+        report_ablation(ablate_k_constant()),
+    ]
+    if not quick:
+        blocks.append(report_ablation(ablate_threshold()))
+        blocks.append(report_ablation(ablate_training_z()))
+    return "\n\n".join(blocks)
+
+
+COMMANDS: Dict[str, Callable[..., str]] = {
+    "fig3": _run_fig3,
+    "fig4": _run_fig4,
+    "fig5": _run_fig5,
+    "fig6": _run_fig6,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "case-study": _run_case_study,
+    "ablations": _run_ablations,
+    "voting": _run_voting,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the figures of 'Crowdsourcing under Real-Time Constraints'.",
+    )
+    parser.add_argument("figure", choices=sorted(COMMANDS) + ["all"])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrink workloads for a fast qualitative run",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="also write raw series (CSV/JSON) into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    targets = sorted(COMMANDS) if args.figure == "all" else [args.figure]
+    for target in targets:
+        print(COMMANDS[target](args.quick, args.out))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess tests
+    sys.exit(main())

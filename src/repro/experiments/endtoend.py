@@ -1,0 +1,159 @@
+"""End-to-end experiment driver (Figs. 5-8).
+
+Builds one region server under the given policy, feeds it the §V-C
+workload, and returns the series/summaries the paper's Figures 5-8 plot.
+The comparison entry point runs REACT, Greedy and Traditional under the
+*same* seed so all three face an identical arrival trace and worker
+population.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..model.task import reset_task_ids
+from ..platform.cost import CostModel, PaperCalibratedCost, ZeroCost
+from ..platform.policies import (
+    SchedulingPolicy,
+    greedy_policy,
+    react_policy,
+    traditional_policy,
+)
+from ..platform.server import REACTServer
+from ..sim.engine import Engine
+from ..sim.events import EventKind
+from ..sim.process import GeneratorProcess
+from ..sim.rng import (
+    STREAM_ARRIVALS,
+    STREAM_CHURN,
+    STREAM_TASKS,
+    STREAM_WORKER_POPULATION,
+    RngRegistry,
+)
+from ..stats.metrics import MetricsCollector
+from ..workload.arrivals import deterministic_gaps, poisson_gaps
+from ..workload.churn import ChurnProcess
+from ..workload.generators import TaskGeneratorConfig, TrafficMonitoringGenerator
+from ..workload.population import PopulationConfig, generate_population
+from .config import EndToEndConfig
+
+
+@dataclass
+class EndToEndResult:
+    """Everything the Figs. 5-8 reports need from one run."""
+
+    policy_name: str
+    config: EndToEndConfig
+    summary: Dict[str, float]
+    deadline_series: List[tuple[int, int]]
+    feedback_series: List[tuple[int, int]]
+    avg_worker_time: Optional[float]
+    avg_total_time: Optional[float]
+    withdrawals: int
+    batches: int
+    max_batch_tasks: int
+    metrics: MetricsCollector
+
+
+#: Fixed per-invocation server cost (graph construction + marshalling) in
+#: the end-to-end experiments.  Calibrated from the paper's §III-A remark
+#: that "the selection of the workers to assign 1000 tasks takes almost 10
+#: seconds" — i.e. ~10 ms of per-task platform overhead beyond the matching
+#: loop itself; a ~10-25-task batch costs a few hundred milliseconds.
+BATCH_OVERHEAD_SECONDS = 0.1
+
+
+def _cost_model(config: EndToEndConfig) -> CostModel:
+    if config.cost_model == "paper":
+        return PaperCalibratedCost(batch_overhead=BATCH_OVERHEAD_SECONDS)
+    return ZeroCost()
+
+
+def run_endtoend(policy: SchedulingPolicy, config: EndToEndConfig) -> EndToEndResult:
+    """Simulate one technique under the §V-C workload."""
+    reset_task_ids()
+    engine = Engine()
+    rng = RngRegistry(seed=config.seed)
+
+    server = REACTServer(
+        engine=engine,
+        policy=policy,
+        rng=rng,
+        cost_model=_cost_model(config),
+    )
+    population = generate_population(
+        rng.stream(STREAM_WORKER_POPULATION),
+        PopulationConfig(size=config.n_workers),
+    )
+    for profile, behavior in population:
+        server.add_worker(profile, behavior)
+    server.start()
+
+    churn: Optional[ChurnProcess] = None
+    if config.churn_mean_session is not None:
+        churn = ChurnProcess(
+            engine,
+            server,
+            rng=rng.stream(STREAM_CHURN),
+            mean_session_s=config.churn_mean_session,
+            mean_absence_s=config.churn_mean_absence,
+        )
+        churn.track_all_workers()
+
+    generator = TrafficMonitoringGenerator(
+        rng.stream(STREAM_TASKS),
+        TaskGeneratorConfig(
+            deadline_low=config.deadline_low, deadline_high=config.deadline_high
+        ),
+    )
+    if config.arrival_process == "poisson":
+        gaps = poisson_gaps(config.arrival_rate, rng.stream(STREAM_ARRIVALS), config.n_tasks)
+    else:
+        gaps = deterministic_gaps(config.arrival_rate, config.n_tasks)
+
+    def on_arrival(_payload: object) -> None:
+        server.submit_task(generator.make(submitted_at=engine.now))
+
+    GeneratorProcess(engine, gaps, on_arrival, kind=EventKind.TASK_ARRIVAL)
+
+    engine.run(until=config.horizon)
+    if churn is not None:
+        churn.stop()
+    server.stop()
+    server.metrics.check_conservation()
+
+    metrics = server.metrics
+    return EndToEndResult(
+        policy_name=policy.name,
+        config=config,
+        summary=server.drain_and_summary(),
+        deadline_series=list(metrics.deadline_series),
+        feedback_series=list(metrics.feedback_series),
+        avg_worker_time=metrics.average_worker_time(),
+        avg_total_time=metrics.average_total_time(),
+        withdrawals=len(server.dynamic_assignment.withdrawals),
+        batches=len(server.scheduling.batches),
+        max_batch_tasks=max(
+            (b.n_tasks for b in server.scheduling.batches), default=0
+        ),
+        metrics=metrics,
+    )
+
+
+def default_policies() -> Sequence[SchedulingPolicy]:
+    """The three §V-C techniques with the paper's parameters."""
+    return (react_policy(cycles=1000), greedy_policy(), traditional_policy())
+
+
+def run_comparison(
+    config: EndToEndConfig,
+    policies: Optional[Sequence[SchedulingPolicy]] = None,
+) -> Dict[str, EndToEndResult]:
+    """Run every policy on the same seeded workload; keyed by policy name."""
+    results: Dict[str, EndToEndResult] = {}
+    for policy in policies if policies is not None else default_policies():
+        if policy.name in results:
+            raise ValueError(f"duplicate policy name {policy.name!r}")
+        results[policy.name] = run_endtoend(policy, config)
+    return results

@@ -1,0 +1,107 @@
+"""CSV/JSON export of experiment results.
+
+The reporting module prints human-readable tables; this one writes
+machine-readable files so the regenerated figures can be re-plotted with
+any external tool.  Pure stdlib (``csv``/``json``) — no plotting deps.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Union
+
+from ..stats.timeline import Timeline
+from .endtoend import EndToEndResult
+from .matching_bench import MatchingSweepResult
+from .scalability import ScalabilityResult
+
+PathLike = Union[str, Path]
+
+
+def _write_csv(path: Path, headers: Sequence[str], rows: Iterable[Sequence[object]]) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow(row)
+
+
+def export_matching_sweep(result: MatchingSweepResult, path: PathLike) -> Path:
+    """Figs. 3-4 data: one row per (algorithm, cycles, task-count) point."""
+    path = Path(path)
+    _write_csv(
+        path,
+        ["algorithm", "cycles", "n_tasks", "wall_seconds", "model_seconds",
+         "output_weight", "matched"],
+        (
+            (p.algorithm, p.cycles, p.n_tasks, f"{p.wall_seconds:.6f}",
+             f"{p.model_seconds:.4f}", f"{p.output_weight:.4f}", p.matched)
+            for p in result.points
+        ),
+    )
+    return path
+
+
+def export_endtoend(
+    results: Dict[str, EndToEndResult], directory: PathLike
+) -> List[Path]:
+    """Figs. 5-8 data: per-technique cumulative series + a summary JSON."""
+    directory = Path(directory)
+    written: List[Path] = []
+    for name, result in results.items():
+        series_path = directory / f"fig5_6_series_{name}.csv"
+        rows = [
+            (received, on_time, positive)
+            for (received, on_time), (_, positive) in zip(
+                result.deadline_series, result.feedback_series
+            )
+        ]
+        _write_csv(series_path, ["received", "on_time", "positive_feedback"], rows)
+        written.append(series_path)
+
+    summary_path = directory / "fig5_8_summary.json"
+    summary_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        name: {
+            **result.summary,
+            "avg_worker_time": result.avg_worker_time,
+            "avg_total_time": result.avg_total_time,
+        }
+        for name, result in results.items()
+    }
+    summary_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    written.append(summary_path)
+    return written
+
+
+def export_scalability(result: ScalabilityResult, path: PathLike) -> Path:
+    """Figs. 9-10 data: one row per (technique, size) point."""
+    path = Path(path)
+    _write_csv(
+        path,
+        ["technique", "n_workers", "arrival_rate", "n_tasks",
+         "on_time_fraction", "positive_feedback_fraction",
+         "avg_worker_time", "avg_total_time", "reassignments",
+         "expired_unassigned"],
+        (
+            (p.policy_name, p.n_workers, p.arrival_rate, p.n_tasks,
+             f"{p.on_time_fraction:.4f}", f"{p.positive_feedback_fraction:.4f}",
+             "" if p.avg_worker_time is None else f"{p.avg_worker_time:.3f}",
+             "" if p.avg_total_time is None else f"{p.avg_total_time:.3f}",
+             p.reassignments, p.expired_unassigned)
+            for p in result.points
+        ),
+    )
+    return path
+
+
+def export_timeline(timeline: Timeline, path: PathLike) -> Path:
+    """Queue-dynamics series from a :class:`TimelineRecorder`."""
+    path = Path(path)
+    rows = timeline.as_rows()
+    headers = list(rows[0].keys()) if rows else ["time"]
+    _write_csv(path, headers, ([row[h] for h in headers] for row in rows))
+    return path

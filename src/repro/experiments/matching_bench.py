@@ -1,0 +1,129 @@
+"""Matching micro-benchmark driver (Figs. 3-4).
+
+"We initiate 1000 workers and we match them with a number of tasks that
+range from 1 to 1000 ... We use a full graph where all the tasks are
+connected with edges with every worker, which is the worst case scenario."
+
+For each task count the driver reports, per algorithm:
+
+* Fig. 3 — execution time: both the *measured* wall-clock of our Python
+  implementation and the *paper-calibrated* model seconds (the Java
+  middleware's constants), so the harness can show that the scaling shape
+  matches even though absolute constants differ.
+* Fig. 4 — matching output: the objective Σ w_ij x_ij, alongside the
+  Hungarian optimum when requested.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.matching.base import Matcher
+from ..core.matching.greedy import GreedyMatcher
+from ..core.matching.hungarian import HungarianMatcher
+from ..core.matching.metropolis import MetropolisMatcher, MetropolisParameters
+from ..core.matching.react import ReactMatcher, ReactParameters
+from ..graph.bipartite import BipartiteGraph
+from ..platform.cost import BatchShape, PaperCalibratedCost
+from .config import MatchingSweepConfig
+
+
+@dataclass(frozen=True)
+class MatchingPoint:
+    """One (algorithm, task-count) measurement."""
+
+    algorithm: str
+    n_tasks: int
+    cycles: int
+    wall_seconds: float
+    model_seconds: float
+    output_weight: float
+    matched: int
+
+
+@dataclass
+class MatchingSweepResult:
+    config: MatchingSweepConfig
+    points: List[MatchingPoint] = field(default_factory=list)
+
+    def series(self, algorithm: str, cycles: int = 0) -> List[MatchingPoint]:
+        return [
+            p
+            for p in self.points
+            if p.algorithm == algorithm and (cycles == 0 or p.cycles == cycles)
+        ]
+
+    def algorithms(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for p in self.points:
+            seen.setdefault(f"{p.algorithm}@{p.cycles}" if p.cycles else p.algorithm)
+        return list(seen)
+
+
+def _sweep_matchers(config: MatchingSweepConfig) -> List[tuple[str, int, Matcher]]:
+    """(label-algorithm, cycles, matcher) triples for the sweep."""
+    matchers: List[tuple[str, int, Matcher]] = [("greedy", 0, GreedyMatcher())]
+    for cycles in config.cycles_settings:
+        matchers.append(
+            (
+                "react",
+                cycles,
+                ReactMatcher(
+                    ReactParameters(cycles=cycles, k_constant=config.k_constant)
+                ),
+            )
+        )
+        matchers.append(
+            (
+                "metropolis",
+                cycles,
+                MetropolisMatcher(
+                    MetropolisParameters(cycles=cycles, k_constant=config.k_constant)
+                ),
+            )
+        )
+    if config.include_hungarian:
+        matchers.append(("hungarian", 0, HungarianMatcher()))
+    return matchers
+
+
+def run_matching_sweep(config: Optional[MatchingSweepConfig] = None) -> MatchingSweepResult:
+    """Run the Figs. 3-4 sweep and collect every measurement point."""
+    config = config or MatchingSweepConfig()
+    rng_weights = np.random.default_rng(config.seed)
+    result = MatchingSweepResult(config=config)
+    cost = PaperCalibratedCost()
+
+    for n_tasks in config.task_counts:
+        weights = rng_weights.random((config.n_workers, n_tasks))
+        graph = BipartiteGraph.full(weights)
+        for algorithm, cycles, matcher in _sweep_matchers(config):
+            match_rng = np.random.default_rng(config.seed * 7919 + n_tasks)
+            start = time.perf_counter()
+            matching = matcher.match(graph, match_rng)
+            wall = time.perf_counter() - start
+            matching.validate()
+            shape = BatchShape(
+                n_workers=config.n_workers,
+                n_tasks=n_tasks,
+                n_edges=graph.n_edges,
+                cycles=cycles,
+            )
+            result.points.append(
+                MatchingPoint(
+                    algorithm=algorithm,
+                    n_tasks=n_tasks,
+                    cycles=cycles,
+                    wall_seconds=wall,
+                    model_seconds=cost.seconds(
+                        algorithm if algorithm != "hungarian" else "hungarian", shape
+                    ),
+                    output_weight=matching.total_weight,
+                    matched=matching.size,
+                )
+            )
+    return result

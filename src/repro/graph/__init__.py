@@ -1,0 +1,17 @@
+"""Bipartite-graph substrate: edge-list graphs and assignment-graph builders."""
+
+from .bipartite import BipartiteGraph
+from .builders import (
+    MAX_WEIGHT,
+    AssignmentGraphBuilder,
+    GraphBuildReport,
+    RewardRange,
+)
+
+__all__ = [
+    "BipartiteGraph",
+    "MAX_WEIGHT",
+    "AssignmentGraphBuilder",
+    "GraphBuildReport",
+    "RewardRange",
+]

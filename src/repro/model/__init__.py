@@ -1,0 +1,27 @@
+"""Domain model: tasks, workers, feedback, regions, requesters."""
+
+from .feedback import FeedbackModel, FeedbackOutcome, Rating, positive_rate
+from .region import Region, RegionGrid, RegionTier, build_tiers, haversine_km
+from .requester import Requester
+from .task import Task, TaskCategory, TaskPhase, reset_task_ids
+from .worker import CategoryStats, WorkerBehavior, WorkerProfile
+
+__all__ = [
+    "FeedbackModel",
+    "FeedbackOutcome",
+    "Rating",
+    "positive_rate",
+    "Region",
+    "RegionGrid",
+    "RegionTier",
+    "build_tiers",
+    "haversine_km",
+    "Requester",
+    "Task",
+    "TaskCategory",
+    "TaskPhase",
+    "reset_task_ids",
+    "CategoryStats",
+    "WorkerBehavior",
+    "WorkerProfile",
+]

@@ -1,0 +1,74 @@
+"""Requester feedback model.
+
+Figure 6 of the paper defines the rule: "The feedback is decided when a task
+is finished and it is positive only if the task finished before the deadline,
+with a probability that is defined from the worker's unique feedback
+percentage."  :class:`FeedbackModel` encapsulates that rule plus the 1-5
+rating scale mentioned in §II for completeness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .worker import WorkerBehavior
+
+
+class Rating(enum.IntEnum):
+    """The paper's §II grading scale (Bad=1 .. Excellent=5)."""
+
+    BAD = 1
+    POOR = 2
+    FAIR = 3
+    GOOD = 4
+    EXCELLENT = 5
+
+    @property
+    def is_positive(self) -> bool:
+        """Ratings of Good or better count as positive feedback."""
+        return self >= Rating.GOOD
+
+
+@dataclass(frozen=True)
+class FeedbackOutcome:
+    """Result of one requester feedback decision."""
+
+    positive: bool
+    rating: Rating
+    on_time: bool
+
+
+class FeedbackModel:
+    """Draws requester feedback for completed tasks.
+
+    A late task is always rated negatively (BAD).  An on-time task earns a
+    positive rating with probability equal to the worker's latent quality;
+    the positive/negative ratings are spread over the 5-point scale so that
+    downstream consumers can exercise the full §II rating range.
+    """
+
+    def __init__(self, rng: np.random.Generator) -> None:
+        self._rng = rng
+
+    def judge(self, behavior: WorkerBehavior, on_time: bool) -> FeedbackOutcome:
+        positive = behavior.sample_feedback(self._rng, on_time)
+        rating = self._draw_rating(positive, on_time)
+        return FeedbackOutcome(positive=positive, rating=rating, on_time=on_time)
+
+    def _draw_rating(self, positive: bool, on_time: bool) -> Rating:
+        if not on_time:
+            return Rating.BAD
+        if positive:
+            return Rating.EXCELLENT if self._rng.random() < 0.5 else Rating.GOOD
+        return Rating(int(self._rng.integers(Rating.BAD, Rating.FAIR + 1)))
+
+
+def positive_rate(outcomes: list[FeedbackOutcome]) -> Optional[float]:
+    """Fraction of positive feedbacks, or None for an empty list."""
+    if not outcomes:
+        return None
+    return sum(o.positive for o in outcomes) / len(outcomes)

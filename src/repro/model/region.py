@@ -1,0 +1,185 @@
+"""Spatial decomposition of the service area into regions.
+
+Section III-A: the geographic area is split into non-overlapping regions
+(cf. the homogeneous-region decomposition of Subramaniam et al., RTSS 2006),
+each handled by one REACT server.  Regions can be organised into *tiers* —
+small local areas at the lowest tier up to the whole network at the highest —
+and the paper recommends 500-1000 workers per region.  This module provides:
+
+* :class:`Region` — an axis-aligned lat/lon rectangle,
+* :class:`RegionGrid` — a uniform grid decomposition with point→region lookup,
+* :class:`RegionTier` / :func:`build_tiers` — coarser tiers built by merging
+  grid cells, and
+* :meth:`RegionGrid.split` — the overload remedy from §V-D ("split the
+  regions so that each of the servers would contain sufficient workers").
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+_REGION_IDS = itertools.count()
+
+
+@dataclass(frozen=True)
+class Region:
+    """A non-overlapping axis-aligned geographic rectangle.
+
+    Boundaries are half-open ``[min, max)`` except the global top edge, so a
+    grid of regions tiles the plane with no point belonging to two regions.
+    """
+
+    lat_min: float
+    lat_max: float
+    lon_min: float
+    lon_max: float
+    region_id: int = field(default_factory=lambda: next(_REGION_IDS))
+    tier: int = 0
+
+    def __post_init__(self) -> None:
+        if self.lat_min >= self.lat_max or self.lon_min >= self.lon_max:
+            raise ValueError(f"degenerate region bounds: {self}")
+
+    def contains(self, latitude: float, longitude: float) -> bool:
+        return (
+            self.lat_min <= latitude < self.lat_max
+            and self.lon_min <= longitude < self.lon_max
+        )
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.lat_min + self.lat_max) / 2, (self.lon_min + self.lon_max) / 2)
+
+    @property
+    def area(self) -> float:
+        return (self.lat_max - self.lat_min) * (self.lon_max - self.lon_min)
+
+    def split(self) -> Tuple["Region", "Region"]:
+        """Split along the longer axis into two equal halves (§V-D remedy)."""
+        if (self.lat_max - self.lat_min) >= (self.lon_max - self.lon_min):
+            mid = (self.lat_min + self.lat_max) / 2
+            return (
+                Region(self.lat_min, mid, self.lon_min, self.lon_max, tier=self.tier),
+                Region(mid, self.lat_max, self.lon_min, self.lon_max, tier=self.tier),
+            )
+        mid = (self.lon_min + self.lon_max) / 2
+        return (
+            Region(self.lat_min, self.lat_max, self.lon_min, mid, tier=self.tier),
+            Region(self.lat_min, self.lat_max, mid, self.lon_max, tier=self.tier),
+        )
+
+
+class RegionGrid:
+    """Uniform rows × cols decomposition of a bounding box into regions."""
+
+    def __init__(
+        self,
+        lat_min: float,
+        lat_max: float,
+        lon_min: float,
+        lon_max: float,
+        rows: int = 1,
+        cols: int = 1,
+    ) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"rows/cols must be >= 1, got {rows}x{cols}")
+        if lat_min >= lat_max or lon_min >= lon_max:
+            raise ValueError("degenerate bounding box")
+        self.lat_min, self.lat_max = lat_min, lat_max
+        self.lon_min, self.lon_max = lon_min, lon_max
+        self.rows, self.cols = rows, cols
+        dlat = (lat_max - lat_min) / rows
+        dlon = (lon_max - lon_min) / cols
+        self._regions: List[Region] = [
+            Region(
+                lat_min + r * dlat,
+                lat_min + (r + 1) * dlat,
+                lon_min + c * dlon,
+                lon_min + (c + 1) * dlon,
+            )
+            for r in range(rows)
+            for c in range(cols)
+        ]
+
+    @property
+    def regions(self) -> Sequence[Region]:
+        return tuple(self._regions)
+
+    def __len__(self) -> int:
+        return len(self._regions)
+
+    def __iter__(self) -> Iterator[Region]:
+        return iter(self._regions)
+
+    def locate(self, latitude: float, longitude: float) -> Region:
+        """Region owning a point; edge points clamp into the grid."""
+        if not (
+            self.lat_min <= latitude <= self.lat_max
+            and self.lon_min <= longitude <= self.lon_max
+        ):
+            raise ValueError(
+                f"point ({latitude}, {longitude}) is outside the grid bounding box"
+            )
+        r = min(
+            self.rows - 1,
+            int((latitude - self.lat_min) / (self.lat_max - self.lat_min) * self.rows),
+        )
+        c = min(
+            self.cols - 1,
+            int((longitude - self.lon_min) / (self.lon_max - self.lon_min) * self.cols),
+        )
+        return self._regions[r * self.cols + c]
+
+    def split_region(self, region_id: int) -> Tuple[Region, Region]:
+        """Replace one region by its two halves; returns the halves."""
+        for i, region in enumerate(self._regions):
+            if region.region_id == region_id:
+                a, b = region.split()
+                self._regions[i : i + 1] = [a, b]
+                return a, b
+        raise KeyError(f"no region with id {region_id}")
+
+
+@dataclass(frozen=True)
+class RegionTier:
+    """One granularity level of the hierarchical decomposition (§III-A)."""
+
+    level: int
+    regions: Tuple[Region, ...]
+
+
+def build_tiers(
+    lat_min: float,
+    lat_max: float,
+    lon_min: float,
+    lon_max: float,
+    levels: int,
+) -> List[RegionTier]:
+    """Tiered grids: level 0 = whole area, level k = 2^k × 2^k cells."""
+    if levels < 1:
+        raise ValueError(f"levels must be >= 1, got {levels}")
+    tiers: List[RegionTier] = []
+    for level in range(levels):
+        n = 2**level
+        grid = RegionGrid(lat_min, lat_max, lon_min, lon_max, rows=n, cols=n)
+        regions = tuple(
+            Region(g.lat_min, g.lat_max, g.lon_min, g.lon_max, tier=level)
+            for g in grid
+        )
+        tiers.append(RegionTier(level=level, regions=regions))
+    return tiers
+
+
+def haversine_km(
+    lat1: float, lon1: float, lat2: float, lon2: float
+) -> float:
+    """Great-circle distance in km (distance-based weight function input)."""
+    rad = math.pi / 180.0
+    phi1, phi2 = lat1 * rad, lat2 * rad
+    dphi = (lat2 - lat1) * rad
+    dlambda = (lon2 - lon1) * rad
+    a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
+    return 2 * 6371.0 * math.asin(math.sqrt(a))

@@ -1,0 +1,60 @@
+"""Requester-side helpers.
+
+Requesters in REACT submit tasks (with location, deadline, reward and
+description) and later grade the results.  :class:`Requester` is a small
+convenience wrapper used by the examples; the experiment harnesses generate
+tasks directly through :mod:`repro.workload.generators`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .task import Task, TaskCategory
+
+_REQUESTER_IDS = itertools.count()
+
+
+@dataclass
+class Requester:
+    """A task submitter with a default reward and deadline policy."""
+
+    name: str = ""
+    default_reward: float = 0.05
+    default_deadline: float = 90.0
+    requester_id: int = field(default_factory=lambda: next(_REQUESTER_IDS))
+    submitted: List[Task] = field(default_factory=list)
+
+    def submit(
+        self,
+        latitude: float,
+        longitude: float,
+        description: str,
+        *,
+        deadline: Optional[float] = None,
+        reward: Optional[float] = None,
+        category: TaskCategory = TaskCategory.GENERIC,
+        now: float = 0.0,
+    ) -> Task:
+        """Create (and remember) a task with this requester's defaults."""
+        task = Task(
+            latitude=latitude,
+            longitude=longitude,
+            deadline=self.default_deadline if deadline is None else deadline,
+            reward=self.default_reward if reward is None else reward,
+            category=category,
+            description=description,
+            submitted_at=now,
+        )
+        self.submitted.append(task)
+        return task
+
+    @property
+    def completed(self) -> List[Task]:
+        return [t for t in self.submitted if t.completed_at is not None]
+
+    @property
+    def on_time(self) -> List[Task]:
+        return [t for t in self.submitted if t.met_deadline]

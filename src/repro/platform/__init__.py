@@ -1,0 +1,53 @@
+"""REACT middleware: the four server components, policies, cost models,
+and the multi-region coordinator."""
+
+from .coordinator import Coordinator
+from .cost import (
+    BatchShape,
+    CostModel,
+    MeasuredCost,
+    PaperCalibratedCost,
+    ZeroCost,
+)
+from .dynamic_assignment import DynamicAssignmentComponent, Withdrawal
+from .policies import (
+    SchedulingPolicy,
+    default_cost_model,
+    greedy_policy,
+    metropolis_policy,
+    react_policy,
+    traditional_policy,
+)
+from .profiling import ProfilingComponent
+from .scheduling import BatchRecord, SchedulingComponent
+from .server import REACTServer
+from .task_management import TaskManagementComponent
+from .invariants import InvariantMonitor, InvariantViolation, check_server_invariants
+from .tiers import EscalationRecord, TieredCoordinator
+
+__all__ = [
+    "Coordinator",
+    "BatchShape",
+    "CostModel",
+    "MeasuredCost",
+    "PaperCalibratedCost",
+    "ZeroCost",
+    "DynamicAssignmentComponent",
+    "Withdrawal",
+    "SchedulingPolicy",
+    "default_cost_model",
+    "greedy_policy",
+    "metropolis_policy",
+    "react_policy",
+    "traditional_policy",
+    "ProfilingComponent",
+    "BatchRecord",
+    "SchedulingComponent",
+    "REACTServer",
+    "TaskManagementComponent",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "check_server_invariants",
+    "EscalationRecord",
+    "TieredCoordinator",
+]

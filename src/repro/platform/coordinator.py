@@ -1,0 +1,194 @@
+"""Multi-region coordinator (§III-A spatial decomposition; §V-D remedy).
+
+Routes each worker and task to the REACT server owning its geographic
+region, and implements the overload remedy the paper proposes for its
+scalability limits: "One possible solution for that problem is to split the
+regions so that each of the servers would contain sufficient workers and
+tasks without being overloaded."
+
+Splitting re-partitions an overloaded region's *future* arrivals between two
+child servers; workers currently registered are re-routed by their location,
+while in-flight tasks finish on their original server (a live migration
+protocol is out of the paper's scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..model.region import Region
+from ..model.task import Task
+from ..model.worker import WorkerBehavior, WorkerProfile
+from ..sim.engine import Engine
+from ..sim.rng import RngRegistry
+from .cost import CostModel
+from .policies import SchedulingPolicy
+from .server import REACTServer
+
+
+@dataclass
+class RegionEntry:
+    region: Region
+    server: REACTServer
+
+
+class Coordinator:
+    """Owns the region → server map and the split-on-overload policy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: SchedulingPolicy,
+        regions: List[Region],
+        rng: RngRegistry,
+        cost_model: Optional[CostModel] = None,
+        overload_queue_limit: Optional[int] = None,
+    ) -> None:
+        if not regions:
+            raise ValueError("at least one region is required")
+        if overload_queue_limit is not None and overload_queue_limit < 1:
+            raise ValueError("overload_queue_limit must be >= 1")
+        self._engine = engine
+        self._policy = policy
+        self._rng = rng
+        self._cost_model = cost_model
+        self._overload_limit = overload_queue_limit
+        self._entries: List[RegionEntry] = []
+        self._splits = 0
+        for i, region in enumerate(regions):
+            self._entries.append(
+                RegionEntry(region=region, server=self._make_server(i))
+            )
+
+    def _make_server(self, index: int) -> REACTServer:
+        server = REACTServer(
+            engine=self._engine,
+            policy=self._policy,
+            rng=self._rng.fork(index),
+            cost_model=self._cost_model,
+        )
+        server.start()
+        return server
+
+    # ------------------------------------------------------------- routing
+    @property
+    def servers(self) -> List[REACTServer]:
+        return [entry.server for entry in self._entries]
+
+    @property
+    def regions(self) -> List[Region]:
+        return [entry.region for entry in self._entries]
+
+    @property
+    def splits_performed(self) -> int:
+        return self._splits
+
+    def _entry_for(self, latitude: float, longitude: float) -> RegionEntry:
+        for entry in self._entries:
+            if entry.region.contains(latitude, longitude):
+                return entry
+        raise ValueError(
+            f"point ({latitude}, {longitude}) is outside every region"
+        )
+
+    def server_for(self, latitude: float, longitude: float) -> REACTServer:
+        return self._entry_for(latitude, longitude).server
+
+    def add_worker(self, profile: WorkerProfile, behavior: WorkerBehavior) -> None:
+        """Register the worker with the server owning his location (§IV-A:
+        "Each worker is registered to the server related to the area where
+        he belongs")."""
+        self._entry_for(profile.latitude, profile.longitude).server.add_worker(
+            profile, behavior
+        )
+
+    def submit_task(self, task: Task) -> None:
+        """Route by the task's coordinates, then check for overload."""
+        entry = self._entry_for(task.latitude, task.longitude)
+        entry.server.submit_task(task)
+        if self._overload_limit is not None:
+            if entry.server.task_management.unassigned_count > self._overload_limit:
+                self._split(entry)
+
+    # --------------------------------------------------------------- split
+    def _split(self, entry: RegionEntry) -> None:
+        """Split an overloaded region in half (§V-D).
+
+        The existing server keeps one half (with all its in-flight work and
+        history); a fresh server takes the other half, inheriting (a) the
+        idle workers located there and (b) the queued — not yet batched or
+        assigned — tasks whose coordinates fall inside it.  Workers who are
+        mid-execution stay on the old server regardless of location: a live
+        hand-off protocol is outside the paper's scope.
+        """
+        half_keep, half_new = entry.region.split()
+        idx = self._entries.index(entry)
+        old = entry.server
+        new_server = self._make_server(1000 + self._splits)
+        self._entries[idx : idx + 1] = [
+            RegionEntry(region=half_keep, server=old),
+            RegionEntry(region=half_new, server=new_server),
+        ]
+        self._splits += 1
+
+        # Migrate idle workers located in the new half.
+        for profile in list(old.profiling):
+            if not profile.available or profile.current_task is not None:
+                continue
+            if not half_new.contains(profile.latitude, profile.longitude):
+                continue
+            behavior = old._behaviors.get(profile.worker_id)
+            if behavior is None:
+                continue
+            old.remove_worker(profile.worker_id)
+            # remove_worker marks the profile offline; revive it for the
+            # new region it now belongs to.
+            profile.online = True
+            new_server.add_worker(profile, behavior)
+
+        # Migrate the queued tasks belonging to the new half — this is the
+        # actual load relief the paper's remedy is after.
+        migrated = old.task_management.extract_unassigned(
+            lambda task: half_new.contains(task.latitude, task.longitude)
+        )
+        for task in migrated:
+            new_server.adopt_task(task)
+
+    # -------------------------------------------------------------- summary
+    def aggregate_summary(self) -> Dict[str, float]:
+        """Combine the headline metrics across all servers.
+
+        Counters are summed; fractions are recomputed over the combined
+        counts; the two time averages are weighted by each server's
+        completed-task count (summing averages would overstate them).
+        """
+        totals: Dict[str, float] = {}
+        average_keys = ("avg_worker_time", "avg_total_time")
+        fraction_keys = ("on_time_fraction", "positive_feedback_fraction")
+        summaries = [server.drain_and_summary() for server in self.servers]
+        for summary in summaries:
+            for key, value in summary.items():
+                if value is None or key in average_keys or key in fraction_keys:
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        received = totals.get("received", 0)
+        if received:
+            totals["on_time_fraction"] = round(
+                totals.get("completed_on_time", 0) / received, 4
+            )
+            totals["positive_feedback_fraction"] = round(
+                totals.get("positive_feedbacks", 0) / received, 4
+            )
+        for key in average_keys:
+            weighted = [
+                (summary[key], summary["completed"])
+                for summary in summaries
+                if summary.get(key) is not None and summary.get("completed")
+            ]
+            weight = sum(n for _, n in weighted)
+            if weight:
+                totals[key] = round(
+                    sum(v * n for v, n in weighted) / weight, 3
+                )
+        return totals

@@ -1,0 +1,115 @@
+"""Dynamic Assignment Component (§III-A, §IV-B).
+
+Periodically sweeps every assigned task and evaluates Eq. (2) — the
+probability that the current worker finishes inside the remaining window,
+given that ``t_ij`` seconds have already elapsed — against the worker's
+power-law profile.  When the probability drops below the policy threshold
+(10% in the paper) the task is withdrawn and handed back to the Scheduling
+Component "so as to enable the Scheduling Component to find a better match".
+
+Per §V-C, a worker with fewer than ``z = 3`` completed tasks is never
+reassigned (the system is still training his profile), and a task whose
+deadline has already passed is left with its worker — no other worker could
+beat the deadline either, so reassignment would only waste a second slot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from ..core.deadline import DeadlineEstimator
+from ..model.task import Task
+from ..sim.engine import Engine
+from ..sim.events import EventKind
+from ..sim.process import PeriodicProcess
+from .policies import SchedulingPolicy
+from .profiling import ProfilingComponent
+from .task_management import TaskManagementComponent
+
+
+@dataclass(frozen=True)
+class Withdrawal:
+    """Trace record of one Eq. 2-triggered reassignment."""
+
+    time: float
+    task_id: int
+    worker_id: int
+    elapsed: float
+    probability: float
+
+
+class DynamicAssignmentComponent:
+    """The Eq. (2) monitor loop."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: SchedulingPolicy,
+        task_management: TaskManagementComponent,
+        profiling: ProfilingComponent,
+        estimator: DeadlineEstimator,
+        on_withdraw: Callable[[Task], None],
+    ) -> None:
+        self._engine = engine
+        self._policy = policy
+        self._tasks = task_management
+        self._profiles = profiling
+        self._estimator = estimator
+        self._on_withdraw = on_withdraw
+        self._process: Optional[PeriodicProcess] = None
+        self.withdrawals: List[Withdrawal] = []
+
+    def start(self) -> None:
+        """Begin the periodic sweep (no-op when the model is disabled)."""
+        if not self._policy.use_probabilistic_model:
+            return
+        if self._process is not None:
+            raise RuntimeError("monitor already started")
+        self._process = PeriodicProcess(
+            self._engine,
+            period=self._policy.reassign_check_interval,
+            action=self.sweep,
+            kind=EventKind.REASSIGNMENT_CHECK,
+        )
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None
+
+    # --------------------------------------------------------------- sweep
+    def sweep(self, now: float) -> int:
+        """Evaluate Eq. (2) for every running task; withdraw the hopeless.
+
+        Returns the number of withdrawals performed this sweep.
+        """
+        pulled = 0
+        for task in self._tasks.assigned_tasks():
+            worker_id = task.assigned_worker
+            assert worker_id is not None and task.assigned_at is not None
+            profile = self._profiles.get(worker_id)
+            elapsed = now - task.assigned_at
+            # TimeToDeadline_ij is anchored at the assignment instant.
+            ttd = task.absolute_deadline - task.assigned_at
+            if not self._estimator.should_reassign(
+                profile, elapsed, ttd, self._policy.reassign_threshold
+            ):
+                continue
+            estimate = self._estimator.window_probability(profile, elapsed, ttd)
+            self._tasks.withdraw(task)
+            self._profiles.record_withdrawal(
+                worker_id, elapsed=elapsed, release=self._policy.release_on_reassign
+            )
+            self.withdrawals.append(
+                Withdrawal(
+                    time=now,
+                    task_id=task.task_id,
+                    worker_id=worker_id,
+                    elapsed=elapsed,
+                    probability=estimate.probability,
+                )
+            )
+            pulled += 1
+            self._on_withdraw(task)
+        return pulled

@@ -1,0 +1,161 @@
+"""Cross-component runtime invariants.
+
+The four server components share mutable state (tasks, worker profiles)
+through well-defined transitions; a bug in any handler tends to show up as
+a *relationship* violation long before it corrupts a headline metric.
+:func:`check_server_invariants` audits those relationships on demand and
+:class:`InvariantMonitor` re-audits them on a simulated-time grid, so
+integration tests (and cautious users) can run whole experiments under
+continuous verification.
+
+Checked invariants:
+
+I1  Task pools partition: every task is in exactly one of
+    unassigned / in-batch / assigned / finished, and its ``phase`` agrees
+    with the pool it sits in.
+I2  An ASSIGNED task's worker is registered with the Profiling Component.
+I3  No double *active* booking: at most one ASSIGNED task per worker may be
+    the one his profile currently claims (``current_task``), and a worker
+    claiming a task is never marked available.  (Plain "≤ 1 assigned task
+    per worker" is deliberately NOT an invariant: an abandoner who walks
+    away leaves his task ASSIGNED platform-side — under the traditional
+    policy forever — while the scheduler correctly hands him new work.)
+I4  A profile with ``current_task`` set points at a task that is ASSIGNED
+    to that same worker.
+I5  An *available* profile has no ``current_task``.
+I6  Metric conservation: completed + expired never exceeds received;
+    on-time <= completed; positive feedback <= completed (delegates to
+    :meth:`MetricsCollector.check_conservation`).
+I7  Metric/pool agreement: received = finished + in-flight (only on
+    servers that never adopt migrated tasks; disabled otherwise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional
+
+from ..model.task import TaskPhase
+from ..sim.engine import Engine
+from ..sim.events import EventKind
+from ..sim.process import PeriodicProcess
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import REACTServer
+
+
+class InvariantViolation(AssertionError):
+    """A cross-component consistency rule was broken."""
+
+
+def check_server_invariants(server: "REACTServer", strict_accounting: bool = True) -> None:
+    """Audit every invariant; raise :class:`InvariantViolation` on failure."""
+    tm = server.task_management
+
+    # I1 — pool partition and phase agreement.
+    pools = {
+        "unassigned": (tm._unassigned, (TaskPhase.UNASSIGNED,)),
+        "in_batch": (tm._in_batch, (TaskPhase.UNASSIGNED,)),
+        "assigned": (tm._assigned, (TaskPhase.ASSIGNED,)),
+        "finished": (tm._finished, (TaskPhase.COMPLETED, TaskPhase.EXPIRED)),
+    }
+    seen: dict[int, str] = {}
+    for pool_name, (pool, allowed) in pools.items():
+        for task_id, task in pool.items():
+            if task_id in seen:
+                raise InvariantViolation(
+                    f"I1: task {task_id} in both {seen[task_id]} and {pool_name}"
+                )
+            seen[task_id] = pool_name
+            if task.phase not in allowed:
+                raise InvariantViolation(
+                    f"I1: task {task_id} in pool {pool_name} has phase {task.phase}"
+                )
+
+    # I2/I3 — assigned tasks vs. workers.
+    actively_claimed: dict[int, int] = {}
+    for task in tm.assigned_tasks():
+        worker_id = task.assigned_worker
+        if worker_id is None:
+            raise InvariantViolation(f"I2: assigned task {task.task_id} has no worker")
+        if worker_id not in server.profiling:
+            raise InvariantViolation(
+                f"I2: task {task.task_id} assigned to unregistered worker {worker_id}"
+            )
+        profile = server.profiling.get(worker_id)
+        if profile.current_task == task.task_id:
+            if worker_id in actively_claimed:
+                raise InvariantViolation(
+                    f"I3: worker {worker_id} actively claims tasks "
+                    f"{actively_claimed[worker_id]} and {task.task_id}"
+                )
+            actively_claimed[worker_id] = task.task_id
+
+    # I4/I5 — profile-side consistency.
+    for profile in server.profiling:
+        if profile.current_task is not None:
+            try:
+                task = tm.get(profile.current_task)
+            except KeyError:
+                raise InvariantViolation(
+                    f"I4: worker {profile.worker_id} references unknown task "
+                    f"{profile.current_task}"
+                ) from None
+            if task.phase is not TaskPhase.ASSIGNED or task.assigned_worker != profile.worker_id:
+                raise InvariantViolation(
+                    f"I4: worker {profile.worker_id} claims task {task.task_id} "
+                    f"(phase={task.phase}, assigned_worker={task.assigned_worker})"
+                )
+            if profile.available:
+                raise InvariantViolation(
+                    f"I5: worker {profile.worker_id} is available while on task "
+                    f"{profile.current_task}"
+                )
+
+    # I6 — metric self-consistency.
+    try:
+        server.metrics.check_conservation()
+    except AssertionError as exc:
+        raise InvariantViolation(f"I6: {exc}") from exc
+
+    # I7 — metric/pool agreement (single-origin servers only).
+    if strict_accounting:
+        finished = server.metrics.completed + server.metrics.expired_unassigned
+        total = finished + tm.in_flight
+        if total != server.metrics.received:
+            raise InvariantViolation(
+                f"I7: received={server.metrics.received} but "
+                f"finished+in_flight={total}"
+            )
+
+
+@dataclass
+class InvariantMonitor:
+    """Re-audits a server every ``period`` simulated seconds."""
+
+    engine: Engine
+    server: "REACTServer"
+    period: float = 1.0
+    strict_accounting: bool = True
+    audits: int = 0
+    _process: Optional[PeriodicProcess] = None
+
+    def start(self) -> "InvariantMonitor":
+        if self.period <= 0:
+            raise ValueError(f"period must be positive, got {self.period}")
+        if self._process is not None:
+            raise RuntimeError("monitor already started")
+        self._process = PeriodicProcess(
+            self.engine, period=self.period, action=self._audit,
+            kind=EventKind.CALLBACK,
+        )
+        return self
+
+    def _audit(self, now: float) -> None:
+        self.audits += 1
+        check_server_invariants(self.server, strict_accounting=self.strict_accounting)
+
+    def stop(self) -> None:
+        if self._process is not None:
+            self._process.stop()
+            self._process = None

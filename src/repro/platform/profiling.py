@@ -1,0 +1,96 @@
+"""Profiling Component (§III-A).
+
+"Responsible to keep track of the workers' information and statistics": for
+every registered worker it maintains geographic location, availability
+status, completion times and per-category feedback accuracy.  This is the
+*platform-observable* worker state — the latent ground-truth behaviour lives
+with the simulator (:mod:`repro.model.worker`), never here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..model.task import TaskCategory
+from ..model.worker import WorkerProfile
+
+
+class ProfilingComponent:
+    """Registry of worker profiles for one REACT server's region."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[int, WorkerProfile] = {}
+
+    # ---------------------------------------------------------- membership
+    def register(self, profile: WorkerProfile) -> None:
+        if profile.worker_id in self._profiles:
+            raise ValueError(f"worker {profile.worker_id} is already registered")
+        self._profiles[profile.worker_id] = profile
+
+    def deregister(self, worker_id: int) -> WorkerProfile:
+        """Remove a worker (churn); raises ``KeyError`` if unknown."""
+        return self._profiles.pop(worker_id)
+
+    def get(self, worker_id: int) -> WorkerProfile:
+        return self._profiles[worker_id]
+
+    def __contains__(self, worker_id: int) -> bool:
+        return worker_id in self._profiles
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __iter__(self) -> Iterator[WorkerProfile]:
+        return iter(self._profiles.values())
+
+    # ------------------------------------------------------------- queries
+    def available_workers(self) -> List[WorkerProfile]:
+        """Workers that are online and not executing a task, in a stable
+        (registration) order so batch construction is deterministic."""
+        return [p for p in self._profiles.values() if p.online and p.available]
+
+    def busy_workers(self) -> List[WorkerProfile]:
+        return [p for p in self._profiles.values() if p.online and not p.available]
+
+    # ------------------------------------------------------------- updates
+    def record_assignment(self, worker_id: int, task_id: int) -> None:
+        self._profiles[worker_id].assign(task_id)
+
+    def record_completion(
+        self,
+        worker_id: int,
+        execution_time: float,
+        category: TaskCategory,
+        positive_feedback: bool,
+    ) -> None:
+        """Store a finished task's stats and free the worker."""
+        profile = self._profiles[worker_id]
+        profile.record_completion(execution_time, category, positive_feedback)
+        profile.release()
+
+    def record_withdrawal(self, worker_id: int, elapsed: float, release: bool) -> None:
+        """The platform pulled the worker's task after ``elapsed`` seconds.
+
+        The elapsed hold time enters the profile as a *censored* duration
+        observation (the worker takes at least that long), so chronic
+        dawdlers accumulate a heavy-tailed history and Eq. 3 stops routing
+        tasks to them.  ``release`` follows
+        :attr:`SchedulingPolicy.release_on_reassign`: when False the worker
+        remains unavailable until his sampled finish time (he is presumed
+        still dawdling on the withdrawn task).
+        """
+        profile = self._profiles[worker_id]
+        profile.record_censored(elapsed)
+        profile.detach_task()
+        if release:
+            profile.release()
+
+    def release_after_dawdle(self, worker_id: int) -> None:
+        """A dawdling worker's sampled duration elapsed; he is free again."""
+        profile = self._profiles.get(worker_id)
+        if profile is not None and not profile.available and profile.current_task is None:
+            profile.release()
+
+    # ------------------------------------------------------------ summary
+    def trained_count(self, min_history: int) -> int:
+        return sum(1 for p in self._profiles.values() if p.completed_tasks >= min_history)

@@ -1,0 +1,322 @@
+"""REACT region server (§III-A, Figure 1).
+
+Wires the four components — Profiling, Task Management, Scheduling, Dynamic
+Assignment — to the discrete-event engine for one region, and owns the
+simulation-side worker ground truth (:class:`WorkerBehavior`): when an
+assignment is published the server draws the worker's *actual* duration and
+schedules the completion event; the platform components never see that draw,
+only its eventual outcome, exactly as the real middleware only observes what
+human workers return.
+
+Completion/withdrawal race: a dawdling worker whose task was pulled back by
+Eq. (2) still "finishes" at his sampled time — the completion event checks
+an assignment generation stamp and, finding the task gone, merely frees the
+worker (the human walked away; no result was returned to the platform).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.deadline import DeadlineEstimator
+from ..graph.builders import AssignmentGraphBuilder, RewardRange
+from ..model.feedback import FeedbackModel
+from ..model.task import Task, TaskPhase
+from ..model.worker import WorkerBehavior, WorkerProfile
+from ..sim.engine import Engine
+from ..sim.events import Event, EventKind
+from ..sim.process import PeriodicProcess
+from ..sim.rng import STREAM_FEEDBACK, STREAM_MATCHER, STREAM_WORKER_BEHAVIOR, RngRegistry
+from ..stats.duration_models import make_family
+from ..stats.metrics import MetricsCollector, TaskOutcome
+from .cost import CostModel, PaperCalibratedCost
+from .dynamic_assignment import DynamicAssignmentComponent
+from .policies import SchedulingPolicy
+from .profiling import ProfilingComponent
+from .scheduling import SchedulingComponent
+from .task_management import TaskManagementComponent
+
+
+@dataclass
+class _Execution:
+    """Simulator-side record of one in-flight worker execution."""
+
+    task_id: int
+    worker_id: int
+    generation: int  # task.assignments stamp at scheduling time
+    duration: float
+    abandoned: bool = False
+
+
+class REACTServer:
+    """One region's middleware instance driven by the simulation engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        policy: SchedulingPolicy,
+        rng: RngRegistry,
+        cost_model: Optional[CostModel] = None,
+        metrics: Optional[MetricsCollector] = None,
+        reward_ranges: Optional[Dict[int, RewardRange]] = None,
+    ) -> None:
+        self.engine = engine
+        self.policy = policy
+        self.metrics = metrics if metrics is not None else MetricsCollector()
+        cost_model = cost_model if cost_model is not None else PaperCalibratedCost()
+
+        self.profiling = ProfilingComponent()
+        self.task_management = TaskManagementComponent()
+        self.estimator = DeadlineEstimator(
+            min_history=policy.min_history,
+            family=make_family(policy.duration_model),
+        )
+
+        # With the probabilistic model off (traditional), edges are never
+        # pruned: bound 0 keeps every candidate edge.
+        bound = policy.edge_probability_bound if policy.use_probabilistic_model else 0.0
+        builder = AssignmentGraphBuilder(
+            weight_function=policy.build_weight_function(),
+            estimator=self.estimator,
+            edge_probability_bound=bound,
+            reward_ranges=reward_ranges,
+        )
+        self.scheduling = SchedulingComponent(
+            engine=engine,
+            policy=policy,
+            task_management=self.task_management,
+            profiling=self.profiling,
+            builder=builder,
+            matcher=policy.build_matcher(),
+            cost_model=cost_model,
+            matcher_rng=rng.stream(STREAM_MATCHER),
+            on_assign=self._on_assign,
+            on_retired=self._on_retired,
+            on_batch=lambda record: self.metrics.record_matcher_run(
+                record.simulated_seconds
+            ),
+        )
+        self.dynamic_assignment = DynamicAssignmentComponent(
+            engine=engine,
+            policy=policy,
+            task_management=self.task_management,
+            profiling=self.profiling,
+            estimator=self.estimator,
+            on_withdraw=self._on_withdraw,
+        )
+        self._behaviors: Dict[int, WorkerBehavior] = {}
+        self._behavior_rng = rng.stream(STREAM_WORKER_BEHAVIOR)
+        self._feedback = FeedbackModel(rng.stream(STREAM_FEEDBACK))
+        self._batch_timer: Optional[PeriodicProcess] = None
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> None:
+        """Arm the periodic batch trigger and the Eq. 2 monitor."""
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self.dynamic_assignment.start()
+        self._batch_timer = PeriodicProcess(
+            self.engine,
+            period=self.policy.batch_period,
+            action=self.scheduling.periodic_trigger,
+            kind=EventKind.BATCH_TRIGGER,
+        )
+
+    def stop(self) -> None:
+        self.dynamic_assignment.stop()
+        if self._batch_timer is not None:
+            self._batch_timer.stop()
+            self._batch_timer = None
+        self._started = False
+
+    # -------------------------------------------------------------- workers
+    def add_worker(self, profile: WorkerProfile, behavior: WorkerBehavior) -> None:
+        self.profiling.register(profile)
+        self._behaviors[profile.worker_id] = behavior
+
+    def remove_worker(self, worker_id: int) -> None:
+        """Worker churn: an online worker leaves the region.
+
+        A task he was executing is withdrawn and re-queued (the paper's
+        Dynamic Assignment Component "is able to deal with changes in the
+        worker set ... by reassigning the tasks when workers abandon the
+        system").
+        """
+        profile = self.profiling.get(worker_id)
+        profile.online = False
+        if profile.current_task is not None:
+            task = self.task_management.get(profile.current_task)
+            if task.phase is TaskPhase.ASSIGNED and task.assigned_worker == worker_id:
+                self.task_management.withdraw(task)
+                profile.detach_task()
+                self.scheduling.maybe_trigger()
+        self.profiling.deregister(worker_id)
+        self._behaviors.pop(worker_id, None)
+
+    # ---------------------------------------------------------------- tasks
+    def submit_task(self, task: Task) -> None:
+        """Requester entry point: register the task and poke the scheduler."""
+        task.submitted_at = self.engine.now if task.submitted_at == 0.0 else task.submitted_at
+        self.metrics.record_received()
+        self.task_management.add_task(task)
+        self.scheduling.maybe_trigger()
+
+    def adopt_task(self, task: Task) -> None:
+        """Take over a task migrated from another server (region split).
+
+        Unlike :meth:`submit_task`, the task was already counted as
+        received by its original server, so only the queueing happens here.
+        """
+        self.task_management.add_task(task)
+        self.scheduling.maybe_trigger()
+
+    # ------------------------------------------------------------ callbacks
+    def _on_assign(self, task: Task, worker: WorkerProfile) -> None:
+        """Assignment published: draw the true outcome, schedule its events."""
+        self.metrics.record_assignment(first=task.assignments == 1)
+        behavior = self._behaviors[worker.worker_id]
+        draw = behavior.sample_outcome(self._behavior_rng)
+        execution = _Execution(
+            task_id=task.task_id,
+            worker_id=worker.worker_id,
+            generation=task.assignments,
+            duration=draw.duration,
+            abandoned=draw.abandoned,
+        )
+        self.engine.schedule(
+            draw.duration,
+            EventKind.TASK_COMPLETION,
+            self._on_completion,
+            payload=execution,
+        )
+        # AMT expiry semantics: if the deadline passes while the task is
+        # still out with this worker, the platform pulls it back.  Only
+        # armed when the deadline is still ahead — a task knowingly handed
+        # out late (traditional's assign_expired) runs to completion.
+        if self.policy.expire_running_tasks:
+            remaining = task.absolute_deadline - self.engine.now
+            if remaining > 0:
+                self.engine.schedule(
+                    remaining,
+                    EventKind.CALLBACK,
+                    self._on_running_expiry,
+                    payload=execution,
+                )
+
+    def _on_completion(self, event: Event) -> None:
+        execution: _Execution = event.payload
+        now = self.engine.now
+        try:
+            task = self.task_management.get(execution.task_id)
+        except KeyError:  # pragma: no cover - tasks are never deleted
+            task = None
+        stale = (
+            task is None
+            or task.phase is not TaskPhase.ASSIGNED
+            or task.assigned_worker != execution.worker_id
+            or task.assignments != execution.generation
+        )
+        if stale:
+            # The task was withdrawn (or the worker deregistered) while the
+            # human dawdled; his sampled duration just elapsed — free him.
+            self.profiling.release_after_dawdle(execution.worker_id)
+            return
+        if execution.abandoned:
+            # The worker walks away without informing the platform (§IV-B):
+            # he becomes available for other tasks, but the task stays
+            # "assigned" until Eq. 2 or the deadline-expiry pulls it back.
+            self.profiling.get(execution.worker_id).release()
+            return
+
+        self.task_management.complete(task, now)
+        on_time = task.met_deadline
+        behavior = self._behaviors[execution.worker_id]
+        outcome_fb = self._feedback.judge(behavior, on_time)
+        self.profiling.record_completion(
+            execution.worker_id,
+            execution_time=execution.duration,
+            category=task.category,
+            positive_feedback=outcome_fb.positive,
+        )
+        self.metrics.record_completion(
+            TaskOutcome(
+                task_id=task.task_id,
+                submitted_at=task.submitted_at,
+                completed_at=now,
+                deadline=task.deadline,
+                met_deadline=on_time,
+                positive_feedback=outcome_fb.positive,
+                assignments=task.assignments,
+                final_worker=execution.worker_id,
+                worker_time=task.worker_time,
+                total_time=task.total_time,
+            )
+        )
+        # A completion frees a worker; queued tasks may now be matchable.
+        self.scheduling.maybe_trigger()
+
+    def _on_running_expiry(self, event: Event) -> None:
+        """AMT semantics: the deadline lapsed while the task was out.
+
+        The task returns to the repository as unassigned (§II).  The worker,
+        if he is still nominally on it, keeps dawdling until his sampled
+        finish time; an abandoner has already walked away.
+        """
+        execution: _Execution = event.payload
+        try:
+            task = self.task_management.get(execution.task_id)
+        except KeyError:  # pragma: no cover - tasks are never deleted
+            return
+        if (
+            task.phase is not TaskPhase.ASSIGNED
+            or task.assigned_worker != execution.worker_id
+            or task.assignments != execution.generation
+        ):
+            return
+        assigned_at = task.assigned_at if task.assigned_at is not None else self.engine.now
+        elapsed = self.engine.now - assigned_at
+        self.task_management.withdraw(task)
+        self.metrics.expiry_returns += 1
+        profile = self.profiling.get(execution.worker_id)
+        if profile.current_task == execution.task_id:
+            # Still nominally on it: record the censored hold time and
+            # detach (an abandoner who already walked away was released —
+            # and his hold recorded — by the completion event).
+            profile.record_censored(elapsed)
+            profile.detach_task()
+            if self.policy.release_on_reassign:
+                profile.release()
+        self.scheduling.maybe_trigger()
+
+    def _on_withdraw(self, task: Task) -> None:
+        self.scheduling.maybe_trigger()
+
+    def _on_retired(self, retired: list[Task]) -> None:
+        for task in retired:
+            self.metrics.record_expired_unassigned(
+                TaskOutcome(
+                    task_id=task.task_id,
+                    submitted_at=task.submitted_at,
+                    completed_at=None,
+                    deadline=task.deadline,
+                    met_deadline=False,
+                    positive_feedback=False,
+                    assignments=task.assignments,
+                    final_worker=None,
+                    worker_time=None,
+                    total_time=None,
+                )
+            )
+
+    # -------------------------------------------------------------- summary
+    def drain_and_summary(self) -> Dict[str, float]:
+        """Metrics summary plus queue state (for end-of-run reporting)."""
+        summary = self.metrics.summary()
+        summary["pending_unassigned"] = self.task_management.unassigned_count
+        summary["pending_assigned"] = self.task_management.assigned_count
+        summary["withdrawals"] = len(self.dynamic_assignment.withdrawals)
+        summary["batches"] = len(self.scheduling.batches)
+        return summary

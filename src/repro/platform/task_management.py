@@ -1,0 +1,141 @@
+"""Task Management Component (§III-A).
+
+"Responsible to provide information about all the available tasks in the
+REACT platform": remaining time until expiry, current assignment and elapsed
+time.  Concretely it owns the three task pools — unassigned (the matcher's
+input), assigned (the Eq. 2 monitor's input) and finished — and the
+transitions between them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from ..model.task import Task, TaskPhase
+
+
+class TaskManagementComponent:
+    """Task pools and lifecycle transitions for one REACT server."""
+
+    def __init__(self) -> None:
+        # Insertion-ordered dicts double as FIFO queues with O(1) removal.
+        self._unassigned: Dict[int, Task] = {}
+        self._assigned: Dict[int, Task] = {}
+        self._finished: Dict[int, Task] = {}
+        #: tasks currently locked inside a running matching batch
+        self._in_batch: Dict[int, Task] = {}
+
+    # -------------------------------------------------------------- intake
+    def add_task(self, task: Task) -> None:
+        if task.phase is not TaskPhase.UNASSIGNED:
+            raise ValueError(f"task {task.task_id} is not unassigned")
+        if task.task_id in self._unassigned or task.task_id in self._assigned:
+            raise ValueError(f"task {task.task_id} already known")
+        self._unassigned[task.task_id] = task
+
+    # -------------------------------------------------------------- counts
+    @property
+    def unassigned_count(self) -> int:
+        return len(self._unassigned)
+
+    @property
+    def assigned_count(self) -> int:
+        return len(self._assigned)
+
+    @property
+    def finished_count(self) -> int:
+        return len(self._finished)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._unassigned) + len(self._assigned) + len(self._in_batch)
+
+    def unassigned_tasks(self) -> List[Task]:
+        return list(self._unassigned.values())
+
+    def assigned_tasks(self) -> List[Task]:
+        return list(self._assigned.values())
+
+    def get(self, task_id: int) -> Task:
+        for pool in (self._unassigned, self._assigned, self._in_batch, self._finished):
+            if task_id in pool:
+                return pool[task_id]
+        raise KeyError(f"unknown task {task_id}")
+
+    # --------------------------------------------------------------- batch
+    def checkout_batch(
+        self, now: float, assign_expired: bool
+    ) -> tuple[List[Task], List[Task]]:
+        """Move the unassigned pool into a locked batch for the matcher.
+
+        Returns ``(batch, retired)``: ``batch`` is the matcher's input;
+        ``retired`` are tasks whose deadline already lapsed in the queue and
+        which the policy chooses not to hand out (``assign_expired=False``)
+        — they leave the system as expired-unassigned.
+        """
+        batch: List[Task] = []
+        retired: List[Task] = []
+        for task in self._unassigned.values():
+            if not assign_expired and task.is_expired(now):
+                task.mark_expired()
+                retired.append(task)
+            else:
+                batch.append(task)
+        self._unassigned.clear()
+        for task in batch:
+            self._in_batch[task.task_id] = task
+        for task in retired:
+            self._finished[task.task_id] = task
+        return batch, retired
+
+    def commit_assignment(self, task: Task, worker_id: int, now: float) -> None:
+        """A batch result assigned ``task`` to ``worker_id``."""
+        if task.task_id not in self._in_batch:
+            raise ValueError(f"task {task.task_id} is not checked out")
+        del self._in_batch[task.task_id]
+        task.mark_assigned(worker_id, now)
+        self._assigned[task.task_id] = task
+
+    def return_unmatched(self, task: Task) -> None:
+        """A batch result left ``task`` unmatched; it rejoins the queue."""
+        if task.task_id not in self._in_batch:
+            raise ValueError(f"task {task.task_id} is not checked out")
+        del self._in_batch[task.task_id]
+        self._unassigned[task.task_id] = task
+
+    # ----------------------------------------------------------- lifecycle
+    def complete(self, task: Task, now: float) -> None:
+        if task.task_id not in self._assigned:
+            raise ValueError(f"task {task.task_id} is not assigned")
+        del self._assigned[task.task_id]
+        task.mark_completed(now)
+        self._finished[task.task_id] = task
+
+    def withdraw(self, task: Task) -> None:
+        """Eq. 2 pulled the task back from its worker; it becomes unassigned."""
+        if task.task_id not in self._assigned:
+            raise ValueError(f"task {task.task_id} is not assigned")
+        del self._assigned[task.task_id]
+        task.mark_unassigned()
+        self._unassigned[task.task_id] = task
+
+    def extract_unassigned(self, predicate) -> List[Task]:
+        """Remove and return queued tasks matching ``predicate``.
+
+        Used by the multi-region coordinator when a region splits: queued
+        (not yet batched or assigned) tasks whose coordinates fall in the
+        new half migrate to the new server.
+        """
+        extracted = [t for t in self._unassigned.values() if predicate(t)]
+        for task in extracted:
+            del self._unassigned[task.task_id]
+        return extracted
+
+    def finished_tasks(self) -> List[Task]:
+        return list(self._finished.values())
+
+    def __iter__(self) -> Iterator[Task]:
+        yield from self._unassigned.values()
+        yield from self._in_batch.values()
+        yield from self._assigned.values()
+        yield from self._finished.values()

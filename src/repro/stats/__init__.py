@@ -1,0 +1,45 @@
+"""Statistics substrate: power-law model, metrics collection, summaries."""
+
+from .duration_models import (
+    DurationModel,
+    DurationModelFamily,
+    EmpiricalFamily,
+    LogNormalFamily,
+    PowerLawFamily,
+    make_family,
+)
+from .metrics import MetricsCollector, TaskOutcome
+from .powerlaw import ALPHA_CAP, FitMethod, PowerLawFit, fit_power_law, ks_distance
+from .timeline import Timeline, TimelineRecorder, TimelineSample, summarize_timeline
+from .summaries import (
+    cumulative_fraction,
+    downsample,
+    format_series,
+    format_table,
+    geometric_mean,
+)
+
+__all__ = [
+    "DurationModel",
+    "DurationModelFamily",
+    "EmpiricalFamily",
+    "LogNormalFamily",
+    "PowerLawFamily",
+    "make_family",
+    "MetricsCollector",
+    "TaskOutcome",
+    "ALPHA_CAP",
+    "FitMethod",
+    "PowerLawFit",
+    "fit_power_law",
+    "ks_distance",
+    "Timeline",
+    "TimelineRecorder",
+    "TimelineSample",
+    "summarize_timeline",
+    "cumulative_fraction",
+    "downsample",
+    "format_series",
+    "format_table",
+    "geometric_mean",
+]

@@ -1,0 +1,159 @@
+"""Execution-time distribution models for the deadline estimator.
+
+The paper commits to a power law (§IV-B, citing Ipeirotis' AMT analysis via
+Clauset-Shalizi-Newman) but a practitioner would reasonably ask whether the
+tail model matters.  This module abstracts "a distribution fitted to a
+worker's duration history" behind :class:`DurationModel` and provides three
+interchangeable implementations:
+
+* :class:`PowerLawFamily` — the paper's choice (returns
+  :class:`repro.stats.powerlaw.PowerLawFit` instances);
+* :class:`EmpiricalModel` — the nonparametric alternative: the history's
+  own empirical CCDF with a configurable tail floor (without one, the CCDF
+  hits exactly 0 at the max observation and Eq. 2 would fire the moment
+  ``t`` exceeds the slowest recorded time — sometimes right, but brittle
+  for short histories);
+* :class:`LogNormalModel` — the usual parametric rival for heavy-ish
+  human-latency data.
+
+``ABL-MODEL`` (benchmarks/bench_ablation_model.py) runs the end-to-end
+experiment under each and shows how much of REACT's advantage is the
+*mechanism* (monitor + reassignment) versus the specific tail family.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .powerlaw import FitMethod, fit_power_law
+
+
+class DurationModel(abc.ABC):
+    """A fitted model of one worker's task-duration distribution."""
+
+    @abc.abstractmethod
+    def ccdf(self, k: np.ndarray) -> np.ndarray:
+        """``Pr(Duration >= k)`` for an array of horizons."""
+
+    def ccdf_scalar(self, k: float) -> float:
+        return float(self.ccdf(np.asarray([k], dtype=np.float64))[0])
+
+
+class DurationModelFamily(abc.ABC):
+    """Factory fitting a :class:`DurationModel` to a history."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def fit(self, samples: Sequence[float]) -> DurationModel:
+        """Fit to strictly positive duration samples (non-empty)."""
+
+
+# --------------------------------------------------------------- power law
+class PowerLawFamily(DurationModelFamily):
+    """The paper's §IV-B model.
+
+    Returns the :class:`~repro.stats.powerlaw.PowerLawFit` itself — it
+    already exposes the vectorized ``ccdf`` this protocol needs, plus the
+    fitted parameters (``alpha``, ``k_min``) downstream diagnostics read.
+    """
+
+    name = "power-law"
+
+    def __init__(self, method: FitMethod = FitMethod.PAPER_DISCRETE) -> None:
+        self.method = method
+
+    def fit(self, samples: Sequence[float]):
+        return fit_power_law(samples, method=self.method)
+
+
+# --------------------------------------------------------------- empirical
+@dataclass(frozen=True)
+class EmpiricalModel(DurationModel):
+    sorted_samples: np.ndarray
+    tail_floor: float
+
+    def ccdf(self, k: np.ndarray) -> np.ndarray:
+        k = np.asarray(k, dtype=np.float64)
+        n = len(self.sorted_samples)
+        # Pr(D >= k) = #{samples >= k} / n, floored so the model never
+        # claims impossibility beyond the observed max.
+        at_least = n - np.searchsorted(self.sorted_samples, k, side="left")
+        out = at_least / n
+        return np.clip(np.maximum(out, self.tail_floor * (k > 0)), 0.0, 1.0)
+
+
+class EmpiricalFamily(DurationModelFamily):
+    """Nonparametric: the history's own CCDF with a tail floor."""
+
+    name = "empirical"
+
+    def __init__(self, tail_floor: float = 0.02) -> None:
+        if not (0.0 <= tail_floor < 1.0):
+            raise ValueError(f"tail_floor must be in [0,1), got {tail_floor}")
+        self.tail_floor = tail_floor
+
+    def fit(self, samples: Sequence[float]) -> EmpiricalModel:
+        arr = np.sort(np.asarray(samples, dtype=np.float64))
+        if arr.size == 0:
+            raise ValueError("cannot fit to an empty sample")
+        if arr[0] <= 0:
+            raise ValueError("duration samples must be positive")
+        return EmpiricalModel(sorted_samples=arr, tail_floor=self.tail_floor)
+
+
+# --------------------------------------------------------------- lognormal
+@dataclass(frozen=True)
+class LogNormalModel(DurationModel):
+    mu: float
+    sigma: float
+
+    def ccdf(self, k: np.ndarray) -> np.ndarray:
+        k = np.asarray(k, dtype=np.float64)
+        out = np.ones_like(k)
+        positive = k > 0
+        z = (np.log(np.where(positive, k, 1.0)) - self.mu) / (
+            self.sigma * math.sqrt(2.0)
+        )
+        from scipy.special import erfc
+
+        out = np.where(positive, 0.5 * erfc(z), 1.0)
+        return np.clip(out, 0.0, 1.0)
+
+
+class LogNormalFamily(DurationModelFamily):
+    """Parametric rival: log-durations ~ Normal(mu, sigma)."""
+
+    name = "lognormal"
+
+    def __init__(self, min_sigma: float = 0.05) -> None:
+        if min_sigma <= 0:
+            raise ValueError(f"min_sigma must be positive, got {min_sigma}")
+        self.min_sigma = min_sigma
+
+    def fit(self, samples: Sequence[float]) -> LogNormalModel:
+        arr = np.asarray(samples, dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot fit to an empty sample")
+        if np.any(arr <= 0):
+            raise ValueError("duration samples must be positive")
+        logs = np.log(arr)
+        sigma = float(logs.std(ddof=0))
+        return LogNormalModel(mu=float(logs.mean()), sigma=max(sigma, self.min_sigma))
+
+
+def make_family(name: str, **kwargs) -> DurationModelFamily:
+    """Factory: power-law | empirical | lognormal."""
+    families = {
+        "power-law": PowerLawFamily,
+        "empirical": EmpiricalFamily,
+        "lognormal": LogNormalFamily,
+    }
+    if name not in families:
+        raise KeyError(f"unknown duration model {name!r}; known: {sorted(families)}")
+    return families[name](**kwargs)

@@ -1,0 +1,158 @@
+"""Metrics collection for the end-to-end experiments (Figs. 5-8).
+
+The collector observes every task lifecycle event emitted by the platform
+and accumulates exactly the series the paper plots:
+
+* Fig. 5 — cumulative count of tasks finished *before their deadline*,
+  indexed by the running count of received tasks;
+* Fig. 6 — cumulative count of *positive feedbacks*, same index;
+* Fig. 7 — average execution time at the final worker, per technique;
+* Fig. 8 — average total time (submission → completion, including queueing
+  and any reassignments), per technique.
+
+It also keeps bookkeeping (received / assigned / reassigned / completed /
+expired counters) whose conservation laws the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+@dataclass
+class TaskOutcome:
+    """Final record of one task's journey through the platform."""
+
+    task_id: int
+    submitted_at: float
+    completed_at: Optional[float]
+    deadline: float
+    met_deadline: bool
+    positive_feedback: bool
+    assignments: int
+    final_worker: Optional[int]
+    worker_time: Optional[float]
+    total_time: Optional[float]
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates task outcomes and exposes the paper's figure series."""
+
+    received: int = 0
+    assigned: int = 0
+    reassignments: int = 0
+    completed: int = 0
+    completed_on_time: int = 0
+    expired_unassigned: int = 0
+    #: running tasks pulled back by the AMT deadline-expiry rule (§II)
+    expiry_returns: int = 0
+    positive_feedbacks: int = 0
+    matcher_invocations: int = 0
+    matcher_simulated_seconds: float = 0.0
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    #: (received_so_far, on_time_so_far) appended at every completion — Fig. 5.
+    deadline_series: List[tuple[int, int]] = field(default_factory=list)
+    #: (received_so_far, positive_so_far) appended at every completion — Fig. 6.
+    feedback_series: List[tuple[int, int]] = field(default_factory=list)
+
+    # ----------------------------------------------------------- recording
+    def record_received(self) -> None:
+        self.received += 1
+
+    def record_assignment(self, first: bool) -> None:
+        self.assigned += 1
+        if not first:
+            self.reassignments += 1
+
+    def record_matcher_run(self, simulated_seconds: float) -> None:
+        self.matcher_invocations += 1
+        self.matcher_simulated_seconds += simulated_seconds
+
+    def record_completion(self, outcome: TaskOutcome) -> None:
+        self.completed += 1
+        if outcome.met_deadline:
+            self.completed_on_time += 1
+        if outcome.positive_feedback:
+            self.positive_feedbacks += 1
+        self.outcomes.append(outcome)
+        self.deadline_series.append((self.received, self.completed_on_time))
+        self.feedback_series.append((self.received, self.positive_feedbacks))
+
+    def record_expired_unassigned(self, outcome: TaskOutcome) -> None:
+        """A task whose deadline lapsed while still queued (never completed)."""
+        self.expired_unassigned += 1
+        self.outcomes.append(outcome)
+
+    # ------------------------------------------------------------ summary
+    @property
+    def on_time_fraction(self) -> float:
+        """Fraction of *received* tasks that finished before their deadline
+        (the y-axis of Figs. 9)."""
+        return self.completed_on_time / self.received if self.received else 0.0
+
+    @property
+    def positive_feedback_fraction(self) -> float:
+        """Fraction of received tasks earning positive feedback (Fig. 10)."""
+        return self.positive_feedbacks / self.received if self.received else 0.0
+
+    def average_worker_time(self) -> Optional[float]:
+        """Fig. 7: mean execution time at the final worker, completed tasks."""
+        times = [o.worker_time for o in self.outcomes if o.worker_time is not None]
+        return float(np.mean(times)) if times else None
+
+    def average_total_time(self) -> Optional[float]:
+        """Fig. 8: mean submission→completion time, completed tasks."""
+        times = [o.total_time for o in self.outcomes if o.total_time is not None]
+        return float(np.mean(times)) if times else None
+
+    def worker_time_percentiles(self, qs: tuple[float, ...] = (50, 90, 99)) -> Dict[float, float]:
+        times = [o.worker_time for o in self.outcomes if o.worker_time is not None]
+        if not times:
+            return {}
+        values = np.percentile(times, qs)
+        return dict(zip(qs, (float(v) for v in values)))
+
+    def check_conservation(self) -> None:
+        """Invariant: every received task is completed, expired, or in flight.
+
+        Raises ``AssertionError`` when the accounting does not balance; the
+        integration suite calls this after every simulated run.
+        """
+        finished = self.completed + self.expired_unassigned
+        if finished > self.received:
+            raise AssertionError(
+                f"accounting violation: finished={finished} > received={self.received}"
+            )
+        if self.completed_on_time > self.completed:
+            raise AssertionError("on-time count exceeds completed count")
+        if self.positive_feedbacks > self.completed:
+            raise AssertionError("positive feedbacks exceed completed count")
+        if len(self.deadline_series) != self.completed:
+            raise AssertionError("deadline series length mismatch")
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of headline numbers, used by reporting and EXPERIMENTS.md."""
+        return {
+            "received": self.received,
+            "completed": self.completed,
+            "completed_on_time": self.completed_on_time,
+            "on_time_fraction": round(self.on_time_fraction, 4),
+            "positive_feedbacks": self.positive_feedbacks,
+            "positive_feedback_fraction": round(self.positive_feedback_fraction, 4),
+            "reassignments": self.reassignments,
+            "expired_unassigned": self.expired_unassigned,
+            "expiry_returns": self.expiry_returns,
+            "avg_worker_time": _round_opt(self.average_worker_time()),
+            "avg_total_time": _round_opt(self.average_total_time()),
+            "matcher_invocations": self.matcher_invocations,
+            "matcher_simulated_seconds": round(self.matcher_simulated_seconds, 3),
+        }
+
+
+def _round_opt(value: Optional[float], digits: int = 3) -> Optional[float]:
+    return None if value is None else round(value, digits)

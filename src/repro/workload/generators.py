@@ -1,0 +1,136 @@
+"""Task generators for the paper's motivating applications.
+
+Each generator produces :class:`~repro.model.task.Task` objects with the
+§V-C experimental parameters: deadlines drawn uniformly from [60, 120] s
+("a tight deadline for such systems") and sub-$0.10 rewards (90% of AMT
+tasks pay less than $0.10, §II).  Domain flavours set the category, the
+coordinates and a human-readable description like the paper's examples
+("Is road A highly congested?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+import numpy as np
+
+from ..model.region import Region
+from ..model.task import Task, TaskCategory
+
+
+@dataclass(frozen=True)
+class TaskGeneratorConfig:
+    """Deadline/reward ranges (defaults = paper §V-C)."""
+
+    deadline_low: float = 60.0
+    deadline_high: float = 120.0
+    reward_low: float = 0.01
+    reward_high: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not (0 < self.deadline_low <= self.deadline_high):
+            raise ValueError("need 0 < deadline_low <= deadline_high")
+        if not (0 <= self.reward_low <= self.reward_high):
+            raise ValueError("need 0 <= reward_low <= reward_high")
+
+
+class TaskGenerator:
+    """Base generator: random deadline, reward and in-region location."""
+
+    category = TaskCategory.GENERIC
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        config: Optional[TaskGeneratorConfig] = None,
+        region: Optional[Region] = None,
+    ) -> None:
+        self._rng = rng
+        self._config = config or TaskGeneratorConfig()
+        self._region = region
+
+    def _location(self) -> tuple[float, float]:
+        if self._region is None:
+            return 0.0, 0.0
+        return (
+            float(self._rng.uniform(self._region.lat_min, self._region.lat_max)),
+            float(self._rng.uniform(self._region.lon_min, self._region.lon_max)),
+        )
+
+    def describe(self, lat: float, lon: float) -> str:
+        return f"Provide information about location ({lat:.4f}, {lon:.4f})"
+
+    def make(self, submitted_at: float = 0.0) -> Task:
+        lat, lon = self._location()
+        cfg = self._config
+        return Task(
+            latitude=lat,
+            longitude=lon,
+            deadline=float(self._rng.uniform(cfg.deadline_low, cfg.deadline_high)),
+            reward=float(self._rng.uniform(cfg.reward_low, cfg.reward_high)),
+            category=self.category,
+            description=self.describe(lat, lon),
+            submitted_at=submitted_at,
+        )
+
+    def stream(self, count: Optional[int] = None) -> Iterator[Task]:
+        produced = 0
+        while count is None or produced < count:
+            yield self.make()
+            produced += 1
+
+
+class TrafficMonitoringGenerator(TaskGenerator):
+    """The CrowdFlower case-study application: local congestion estimates."""
+
+    category = TaskCategory.TRAFFIC_MONITORING
+
+    def describe(self, lat: float, lon: float) -> str:
+        return f"Is the road at ({lat:.4f}, {lon:.4f}) highly congested?"
+
+
+class LocationSurveyGenerator(TaskGenerator):
+    """Location-aware surveys (Gigwalk/FieldAgent-style)."""
+
+    category = TaskCategory.LOCATION_SURVEY
+
+    def describe(self, lat: float, lon: float) -> str:
+        return f"Answer a short survey about the venue at ({lat:.4f}, {lon:.4f})"
+
+
+class PriceCheckGenerator(TaskGenerator):
+    """In-store price checks."""
+
+    category = TaskCategory.PRICE_CHECK
+
+    def describe(self, lat: float, lon: float) -> str:
+        return f"Report the shelf price of the advertised item at ({lat:.4f}, {lon:.4f})"
+
+
+class PoiSuggestionGenerator(TaskGenerator):
+    """Points-of-interest suggestions."""
+
+    category = TaskCategory.POI_SUGGESTION
+
+    def describe(self, lat: float, lon: float) -> str:
+        return f"Suggest a point of interest near ({lat:.4f}, {lon:.4f})"
+
+
+def make_generator(
+    name: str,
+    rng: np.random.Generator,
+    config: Optional[TaskGeneratorConfig] = None,
+    region: Optional[Region] = None,
+) -> TaskGenerator:
+    """Factory by application name."""
+    kinds = {
+        "generic": TaskGenerator,
+        "traffic": TrafficMonitoringGenerator,
+        "survey": LocationSurveyGenerator,
+        "price-check": PriceCheckGenerator,
+        "poi": PoiSuggestionGenerator,
+    }
+    if name not in kinds:
+        raise KeyError(f"unknown generator {name!r}; known: {sorted(kinds)}")
+    return kinds[name](rng, config, region)

@@ -1,0 +1,139 @@
+"""Unit tests for the F(worker, task) weight functions."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    AccuracyWeight,
+    ConstantWeight,
+    DistanceWeight,
+    HybridWeight,
+    make_weight_function,
+)
+from repro.model.task import Task, TaskCategory
+from repro.model.worker import WorkerProfile
+
+
+def _task(category=TaskCategory.GENERIC, lat=0.0, lon=0.0):
+    return Task(latitude=lat, longitude=lon, deadline=60.0, category=category)
+
+
+def _worker(worker_id=0, lat=0.0, lon=0.0, records=()):
+    profile = WorkerProfile(worker_id=worker_id, latitude=lat, longitude=lon)
+    for category, positive in records:
+        profile.record_completion(5.0, category, positive)
+    return profile
+
+
+class TestAccuracyWeight:
+    def test_eq1_ratio(self):
+        worker = _worker(records=[
+            (TaskCategory.GENERIC, True),
+            (TaskCategory.GENERIC, True),
+            (TaskCategory.GENERIC, False),
+        ])
+        weight = AccuracyWeight().single(worker, _task())
+        assert weight == pytest.approx(2 / 3)
+
+    def test_category_isolation(self):
+        worker = _worker(records=[
+            (TaskCategory.TRAFFIC_MONITORING, True),
+            (TaskCategory.PRICE_CHECK, False),
+        ])
+        fn = AccuracyWeight()
+        assert fn.single(worker, _task(TaskCategory.TRAFFIC_MONITORING)) == 1.0
+        assert fn.single(worker, _task(TaskCategory.PRICE_CHECK)) == 0.0
+
+    def test_no_history_zero(self):
+        assert AccuracyWeight().single(_worker(), _task()) == 0.0
+
+    def test_matrix_shape_and_values(self):
+        workers = [
+            _worker(0, records=[(TaskCategory.GENERIC, True)]),
+            _worker(1, records=[(TaskCategory.GENERIC, False)]),
+        ]
+        tasks = [_task(), _task(TaskCategory.PRICE_CHECK)]
+        matrix = AccuracyWeight().matrix(workers, tasks)
+        assert matrix.shape == (2, 2)
+        assert matrix[0, 0] == 1.0
+        assert matrix[1, 0] == 0.0
+        assert matrix[0, 1] == 0.0  # no price-check history
+
+    def test_matrix_mixed_categories_batched(self):
+        """Multiple tasks in the same category share one lookup column."""
+        worker = _worker(records=[(TaskCategory.GENERIC, True)])
+        tasks = [_task(), _task(), _task(TaskCategory.PRICE_CHECK)]
+        matrix = AccuracyWeight().matrix([worker], tasks)
+        assert list(matrix[0]) == [1.0, 1.0, 0.0]
+
+
+class TestDistanceWeight:
+    def test_zero_distance_is_one(self):
+        fn = DistanceWeight(max_km=10.0)
+        assert fn.single(_worker(lat=38.0, lon=23.7), _task(lat=38.0, lon=23.7)) == 1.0
+
+    def test_beyond_max_km_is_zero(self):
+        fn = DistanceWeight(max_km=10.0)
+        # Athens to Thessaloniki is ~300 km
+        assert fn.single(_worker(lat=37.98, lon=23.73), _task(lat=40.64, lon=22.94)) == 0.0
+
+    def test_decay_is_monotone(self):
+        fn = DistanceWeight(max_km=1000.0)
+        near = fn.single(_worker(lat=38.0, lon=23.7), _task(lat=38.1, lon=23.7))
+        far = fn.single(_worker(lat=38.0, lon=23.7), _task(lat=40.0, lon=23.7))
+        assert 0 < far < near < 1
+
+    def test_invalid_max_km(self):
+        with pytest.raises(ValueError):
+            DistanceWeight(max_km=0)
+
+
+class TestHybridWeight:
+    def test_blend(self):
+        worker = _worker(records=[(TaskCategory.GENERIC, True)])
+        task = _task()
+        hybrid = HybridWeight(beta=0.5, max_km=10.0)
+        value = hybrid.single(worker, task)
+        # accuracy=1, distance=1 (same point) -> blend = 1
+        assert value == pytest.approx(1.0)
+
+    def test_beta_one_equals_accuracy(self):
+        worker = _worker(records=[(TaskCategory.GENERIC, True), (TaskCategory.GENERIC, False)])
+        task = _task(lat=1.0)
+        assert HybridWeight(beta=1.0).single(worker, task) == pytest.approx(0.5)
+
+    def test_invalid_beta(self):
+        with pytest.raises(ValueError):
+            HybridWeight(beta=1.5)
+
+
+class TestConstantWeight:
+    def test_fills_matrix(self):
+        matrix = ConstantWeight(0.7).matrix([_worker(0), _worker(1)], [_task()])
+        assert np.all(matrix == 0.7)
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            ConstantWeight(1.5)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name,cls",
+        [
+            ("accuracy", AccuracyWeight),
+            ("distance", DistanceWeight),
+            ("hybrid", HybridWeight),
+            ("constant", ConstantWeight),
+        ],
+    )
+    def test_known_names(self, name, cls):
+        assert isinstance(make_weight_function(name), cls)
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            make_weight_function("nope")
+
+    def test_kwargs_forwarded(self):
+        fn = make_weight_function("distance", max_km=5.0)
+        assert fn.max_km == 5.0

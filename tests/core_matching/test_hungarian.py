@@ -1,0 +1,55 @@
+"""Unit tests for the offline-optimal Hungarian matcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.hungarian import HungarianMatcher
+from repro.graph.bipartite import BipartiteGraph
+
+
+class TestOptimality:
+    def test_known_optimum(self, sparse_graph):
+        # Optimal: (0,1)+(1,0)+(2,2) = 0.5+0.8+0.6 = 1.9
+        result = HungarianMatcher().match(sparse_graph)
+        result.validate()
+        assert result.total_weight == pytest.approx(1.9)
+        assert result.size == 3
+
+    def test_beats_or_ties_every_heuristic(self, rng):
+        from repro.core.matching.greedy import GreedyMatcher, SortedGreedyMatcher
+        from repro.core.matching.react import ReactMatcher, ReactParameters
+
+        for trial in range(5):
+            graph = BipartiteGraph.full(rng.random((10, 12)))
+            optimal = HungarianMatcher().match(graph).total_weight
+            for heuristic in (
+                GreedyMatcher(),
+                SortedGreedyMatcher(),
+                ReactMatcher(ReactParameters(cycles=3000)),
+            ):
+                got = heuristic.match(graph, np.random.default_rng(trial)).total_weight
+                assert got <= optimal + 1e-9
+
+    def test_rectangular_graphs(self, rng):
+        tall = BipartiteGraph.full(rng.random((10, 3)))
+        wide = BipartiteGraph.full(rng.random((3, 10)))
+        assert HungarianMatcher().match(tall).size == 3
+        assert HungarianMatcher().match(wide).size == 3
+
+    def test_sparse_graph_phantoms_excluded(self):
+        """Cells that are not edges must never appear in the matching."""
+        graph = BipartiteGraph.from_edges(3, 3, [(0, 0, 0.1)])
+        result = HungarianMatcher().match(graph)
+        assert result.pairs() == [(0, 0)]
+
+    def test_empty_graph(self):
+        assert HungarianMatcher().match(BipartiteGraph.empty(3, 3)).size == 0
+
+    def test_prefers_weight_over_cardinality(self):
+        """Maximum-weight, not maximum-cardinality: a single 1.0 edge whose
+        selection blocks two 0.45 edges should still lose to the pair."""
+        edges = [(0, 0, 1.0), (0, 1, 0.45), (1, 0, 0.45)]
+        graph = BipartiteGraph.from_edges(2, 2, edges)
+        result = HungarianMatcher().match(graph)
+        assert result.total_weight == pytest.approx(1.0)
+        assert result.pairs() == [(0, 0)]

@@ -1,0 +1,118 @@
+"""Unit tests for the REACT WBGM matcher (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.hungarian import HungarianMatcher
+from repro.core.matching.react import ReactMatcher, ReactParameters
+from repro.graph.bipartite import BipartiteGraph
+
+
+class TestParameters:
+    def test_defaults(self):
+        params = ReactParameters()
+        assert params.cycles == 1000
+        assert params.k_constant == 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReactParameters(cycles=-1)
+        with pytest.raises(ValueError):
+            ReactParameters(k_constant=0.0)
+        with pytest.raises(ValueError):
+            ReactParameters(adaptive_factor=0.0)
+
+    def test_adaptive_budget(self):
+        params = ReactParameters(cycles=100, adaptive_cycles=True, adaptive_factor=2.0)
+        assert params.budget_for(n_edges=500) == 1000
+        assert params.budget_for(n_edges=10) == 100  # floor at configured cycles
+
+    def test_fixed_budget_ignores_edges(self):
+        assert ReactParameters(cycles=100).budget_for(10**6) == 100
+
+
+class TestCorrectness:
+    def test_always_valid_matching(self, small_graph, rng):
+        matcher = ReactMatcher(ReactParameters(cycles=2000))
+        result = matcher.match(small_graph, rng)
+        result.validate()
+
+    def test_empty_graph(self):
+        matcher = ReactMatcher()
+        result = matcher.match(BipartiteGraph.empty(4, 4), np.random.default_rng(0))
+        assert result.size == 0
+
+    def test_single_edge_graph(self, rng):
+        graph = BipartiteGraph.from_edges(1, 1, [(0, 0, 0.5)])
+        result = ReactMatcher(ReactParameters(cycles=50)).match(graph, rng)
+        assert result.size == 1
+
+    def test_zero_cycles_empty_matching(self, small_graph, rng):
+        result = ReactMatcher(ReactParameters(cycles=0)).match(small_graph, rng)
+        assert result.size == 0
+
+    def test_never_exceeds_optimal(self, rng):
+        opt = HungarianMatcher()
+        for trial in range(5):
+            graph = BipartiteGraph.full(rng.random((12, 8)))
+            best = opt.match(graph).total_weight
+            got = ReactMatcher(ReactParameters(cycles=5000)).match(graph, rng)
+            assert got.total_weight <= best + 1e-9
+
+    def test_deterministic_given_rng(self, small_graph):
+        matcher = ReactMatcher(ReactParameters(cycles=500))
+        a = matcher.match(small_graph, np.random.default_rng(7))
+        b = matcher.match(small_graph, np.random.default_rng(7))
+        assert np.array_equal(a.edge_indices, b.edge_indices)
+
+
+class TestConvergence:
+    def test_more_cycles_better_output(self, rng):
+        graph = BipartiteGraph.full(np.random.default_rng(3).random((50, 50)))
+        low = ReactMatcher(ReactParameters(cycles=100)).match(
+            graph, np.random.default_rng(1)
+        )
+        high = ReactMatcher(ReactParameters(cycles=20000)).match(
+            graph, np.random.default_rng(1)
+        )
+        assert high.total_weight > low.total_weight
+
+    def test_near_optimal_with_generous_budget(self, rng):
+        graph = BipartiteGraph.full(np.random.default_rng(5).random((10, 10)))
+        optimal = HungarianMatcher().match(graph).total_weight
+        result = ReactMatcher(ReactParameters(cycles=50000)).match(
+            graph, np.random.default_rng(2)
+        )
+        assert result.total_weight >= 0.85 * optimal
+
+    def test_eviction_prefers_heavier_edge(self, rng):
+        # Task 0 reachable by two workers; the heavy edge must win with a
+        # large budget (eviction replaces the lighter one).
+        graph = BipartiteGraph.from_edges(2, 1, [(0, 0, 0.1), (1, 0, 0.9)])
+        result = ReactMatcher(ReactParameters(cycles=2000)).match(
+            graph, np.random.default_rng(0)
+        )
+        assert result.size == 1
+        assert result.pairs() == [(1, 0)]
+
+    def test_stats_populated(self, small_graph, rng):
+        result = ReactMatcher(ReactParameters(cycles=500)).match(small_graph, rng)
+        stats = result.stats
+        assert stats["accepted_add"] > 0
+        total_moves = sum(stats.values())
+        assert total_moves == 500
+        assert result.cycles_used == 500
+
+
+class TestZeroWeightEdges:
+    def test_zero_weight_edges_allowed(self, rng):
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 0, 0.0), (1, 1, 0.0)])
+        result = ReactMatcher(ReactParameters(cycles=200)).match(graph, rng)
+        result.validate()  # must not crash or divide by zero
+
+    def test_all_equal_weights_maximizes_cardinality(self, rng):
+        graph = BipartiteGraph.full(np.full((6, 6), 0.5))
+        result = ReactMatcher(ReactParameters(cycles=20000)).match(
+            graph, np.random.default_rng(0)
+        )
+        assert result.size >= 5  # near-perfect matching

@@ -1,0 +1,45 @@
+"""Unit tests for the Traditional/uniform matcher."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.uniform import UniformMatcher
+from repro.graph.bipartite import BipartiteGraph
+
+
+class TestUniform:
+    def test_valid_matching(self, small_graph, rng):
+        UniformMatcher().match(small_graph, rng).validate()
+
+    def test_full_graph_matches_all_tasks(self, rng):
+        graph = BipartiteGraph.full(rng.random((30, 20)))
+        assert UniformMatcher().match(graph, rng).size == 20
+
+    def test_ignores_weights(self):
+        """Uniform assignment must not systematically prefer heavy edges."""
+        # Worker 0 has weight ~1 to the task, worker 1 weight ~0; uniform
+        # matching should pick each roughly half the time.
+        graph = BipartiteGraph.from_edges(2, 1, [(0, 0, 1.0), (1, 0, 0.0)])
+        rng = np.random.default_rng(0)
+        picks = [UniformMatcher().match(graph, rng).pairs()[0][0] for _ in range(400)]
+        heavy_fraction = np.mean([p == 0 for p in picks])
+        assert 0.4 < heavy_fraction < 0.6
+
+    def test_respects_graph_structure(self, rng):
+        """Only existing edges may be used."""
+        graph = BipartiteGraph.from_edges(3, 3, [(0, 0, 0.5), (1, 1, 0.5)])
+        result = UniformMatcher().match(graph, rng)
+        assert set(result.pairs()) <= {(0, 0), (1, 1)}
+
+    def test_empty_graph(self, rng):
+        assert UniformMatcher().match(BipartiteGraph.empty(2, 2), rng).size == 0
+
+    def test_task_with_no_edges_left_unmatched(self, rng):
+        graph = BipartiteGraph.from_edges(2, 2, [(0, 0, 0.5)])
+        result = UniformMatcher().match(graph, rng)
+        assert result.task_assignment().keys() == {0}
+
+    def test_deterministic_given_rng(self, small_graph):
+        a = UniformMatcher().match(small_graph, np.random.default_rng(3))
+        b = UniformMatcher().match(small_graph, np.random.default_rng(3))
+        assert np.array_equal(a.edge_indices, b.edge_indices)

@@ -1,0 +1,63 @@
+"""Tests for the ablation drivers."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablate_cycles,
+    ablate_k_constant,
+    ablate_threshold,
+    ablate_training_z,
+)
+from repro.experiments.config import AblationConfig
+
+FAST = AblationConfig(
+    cycles_sweep=(50, 500, 5000),
+    threshold_sweep=(0.0, 0.1),
+    z_sweep=(0, 3),
+    k_sweep=(0.01, 1.0),
+    seed=2,
+)
+
+
+class TestCyclesAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return ablate_cycles(FAST, n_workers=60, n_tasks=60)
+
+    def test_includes_adaptive_point(self, result):
+        assert any(p.adaptive for p in result.points)
+
+    def test_output_improves_with_cycles(self, result):
+        fixed = [p for p in result.points if not p.adaptive]
+        assert fixed[-1].output_weight > fixed[0].output_weight
+
+    def test_optimality_bounded(self, result):
+        for p in result.points:
+            assert 0.0 <= p.optimality <= 1.0 + 1e-9
+
+    def test_adaptive_uses_edge_scaled_budget(self, result):
+        adaptive = next(p for p in result.points if p.adaptive)
+        assert adaptive.cycles >= 2 * 60 * 60  # adaptive_factor * E
+
+
+class TestKAblation:
+    def test_low_temperature_beats_high(self):
+        # The temperature effect is an equilibrium property: it only shows
+        # once the walk has converged, so give it a generous cycle budget.
+        result = ablate_k_constant(FAST, n_workers=60, n_tasks=60, cycles=10000)
+        by_k = {p.k_constant: p.output_weight for p in result.points}
+        assert by_k[0.01] > by_k[1.0]
+
+
+class TestEndToEndAblations:
+    def test_threshold_sweep_points(self):
+        result = ablate_threshold(FAST)
+        assert [p.value for p in result.points] == [0.0, 0.1]
+        # threshold 0 disables Eq. 2 pulls entirely
+        assert result.points[0].reassignments <= result.points[1].reassignments
+
+    def test_z_sweep_points(self):
+        result = ablate_training_z(FAST)
+        assert [p.value for p in result.points] == [0.0, 3.0]
+        for p in result.points:
+            assert 0.0 <= p.on_time_fraction <= 1.0

@@ -1,0 +1,38 @@
+"""Tests for the figure-regeneration CLI."""
+
+import pytest
+
+from repro.experiments.cli import COMMANDS, main
+
+
+class TestDispatch:
+    def test_all_figures_registered(self):
+        expected = {
+            "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "case-study", "ablations", "voting",
+        }
+        assert set(COMMANDS) == expected
+
+    def test_case_study_quick(self, capsys):
+        assert main(["case-study", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "CrowdFlower" in out
+        assert "trust > 0.5" in out
+
+    def test_fig7_quick(self, capsys):
+        assert main(["fig7", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 7" in out
+        assert "react" in out and "traditional" in out
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestExport:
+    def test_out_flag_writes_series(self, tmp_path, capsys):
+        assert main(["fig3", "--quick", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "# wrote" in out
+        assert (tmp_path / "fig3_4.csv").exists()

@@ -1,0 +1,72 @@
+"""Tests for the Figs. 3-4 matching-sweep driver."""
+
+import pytest
+
+from repro.experiments.config import MatchingSweepConfig
+from repro.experiments.matching_bench import run_matching_sweep
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    """A scaled-down sweep that still exhibits the paper's shapes."""
+    return run_matching_sweep(
+        MatchingSweepConfig(
+            n_workers=120,
+            task_counts=(10, 60, 120),
+            cycles_settings=(300, 900),
+            include_hungarian=True,
+            seed=5,
+        )
+    )
+
+
+class TestStructure:
+    def test_all_points_present(self, sweep):
+        # greedy + 2x react + 2x metropolis + hungarian = 6 per task count
+        assert len(sweep.points) == 6 * 3
+
+    def test_series_selection(self, sweep):
+        react = sweep.series("react", cycles=300)
+        assert len(react) == 3
+        assert [p.n_tasks for p in react] == [10, 60, 120]
+
+    def test_matchings_valid_sizes(self, sweep):
+        for p in sweep.points:
+            assert 0 <= p.matched <= min(120, p.n_tasks)
+            assert p.output_weight <= p.matched  # weights in [0,1]
+
+
+class TestPaperShapes:
+    def test_greedy_near_optimal_output(self, sweep):
+        """Fig. 4: greedy ~ optimal on full graphs."""
+        for n_tasks in (10, 60, 120):
+            greedy = next(p for p in sweep.series("greedy") if p.n_tasks == n_tasks)
+            optimal = next(p for p in sweep.series("hungarian") if p.n_tasks == n_tasks)
+            assert greedy.output_weight >= 0.93 * optimal.output_weight
+
+    def test_react_beats_metropolis_at_equal_cycles(self, sweep):
+        for cycles in (300, 900):
+            for n_tasks in (60, 120):
+                react = next(
+                    p for p in sweep.series("react", cycles) if p.n_tasks == n_tasks
+                )
+                metro = next(
+                    p for p in sweep.series("metropolis", cycles) if p.n_tasks == n_tasks
+                )
+                assert react.output_weight > metro.output_weight
+
+    def test_react_output_grows_with_cycles(self, sweep):
+        low = next(p for p in sweep.series("react", 300) if p.n_tasks == 120)
+        high = next(p for p in sweep.series("react", 900) if p.n_tasks == 120)
+        assert high.output_weight > low.output_weight
+
+    def test_model_seconds_reproduce_fig3_scaling(self, sweep):
+        """Greedy model time grows faster than REACT's with task count."""
+        greedy = sweep.series("greedy")
+        react = sweep.series("react", 300)
+        g_ratio = greedy[-1].model_seconds / greedy[0].model_seconds
+        r_ratio = react[-1].model_seconds / react[0].model_seconds
+        assert g_ratio > r_ratio
+
+    def test_wall_clock_positive(self, sweep):
+        assert all(p.wall_seconds > 0 for p in sweep.points)

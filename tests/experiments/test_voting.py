@@ -1,0 +1,73 @@
+"""Tests for the replication/majority-voting comparison."""
+
+import pytest
+
+from repro.experiments.voting import (
+    VotingConfig,
+    VotingPoint,
+    report_voting,
+    run_voting_comparison,
+)
+
+SMALL = VotingConfig(
+    n_workers=80, arrival_rate=0.4, n_tasks=500, replication_levels=(1, 3), seed=3
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_voting_comparison(SMALL)
+
+
+class TestConfig:
+    def test_even_replication_rejected(self):
+        with pytest.raises(ValueError, match="odd"):
+            VotingConfig(replication_levels=(2,))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            VotingConfig(n_workers=0)
+        with pytest.raises(ValueError):
+            VotingConfig(replication_levels=())
+
+
+class TestComparison:
+    def test_point_labels(self, result):
+        labels = [p.label for p in result.points]
+        assert labels == ["react", "vote-1", "vote-3"]
+
+    def test_logical_task_counts(self, result):
+        for p in result.points:
+            assert p.logical_tasks == 500
+
+    def test_rewards_scale_with_replication(self, result):
+        by = result.by_label()
+        assert by["react"].rewards_per_task == 1.0
+        assert by["vote-3"].rewards_per_task == 3.0
+
+    def test_executions_scale_with_replication(self, result):
+        by = result.by_label()
+        assert by["vote-3"].executions_per_task > by["vote-1"].executions_per_task
+
+    def test_voting_improves_blind_platform(self, result):
+        """Majority voting does help the unprofiled platform (R=3 > R=1)."""
+        by = result.by_label()
+        assert by["vote-3"].success_fraction > by["vote-1"].success_fraction
+
+    def test_react_beats_unprofiled_single_assignment(self, result):
+        """The §VI claim's foundation: profiling beats blind assignment at
+        equal cost."""
+        by = result.by_label()
+        assert by["react"].success_fraction > by["vote-1"].success_fraction
+
+    def test_success_fractions_bounded(self, result):
+        for p in result.points:
+            assert 0.0 <= p.success_fraction <= 1.0
+
+
+class TestReport:
+    def test_report_renders(self, result):
+        text = report_voting(result)
+        assert "majority voting" in text
+        assert "react" in text and "vote-3" in text
+        assert "rewards/task" in text

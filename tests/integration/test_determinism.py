@@ -1,0 +1,57 @@
+"""Integration tests: bit-level reproducibility of the whole system."""
+
+from repro.experiments.config import EndToEndConfig, MatchingSweepConfig
+from repro.experiments.endtoend import run_endtoend
+from repro.experiments.matching_bench import run_matching_sweep
+from repro.platform.policies import react_policy
+
+SMALL = EndToEndConfig(
+    n_workers=50, arrival_rate=0.8, n_tasks=200, drain_time=400, seed=31
+)
+
+
+class TestEndToEndDeterminism:
+    def test_identical_summaries(self):
+        a = run_endtoend(react_policy(), SMALL)
+        b = run_endtoend(react_policy(), SMALL)
+        assert a.summary == b.summary
+
+    def test_identical_series(self):
+        a = run_endtoend(react_policy(), SMALL)
+        b = run_endtoend(react_policy(), SMALL)
+        assert a.deadline_series == b.deadline_series
+        assert a.feedback_series == b.feedback_series
+
+    def test_identical_outcome_stream(self):
+        a = run_endtoend(react_policy(), SMALL)
+        b = run_endtoend(react_policy(), SMALL)
+        assert [o.task_id for o in a.metrics.outcomes] == [
+            o.task_id for o in b.metrics.outcomes
+        ]
+        assert [o.final_worker for o in a.metrics.outcomes] == [
+            o.final_worker for o in b.metrics.outcomes
+        ]
+
+    def test_different_seed_differs(self):
+        a = run_endtoend(react_policy(), SMALL)
+        b = run_endtoend(
+            react_policy(),
+            EndToEndConfig(
+                n_workers=50, arrival_rate=0.8, n_tasks=200, drain_time=400, seed=32
+            ),
+        )
+        # with different worker populations the realized outcomes diverge
+        assert a.deadline_series != b.deadline_series
+
+
+class TestMatchingSweepDeterminism:
+    def test_identical_outputs(self):
+        config = MatchingSweepConfig(
+            n_workers=50, task_counts=(10, 30), cycles_settings=(200,)
+        )
+        a = run_matching_sweep(config)
+        b = run_matching_sweep(config)
+        assert [p.output_weight for p in a.points] == [
+            p.output_weight for p in b.points
+        ]
+        assert [p.matched for p in a.points] == [p.matched for p in b.points]

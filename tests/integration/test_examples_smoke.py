@@ -1,0 +1,56 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are the public face of the library; a refactor that silently
+breaks one should fail the suite.  Each runs as a subprocess (exactly as a
+user would invoke it) with a generous timeout; heavyweight examples are
+exercised at their default scale, which keeps total runtime around a
+minute.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "reward_pricing.py",
+    "matching_comparison.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_matching_comparison_accepts_size_args():
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "matching_comparison.py"), "50", "40"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        cwd=EXAMPLES_DIR.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert "50 workers x 40 tasks" in result.stdout
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 7
+    for script in scripts:
+        text = script.read_text()
+        assert text.startswith("#!/usr/bin/env python"), script.name
+        assert '"""' in text.split("\n", 2)[1], f"{script.name} lacks a docstring"

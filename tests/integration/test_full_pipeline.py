@@ -1,0 +1,74 @@
+"""Integration tests: the full event-driven pipeline at small scale."""
+
+import pytest
+
+from repro.experiments.config import EndToEndConfig
+from repro.experiments.endtoend import run_endtoend
+from repro.platform.policies import (
+    greedy_policy,
+    metropolis_policy,
+    react_policy,
+    traditional_policy,
+)
+
+CONFIG = EndToEndConfig(
+    n_workers=80, arrival_rate=1.0, n_tasks=400, drain_time=400, seed=17
+)
+
+
+class TestPipelineSoundness:
+    @pytest.mark.parametrize(
+        "policy_factory",
+        [react_policy, greedy_policy, traditional_policy, metropolis_policy],
+        ids=["react", "greedy", "traditional", "metropolis"],
+    )
+    def test_every_policy_completes_cleanly(self, policy_factory):
+        result = run_endtoend(policy_factory(), CONFIG)
+        summary = result.summary
+        assert summary["received"] == 400
+        result.metrics.check_conservation()
+        # majority of the workload is processed under this light load
+        assert summary["completed"] >= 200
+
+    def test_all_outcomes_have_consistent_fields(self):
+        result = run_endtoend(react_policy(), CONFIG)
+        for outcome in result.metrics.outcomes:
+            if outcome.completed_at is None:
+                assert not outcome.met_deadline
+                assert not outcome.positive_feedback
+                assert outcome.worker_time is None
+            else:
+                assert outcome.total_time is not None
+                assert outcome.total_time >= (outcome.worker_time or 0.0) - 1e-9
+                if outcome.met_deadline:
+                    assert outcome.total_time <= outcome.deadline + 1e-9
+                assert outcome.assignments >= 1
+
+    def test_positive_feedback_implies_on_time(self):
+        result = run_endtoend(react_policy(), CONFIG)
+        for outcome in result.metrics.outcomes:
+            if outcome.positive_feedback:
+                assert outcome.met_deadline
+
+    def test_reassigned_tasks_have_multiple_assignments(self):
+        result = run_endtoend(react_policy(), CONFIG)
+        reassigned = [o for o in result.metrics.outcomes if o.assignments >= 2]
+        # with 50% dawdlers, rescues must occur under REACT
+        assert len(reassigned) > 0
+
+    def test_worker_histories_grow(self):
+        result = run_endtoend(react_policy(), CONFIG)
+        # metrics only; re-run with direct access to check profile state
+        assert result.summary["completed"] > 0
+
+
+class TestCrossPolicyInvariants:
+    def test_same_arrival_trace_across_policies(self):
+        """Identical seeds must expose identical workloads to all policies."""
+        react = run_endtoend(react_policy(), CONFIG)
+        trad = run_endtoend(traditional_policy(), CONFIG)
+        assert react.summary["received"] == trad.summary["received"] == 400
+
+    def test_greedy_with_monitor_reassigns(self):
+        greedy = run_endtoend(greedy_policy(), CONFIG)
+        assert greedy.summary["reassignments"] > 0

@@ -1,0 +1,62 @@
+"""Unit tests for the requester feedback model."""
+
+import numpy as np
+import pytest
+
+from repro.model.feedback import FeedbackModel, Rating, positive_rate
+from repro.model.worker import WorkerBehavior
+
+
+@pytest.fixture
+def model(rng):
+    return FeedbackModel(rng)
+
+
+class TestRule:
+    def test_late_task_always_negative(self, model):
+        perfect = WorkerBehavior(min_time=1, max_time=5, quality=1.0)
+        for _ in range(50):
+            outcome = model.judge(perfect, on_time=False)
+            assert not outcome.positive
+            assert outcome.rating is Rating.BAD
+
+    def test_on_time_perfect_quality_always_positive(self, model):
+        perfect = WorkerBehavior(min_time=1, max_time=5, quality=1.0)
+        outcomes = [model.judge(perfect, on_time=True) for _ in range(50)]
+        assert all(o.positive for o in outcomes)
+        assert all(o.rating.is_positive for o in outcomes)
+
+    def test_on_time_zero_quality_never_positive(self, model):
+        bad = WorkerBehavior(min_time=1, max_time=5, quality=0.0)
+        outcomes = [model.judge(bad, on_time=True) for _ in range(50)]
+        assert not any(o.positive for o in outcomes)
+
+    def test_positive_rate_tracks_quality(self, model):
+        behavior = WorkerBehavior(min_time=1, max_time=5, quality=0.6)
+        outcomes = [model.judge(behavior, on_time=True) for _ in range(3000)]
+        assert positive_rate(outcomes) == pytest.approx(0.6, abs=0.05)
+
+
+class TestRatings:
+    def test_positive_outcomes_rated_good_or_better(self, model):
+        behavior = WorkerBehavior(min_time=1, max_time=5, quality=1.0)
+        ratings = {model.judge(behavior, True).rating for _ in range(100)}
+        assert ratings <= {Rating.GOOD, Rating.EXCELLENT}
+        assert len(ratings) == 2  # both positive grades occur
+
+    def test_negative_on_time_rated_fair_or_below(self, model):
+        behavior = WorkerBehavior(min_time=1, max_time=5, quality=0.0)
+        ratings = {model.judge(behavior, True).rating for _ in range(200)}
+        assert ratings <= {Rating.BAD, Rating.POOR, Rating.FAIR}
+
+    def test_rating_scale_values(self):
+        """§II: Bad=1 .. Excellent=5."""
+        assert Rating.BAD == 1
+        assert Rating.EXCELLENT == 5
+        assert Rating.GOOD.is_positive
+        assert not Rating.FAIR.is_positive
+
+
+class TestPositiveRate:
+    def test_empty_returns_none(self):
+        assert positive_rate([]) is None

@@ -1,0 +1,106 @@
+"""Unit tests for the spatial decomposition."""
+
+import pytest
+
+from repro.model.region import Region, RegionGrid, build_tiers, haversine_km
+
+
+class TestRegion:
+    def test_contains_half_open(self):
+        region = Region(0, 1, 0, 1)
+        assert region.contains(0.0, 0.0)
+        assert region.contains(0.999, 0.999)
+        assert not region.contains(1.0, 0.5)
+        assert not region.contains(0.5, 1.0)
+
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Region(1, 1, 0, 1)
+
+    def test_center_and_area(self):
+        region = Region(0, 2, 0, 4)
+        assert region.center == (1.0, 2.0)
+        assert region.area == 8.0
+
+    def test_split_halves_cover_parent(self):
+        region = Region(0, 4, 0, 2)  # taller than wide -> lat split
+        a, b = region.split()
+        assert a.lat_max == b.lat_min == 2.0
+        assert a.area + b.area == region.area
+        # every parent point lands in exactly one child
+        for lat, lon in [(0.5, 0.5), (3.5, 1.5), (2.0, 1.0)]:
+            assert region.contains(lat, lon)
+            assert a.contains(lat, lon) != b.contains(lat, lon)
+
+    def test_split_along_longer_axis(self):
+        wide = Region(0, 1, 0, 10)
+        a, b = wide.split()
+        assert a.lon_max == b.lon_min == 5.0
+
+
+class TestRegionGrid:
+    def test_grid_tiles_without_overlap(self):
+        grid = RegionGrid(0, 10, 0, 10, rows=2, cols=5)
+        assert len(grid) == 10
+        total = sum(r.area for r in grid)
+        assert total == pytest.approx(100.0)
+
+    def test_locate_interior_points(self):
+        grid = RegionGrid(0, 10, 0, 10, rows=2, cols=2)
+        for lat, lon in [(1, 1), (1, 9), (9, 1), (9, 9)]:
+            region = grid.locate(lat, lon)
+            assert region.contains(lat, lon)
+
+    def test_locate_clamps_top_edge(self):
+        grid = RegionGrid(0, 10, 0, 10, rows=2, cols=2)
+        region = grid.locate(10.0, 10.0)
+        assert region is grid.regions[-1]
+
+    def test_locate_outside_rejected(self):
+        grid = RegionGrid(0, 10, 0, 10)
+        with pytest.raises(ValueError, match="outside"):
+            grid.locate(11, 5)
+
+    def test_split_region_replaces_entry(self):
+        grid = RegionGrid(0, 10, 0, 10)
+        original = grid.regions[0]
+        a, b = grid.split_region(original.region_id)
+        assert len(grid) == 2
+        assert a in grid.regions and b in grid.regions
+        with pytest.raises(KeyError):
+            grid.split_region(original.region_id)
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ValueError):
+            RegionGrid(0, 10, 0, 10, rows=0)
+
+
+class TestTiers:
+    def test_tier_sizes_double_per_level(self):
+        tiers = build_tiers(0, 8, 0, 8, levels=3)
+        assert [len(t.regions) for t in tiers] == [1, 4, 16]
+        assert [t.level for t in tiers] == [0, 1, 2]
+
+    def test_lowest_tier_is_whole_area(self):
+        tiers = build_tiers(0, 8, 0, 8, levels=2)
+        whole = tiers[0].regions[0]
+        assert whole.contains(0.1, 0.1) and whole.contains(7.9, 7.9)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(ValueError):
+            build_tiers(0, 1, 0, 1, levels=0)
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(38.0, 23.7, 38.0, 23.7) == 0.0
+
+    def test_athens_to_thessaloniki(self):
+        # ~300 km great-circle distance
+        d = haversine_km(37.98, 23.73, 40.64, 22.94)
+        assert 290 < d < 310
+
+    def test_symmetry(self):
+        assert haversine_km(10, 20, 30, 40) == pytest.approx(
+            haversine_km(30, 40, 10, 20)
+        )

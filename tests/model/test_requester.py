@@ -1,0 +1,45 @@
+"""Unit tests for the requester helper."""
+
+from repro.model.requester import Requester
+from repro.model.task import TaskCategory
+
+
+class TestSubmission:
+    def test_defaults_applied(self):
+        requester = Requester(name="r", default_reward=0.08, default_deadline=75.0)
+        task = requester.submit(1.0, 2.0, "Is road A congested?")
+        assert task.reward == 0.08
+        assert task.deadline == 75.0
+        assert task.description == "Is road A congested?"
+        assert requester.submitted == [task]
+
+    def test_overrides_beat_defaults(self):
+        requester = Requester()
+        task = requester.submit(
+            0, 0, "x", deadline=120.0, reward=0.02,
+            category=TaskCategory.PRICE_CHECK, now=33.0,
+        )
+        assert task.deadline == 120.0
+        assert task.reward == 0.02
+        assert task.category is TaskCategory.PRICE_CHECK
+        assert task.submitted_at == 33.0
+
+    def test_unique_requester_ids(self):
+        assert Requester().requester_id != Requester().requester_id
+
+
+class TestViews:
+    def test_completed_and_on_time_views(self):
+        requester = Requester(default_deadline=60.0)
+        on_time = requester.submit(0, 0, "a", now=0.0)
+        late = requester.submit(0, 0, "b", now=0.0)
+        pending = requester.submit(0, 0, "c", now=0.0)
+
+        on_time.mark_assigned(1, now=0.0)
+        on_time.mark_completed(now=30.0)
+        late.mark_assigned(2, now=0.0)
+        late.mark_completed(now=90.0)
+
+        assert requester.completed == [on_time, late]
+        assert requester.on_time == [on_time]
+        assert pending not in requester.completed

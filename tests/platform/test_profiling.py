@@ -1,0 +1,100 @@
+"""Unit tests for the Profiling Component."""
+
+import pytest
+
+from repro.model.task import TaskCategory
+from repro.model.worker import WorkerProfile
+from repro.platform.profiling import ProfilingComponent
+
+
+@pytest.fixture
+def component():
+    comp = ProfilingComponent()
+    for i in range(3):
+        comp.register(WorkerProfile(worker_id=i))
+    return comp
+
+
+class TestMembership:
+    def test_register_and_lookup(self, component):
+        assert len(component) == 3
+        assert 1 in component
+        assert component.get(1).worker_id == 1
+
+    def test_duplicate_registration_rejected(self, component):
+        with pytest.raises(ValueError, match="already registered"):
+            component.register(WorkerProfile(worker_id=1))
+
+    def test_deregister(self, component):
+        component.deregister(1)
+        assert 1 not in component
+        with pytest.raises(KeyError):
+            component.deregister(1)
+
+
+class TestAvailability:
+    def test_available_workers_order_stable(self, component):
+        ids = [p.worker_id for p in component.available_workers()]
+        assert ids == [0, 1, 2]
+
+    def test_assignment_removes_from_available(self, component):
+        component.record_assignment(1, task_id=10)
+        assert [p.worker_id for p in component.available_workers()] == [0, 2]
+        assert [p.worker_id for p in component.busy_workers()] == [1]
+
+    def test_offline_excluded(self, component):
+        component.get(0).online = False
+        assert [p.worker_id for p in component.available_workers()] == [1, 2]
+
+
+class TestCompletionRecording:
+    def test_completion_frees_and_records(self, component):
+        component.record_assignment(1, task_id=10)
+        component.record_completion(
+            1, execution_time=5.0, category=TaskCategory.GENERIC, positive_feedback=True
+        )
+        profile = component.get(1)
+        assert profile.available
+        assert profile.completed_tasks == 1
+        assert profile.accuracy(TaskCategory.GENERIC) == 1.0
+
+    def test_trained_count(self, component):
+        for _ in range(3):
+            component.record_assignment(2, task_id=1)
+            component.record_completion(2, 5.0, TaskCategory.GENERIC, True)
+        assert component.trained_count(min_history=3) == 1
+        assert component.trained_count(min_history=4) == 0
+
+
+class TestWithdrawal:
+    def test_withdrawal_records_censored_observation(self, component):
+        component.record_assignment(1, task_id=10)
+        component.record_withdrawal(1, elapsed=42.0, release=False)
+        profile = component.get(1)
+        assert profile.censored_observations == 1
+        assert profile.execution_times == [42.0]
+        assert not profile.available  # still dawdling
+        assert profile.current_task is None
+
+    def test_withdrawal_with_release(self, component):
+        component.record_assignment(1, task_id=10)
+        component.record_withdrawal(1, elapsed=42.0, release=True)
+        assert component.get(1).available
+
+
+class TestDawdleRelease:
+    def test_release_after_dawdle_only_when_detached(self, component):
+        component.record_assignment(1, task_id=10)
+        component.record_withdrawal(1, elapsed=5.0, release=False)
+        component.release_after_dawdle(1)
+        assert component.get(1).available
+
+    def test_release_after_dawdle_noop_when_on_new_task(self, component):
+        component.record_assignment(1, task_id=10)
+        component.record_withdrawal(1, elapsed=5.0, release=True)
+        component.record_assignment(1, task_id=11)
+        component.release_after_dawdle(1)
+        assert not component.get(1).available  # still on task 11
+
+    def test_release_after_dawdle_unknown_worker_noop(self, component):
+        component.release_after_dawdle(999)  # must not raise

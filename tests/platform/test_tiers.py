@@ -1,0 +1,161 @@
+"""Tests for tiered coordination with task escalation (§III-A tiers)."""
+
+import pytest
+
+from repro.model.task import Task, TaskPhase
+from repro.model.worker import WorkerProfile
+from repro.platform.cost import ZeroCost
+from repro.platform.policies import react_policy
+from repro.platform.tiers import TieredCoordinator
+from repro.sim.engine import Engine
+from repro.sim.rng import RngRegistry
+
+from .helpers import reliable_behavior
+
+
+def _coordinator(depth=2, escalate_after=10.0, check_interval=2.0):
+    engine = Engine()
+    coordinator = TieredCoordinator(
+        engine=engine,
+        policy=react_policy(batch_threshold=1),
+        rng=RngRegistry(seed=4),
+        depth=depth,
+        escalate_after=escalate_after,
+        check_interval=check_interval,
+        cost_model=ZeroCost(),
+    )
+    return engine, coordinator
+
+
+def _cell_point(cell, side):
+    """A point in the middle of grid cell (row, col)."""
+    r, c = cell
+    return ((r + 0.5) / side, (c + 0.5) / side)
+
+
+def _task(lat, lon, deadline=300.0):
+    return Task(latitude=lat, longitude=lon, deadline=deadline)
+
+
+class TestStructure:
+    def test_grid_size(self):
+        engine, coordinator = _coordinator(depth=2)
+        assert len(coordinator.servers) == 16  # 4x4 leaves
+
+    def test_cell_routing(self):
+        engine, coordinator = _coordinator(depth=1)
+        assert coordinator.cell_for(0.25, 0.25) == (0, 0)
+        assert coordinator.cell_for(0.25, 0.75) == (0, 1)
+        assert coordinator.cell_for(0.75, 0.25) == (1, 0)
+
+    def test_siblings_share_parent(self):
+        engine, coordinator = _coordinator(depth=2)
+        assert set(coordinator.siblings((0, 0))) == {(0, 1), (1, 0), (1, 1)}
+        assert set(coordinator.siblings((2, 3))) == {(2, 2), (3, 2), (3, 3)}
+
+    def test_invalid_depth(self):
+        with pytest.raises(ValueError):
+            TieredCoordinator(
+                engine=Engine(), policy=react_policy(), rng=RngRegistry(seed=1), depth=0
+            )
+
+
+class TestEscalation:
+    def test_starved_task_escalates_to_sibling(self):
+        engine, coordinator = _coordinator(depth=1, escalate_after=10.0)
+        # worker only in cell (0,1); task lands in worker-less cell (0,0)
+        lat, lon = _cell_point((0, 1), 2)
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=lat, longitude=lon),
+            reliable_behavior(),
+        )
+        task_lat, task_lon = _cell_point((0, 0), 2)
+        task = _task(task_lat, task_lon)
+        coordinator.submit_task(task)
+        engine.run(until=60.0)
+        assert len(coordinator.escalations) == 1
+        record = coordinator.escalations[0]
+        assert record.from_cell == (0, 0)
+        assert record.to_cell == (0, 1)
+        assert record.waited >= 10.0
+        assert not record.network_wide
+        assert task.phase is TaskPhase.COMPLETED
+
+    def test_network_wide_escalation_when_parent_starved(self):
+        engine, coordinator = _coordinator(depth=2, escalate_after=10.0)
+        # only worker lives in the opposite corner (3,3): outside (0,0)'s
+        # sibling group {(0,1),(1,0),(1,1)}
+        lat, lon = _cell_point((3, 3), 4)
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=lat, longitude=lon),
+            reliable_behavior(),
+        )
+        task_lat, task_lon = _cell_point((0, 0), 4)
+        task = _task(task_lat, task_lon)
+        coordinator.submit_task(task)
+        engine.run(until=60.0)
+        assert any(r.network_wide for r in coordinator.escalations)
+        assert task.phase is TaskPhase.COMPLETED
+
+    def test_fresh_tasks_not_escalated(self):
+        engine, coordinator = _coordinator(depth=1, escalate_after=50.0)
+        lat, lon = _cell_point((0, 1), 2)
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=lat, longitude=lon),
+            reliable_behavior(),
+        )
+        coordinator.submit_task(_task(*_cell_point((0, 0), 2)))
+        engine.run(until=30.0)
+        assert coordinator.escalations == []
+
+    def test_expired_tasks_not_escalated(self):
+        engine, coordinator = _coordinator(depth=1, escalate_after=10.0)
+        lat, lon = _cell_point((0, 1), 2)
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=lat, longitude=lon),
+            reliable_behavior(),
+        )
+        coordinator.submit_task(_task(*_cell_point((0, 0), 2), deadline=8.0))
+        engine.run(until=60.0)
+        assert coordinator.escalations == []
+
+    def test_no_free_workers_requeues_locally(self):
+        engine, coordinator = _coordinator(depth=1, escalate_after=5.0)
+        task = _task(*_cell_point((0, 0), 2))
+        coordinator.submit_task(task)
+        engine.run(until=20.0)
+        assert coordinator.escalations == []
+        assert task.phase is TaskPhase.UNASSIGNED
+
+    def test_local_worker_preferred_over_escalation(self):
+        engine, coordinator = _coordinator(depth=1, escalate_after=10.0)
+        for cell, wid in (((0, 0), 0), ((0, 1), 1)):
+            lat, lon = _cell_point(cell, 2)
+            coordinator.add_worker(
+                WorkerProfile(worker_id=wid, latitude=lat, longitude=lon),
+                reliable_behavior(),
+            )
+        task = _task(*_cell_point((0, 0), 2))
+        coordinator.submit_task(task)
+        engine.run(until=60.0)
+        assert coordinator.escalations == []
+        assert task.phase is TaskPhase.COMPLETED
+        assert task.assigned_worker == 0
+
+
+class TestAggregate:
+    def test_summary_counts_all_servers_and_escalations(self):
+        engine, coordinator = _coordinator(depth=1, escalate_after=5.0)
+        lat, lon = _cell_point((0, 1), 2)
+        coordinator.add_worker(
+            WorkerProfile(worker_id=0, latitude=lat, longitude=lon),
+            reliable_behavior(),
+        )
+        coordinator.submit_task(_task(*_cell_point((0, 0), 2)))
+        coordinator.submit_task(_task(*_cell_point((0, 1), 2)))
+        engine.run(until=100.0)
+        summary = coordinator.aggregate_summary()
+        assert summary["received"] == 2
+        assert summary["completed"] == 2
+        assert summary["escalations"] >= 1
+        coordinator.stop()

@@ -1,0 +1,80 @@
+"""Property-based tests on the event engine's ordering guarantees."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Engine
+from repro.sim.events import EventKind
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1000.0, allow_nan=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+class TestOrdering:
+    @given(delays=delays)
+    @settings(max_examples=80, deadline=None)
+    def test_dispatch_times_monotone(self, delays):
+        engine = Engine()
+        observed = []
+        for d in delays:
+            engine.schedule(d, EventKind.CALLBACK, lambda e: observed.append(engine.now))
+        engine.run()
+        assert observed == sorted(observed)
+        assert len(observed) == len(delays)
+
+    @given(delays=delays)
+    @settings(max_examples=50, deadline=None)
+    def test_clock_never_goes_backwards_with_reentrant_scheduling(self, delays):
+        engine = Engine()
+        observed = []
+
+        def chain(event):
+            observed.append(engine.now)
+            if event.payload:
+                # schedule a follow-up at a pseudo-random future offset
+                engine.schedule(
+                    event.payload % 7.0, EventKind.CALLBACK, chain, payload=None
+                )
+
+        for d in delays:
+            engine.schedule(d, EventKind.CALLBACK, chain, payload=d)
+        engine.run()
+        assert observed == sorted(observed)
+
+    @given(
+        delays=delays,
+        horizon=st.floats(min_value=0.0, max_value=1000.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_pause_resume_equals_single_run(self, delays, horizon):
+        def collect(engine):
+            out = []
+            for d in delays:
+                engine.schedule(d, EventKind.CALLBACK, lambda e: out.append(engine.now))
+            return out
+
+        continuous = Engine()
+        a = collect(continuous)
+        continuous.run()
+
+        paused = Engine()
+        b = collect(paused)
+        paused.run(until=horizon)
+        paused.run()
+
+        assert a == b
+
+    @given(same_time=st.floats(min_value=0.0, max_value=100.0), n=st.integers(2, 20))
+    @settings(max_examples=50, deadline=None)
+    def test_fifo_among_equal_priority_events(self, same_time, n):
+        engine = Engine()
+        order = []
+        for i in range(n):
+            engine.schedule(
+                same_time, EventKind.CALLBACK, lambda e: order.append(e.payload), payload=i
+            )
+        engine.run()
+        assert order == list(range(n))

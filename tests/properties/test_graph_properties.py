@@ -1,0 +1,131 @@
+"""Property-based tests on graph construction and the Eq. 3 builder."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.deadline import DeadlineEstimator
+from repro.core.weights import ConstantWeight
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.builders import AssignmentGraphBuilder
+from repro.model.task import Task, TaskCategory
+from repro.model.worker import WorkerProfile
+
+
+@st.composite
+def dense_weights(draw):
+    rows = draw(st.integers(1, 8))
+    cols = draw(st.integers(1, 8))
+    values = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=rows * cols,
+            max_size=rows * cols,
+        )
+    )
+    return np.array(values).reshape(rows, cols)
+
+
+class TestBipartiteGraphLaws:
+    @given(weights=dense_weights())
+    @settings(max_examples=60, deadline=None)
+    def test_dense_round_trip(self, weights):
+        graph = BipartiteGraph.full(weights)
+        assert np.allclose(graph.to_dense(), weights)
+        assert graph.n_edges == weights.size
+
+    @given(weights=dense_weights(), threshold=st.floats(0.0, 1.0))
+    @settings(max_examples=60, deadline=None)
+    def test_prune_below_keeps_only_heavy(self, weights, threshold):
+        graph = BipartiteGraph.full(weights)
+        pruned = graph.prune_below(threshold)
+        assert pruned.n_edges == int((weights >= threshold).sum())
+        if pruned.n_edges:
+            assert pruned.edge_weights.min() >= threshold
+
+    @given(weights=dense_weights())
+    @settings(max_examples=60, deadline=None)
+    def test_degree_sums_equal_edge_count(self, weights):
+        graph = BipartiteGraph.full(weights)
+        assert graph.worker_degrees().sum() == graph.n_edges
+        assert graph.task_degrees().sum() == graph.n_edges
+
+
+@st.composite
+def worker_histories(draw):
+    n = draw(st.integers(1, 6))
+    histories = []
+    for _ in range(n):
+        count = draw(st.integers(0, 6))
+        times = draw(
+            st.lists(st.floats(1.0, 200.0), min_size=count, max_size=count)
+        )
+        histories.append(times)
+    return histories
+
+
+class TestBuilderLaws:
+    @given(
+        histories=worker_histories(),
+        n_tasks=st.integers(1, 5),
+        deadline=st.floats(10.0, 200.0),
+        bound=st.floats(0.0, 1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_builder_output_always_consistent(self, histories, n_tasks, deadline, bound):
+        workers = []
+        for i, times in enumerate(histories):
+            profile = WorkerProfile(worker_id=i)
+            for t in times:
+                profile.record_completion(t, TaskCategory.GENERIC, True)
+            profile.assignment_count = len(times)
+            workers.append(profile)
+        tasks = [
+            Task(latitude=0, longitude=0, deadline=deadline, submitted_at=0.0)
+            for _ in range(n_tasks)
+        ]
+        builder = AssignmentGraphBuilder(
+            weight_function=ConstantWeight(0.5),
+            estimator=DeadlineEstimator(min_history=3),
+            edge_probability_bound=bound,
+        )
+        graph, report = builder.build(workers, tasks, now=0.0)
+        # structural consistency
+        assert graph.n_workers == len(workers)
+        assert graph.n_tasks == n_tasks
+        assert report.kept_edges == graph.n_edges
+        assert report.kept_edges + report.pruned_by_probability >= 0
+        assert graph.n_edges <= len(workers) * n_tasks
+        # cold-start workers always fully connected (deadline > 0 here)
+        cold = [w for w in workers if w.assignment_count < 3]
+        if cold:
+            degrees = graph.worker_degrees()
+            for w in cold:
+                assert degrees[w.worker_id] == n_tasks
+
+    @given(
+        histories=worker_histories(),
+        bound_low=st.floats(0.0, 0.5),
+        bound_high=st.floats(0.5, 1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_higher_bound_prunes_more(self, histories, bound_low, bound_high):
+        workers = []
+        for i, times in enumerate(histories):
+            profile = WorkerProfile(worker_id=i)
+            for t in times:
+                profile.record_completion(t, TaskCategory.GENERIC, True)
+            profile.assignment_count = max(3, len(times))  # no cold-start boost
+            workers.append(profile)
+        tasks = [Task(latitude=0, longitude=0, deadline=60.0, submitted_at=0.0)]
+
+        def edges_at(bound):
+            builder = AssignmentGraphBuilder(
+                weight_function=ConstantWeight(0.5),
+                estimator=DeadlineEstimator(min_history=3),
+                edge_probability_bound=bound,
+            )
+            graph, _ = builder.build(workers, tasks, now=0.0)
+            return graph.n_edges
+
+        assert edges_at(bound_high) <= edges_at(bound_low)

@@ -1,0 +1,72 @@
+"""Cross-validation of the Hungarian matcher against NetworkX.
+
+``networkx.algorithms.matching.max_weight_matching`` is an independent
+implementation (Galil's blossom algorithm on general graphs); on bipartite
+inputs its optimum must coincide with our scipy-backed Hungarian matcher.
+Property test over random sparse graphs, plus targeted known cases.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching.hungarian import HungarianMatcher
+from repro.graph.bipartite import BipartiteGraph
+
+
+def _networkx_optimum(graph: BipartiteGraph) -> float:
+    g = nx.Graph()
+    for w, t, weight in zip(
+        graph.edge_workers, graph.edge_tasks, graph.edge_weights
+    ):
+        g.add_edge(("w", int(w)), ("t", int(t)), weight=float(weight))
+    matching = nx.algorithms.matching.max_weight_matching(g, maxcardinality=False)
+    return sum(g[u][v]["weight"] for u, v in matching)
+
+
+@st.composite
+def graphs(draw):
+    n_workers = draw(st.integers(1, 8))
+    n_tasks = draw(st.integers(1, 8))
+    cells = [(w, t) for w in range(n_workers) for t in range(n_tasks)]
+    chosen = draw(
+        st.lists(st.sampled_from(cells), min_size=1, max_size=len(cells), unique=True)
+    )
+    weights = draw(
+        st.lists(
+            st.floats(0.0, 1.0, allow_nan=False),
+            min_size=len(chosen),
+            max_size=len(chosen),
+        )
+    )
+    return BipartiteGraph.from_edges(
+        n_workers, n_tasks, [(w, t, x) for (w, t), x in zip(chosen, weights)]
+    )
+
+
+class TestCrossCheck:
+    @given(graph=graphs())
+    @settings(max_examples=60, deadline=None)
+    def test_hungarian_matches_networkx(self, graph):
+        ours = HungarianMatcher().match(graph).total_weight
+        theirs = _networkx_optimum(graph)
+        assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_dense_random_graphs(self, rng):
+        for _ in range(5):
+            graph = BipartiteGraph.full(rng.random((10, 10)))
+            ours = HungarianMatcher().match(graph).total_weight
+            theirs = _networkx_optimum(graph)
+            assert ours == pytest.approx(theirs, abs=1e-9)
+
+    def test_weight_vs_cardinality_case(self):
+        """The case that caught the negative-phantom bug: one heavy edge
+        blocking two light ones."""
+        graph = BipartiteGraph.from_edges(
+            2, 2, [(0, 0, 1.0), (0, 1, 0.45), (1, 0, 0.45)]
+        )
+        assert HungarianMatcher().match(graph).total_weight == pytest.approx(
+            _networkx_optimum(graph)
+        )

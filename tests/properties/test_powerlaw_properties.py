@@ -1,0 +1,102 @@
+"""Property-based tests on the power-law model (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.stats.powerlaw import FitMethod, PowerLawFit, fit_power_law
+
+positive_samples = st.lists(
+    st.floats(min_value=0.5, max_value=1e4, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+alphas = st.floats(min_value=1.05, max_value=20.0)
+k_mins = st.floats(min_value=0.1, max_value=100.0)
+
+
+class TestFitTotality:
+    @given(samples=positive_samples)
+    @settings(max_examples=80, deadline=None)
+    def test_fit_always_produces_valid_model(self, samples):
+        fit = fit_power_law(samples)
+        assert fit.alpha > 1.0
+        assert fit.k_min == min(samples)
+        assert fit.n_samples >= 1
+
+    @given(samples=positive_samples, method=st.sampled_from(list(FitMethod)))
+    @settings(max_examples=60, deadline=None)
+    def test_both_methods_total(self, samples, method):
+        fit = fit_power_law(samples, method=method)
+        assert np.isfinite(fit.alpha)
+
+
+class TestCcdfLaws:
+    @given(alpha=alphas, k_min=k_mins, k=st.floats(0.01, 1e6))
+    @settings(max_examples=100, deadline=None)
+    def test_ccdf_in_unit_interval(self, alpha, k_min, k):
+        fit = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=5)
+        value = float(fit.ccdf(k))
+        assert 0.0 <= value <= 1.0
+
+    @given(alpha=alphas, k_min=k_mins, a=st.floats(0.01, 1e5), b=st.floats(0.01, 1e5))
+    @settings(max_examples=100, deadline=None)
+    def test_ccdf_monotone_decreasing(self, alpha, k_min, a, b):
+        assume(a < b)
+        fit = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=5)
+        assert float(fit.ccdf(a)) >= float(fit.ccdf(b)) - 1e-12
+
+    @given(alpha=alphas, k_min=k_mins, k=st.floats(0.01, 1e5))
+    @settings(max_examples=60, deadline=None)
+    def test_cdf_ccdf_sum_to_one(self, alpha, k_min, k):
+        fit = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=5)
+        assert float(fit.cdf(k)) + float(fit.ccdf(k)) == pytest.approx(1.0)
+
+    @given(alpha=alphas, k_min=k_mins, q=st.floats(0.0, 0.999))
+    @settings(max_examples=60, deadline=None)
+    def test_quantile_round_trip(self, alpha, k_min, q):
+        fit = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=5)
+        k = float(fit.quantile(q))
+        assert float(fit.cdf(k)) == pytest.approx(q, abs=1e-6)
+
+
+class TestEquation2Laws:
+    """Eq. 2 = P(t) - P(TTD) must behave like a probability of an interval."""
+
+    @given(
+        alpha=alphas,
+        k_min=k_mins,
+        t=st.floats(0.0, 500.0),
+        extra=st.floats(0.001, 500.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_interval_probability_nonnegative(self, alpha, k_min, t, extra):
+        fit = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=5)
+        ttd = t + extra
+        window = float(fit.ccdf(t)) - float(fit.ccdf(ttd))
+        assert window >= -1e-12
+        assert window <= 1.0 + 1e-12
+
+    @given(alpha=alphas, k_min=k_mins, ttd=st.floats(1.0, 500.0))
+    @settings(max_examples=60, deadline=None)
+    def test_window_shrinks_with_elapsed(self, alpha, k_min, ttd):
+        fit = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=5)
+        windows = [
+            float(fit.ccdf(t)) - float(fit.ccdf(ttd))
+            for t in np.linspace(0.0, ttd, 8)
+        ]
+        for a, b in zip(windows, windows[1:]):
+            assert b <= a + 1e-12
+
+
+class TestSamplingRoundTrip:
+    @given(alpha=st.floats(1.5, 6.0), k_min=st.floats(0.5, 20.0))
+    @settings(max_examples=15, deadline=None)
+    def test_fit_recovers_parameters(self, alpha, k_min):
+        rng = np.random.default_rng(12345)
+        true = PowerLawFit(alpha=alpha, k_min=k_min, n_samples=1)
+        samples = true.sample(rng, size=8000)
+        fit = fit_power_law(samples, method=FitMethod.CONTINUOUS)
+        assert fit.alpha == pytest.approx(alpha, rel=0.15)

@@ -1,0 +1,151 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import EventKind
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self, engine):
+        fired = []
+        engine.schedule(3.0, EventKind.CALLBACK, lambda e: fired.append("c"))
+        engine.schedule(1.0, EventKind.CALLBACK, lambda e: fired.append("a"))
+        engine.schedule(2.0, EventKind.CALLBACK, lambda e: fired.append("b"))
+        engine.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_clock_advances_to_event_time(self, engine):
+        times = []
+        engine.schedule(2.5, EventKind.CALLBACK, lambda e: times.append(engine.now))
+        engine.run()
+        assert times == [2.5]
+        assert engine.now == 2.5
+
+    def test_negative_delay_rejected(self, engine):
+        with pytest.raises(SimulationError, match="past"):
+            engine.schedule(-0.1, EventKind.CALLBACK, lambda e: None)
+
+    def test_schedule_at_absolute_time(self, engine):
+        fired = []
+        engine.schedule_at(4.0, EventKind.CALLBACK, lambda e: fired.append(engine.now))
+        engine.run()
+        assert fired == [4.0]
+
+    def test_schedule_at_past_rejected(self, engine):
+        engine.schedule(5.0, EventKind.CALLBACK, lambda e: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(1.0, EventKind.CALLBACK, lambda e: None)
+
+    def test_zero_delay_fires_at_current_time(self, engine):
+        fired = []
+
+        def chain(event):
+            if len(fired) < 3:
+                fired.append(engine.now)
+                engine.schedule(0.0, EventKind.CALLBACK, chain)
+
+        engine.schedule(1.0, EventKind.CALLBACK, chain)
+        engine.run()
+        assert fired == [1.0, 1.0, 1.0]
+
+    def test_payload_delivered(self, engine):
+        received = []
+        engine.schedule(
+            1.0, EventKind.CALLBACK, lambda e: received.append(e.payload), payload=42
+        )
+        engine.run()
+        assert received == [42]
+
+
+class TestRunControl:
+    def test_until_pauses_and_resumes(self, engine):
+        fired = []
+        engine.schedule(1.0, EventKind.CALLBACK, lambda e: fired.append(1))
+        engine.schedule(5.0, EventKind.CALLBACK, lambda e: fired.append(5))
+        end = engine.run(until=2.0)
+        assert end == 2.0
+        assert fired == [1]
+        engine.run()
+        assert fired == [1, 5]
+
+    def test_until_advances_clock_when_heap_drains(self, engine):
+        engine.schedule(1.0, EventKind.CALLBACK, lambda e: None)
+        end = engine.run(until=10.0)
+        assert end == 10.0
+        assert engine.now == 10.0
+
+    def test_max_events_bounds_dispatch(self, engine):
+        for i in range(10):
+            engine.schedule(float(i + 1), EventKind.CALLBACK, lambda e: None)
+        engine.run(max_events=4)
+        assert engine.dispatched == 4
+        assert engine.pending == 6
+
+    def test_stop_halts_loop(self, engine):
+        fired = []
+
+        def stopper(event):
+            fired.append(engine.now)
+            engine.stop()
+
+        engine.schedule(1.0, EventKind.CALLBACK, stopper)
+        engine.schedule(2.0, EventKind.CALLBACK, lambda e: fired.append(engine.now))
+        engine.run()
+        assert fired == [1.0]
+
+    def test_run_not_reentrant(self, engine):
+        def reenter(event):
+            with pytest.raises(SimulationError, match="reentrant"):
+                engine.run()
+
+        engine.schedule(1.0, EventKind.CALLBACK, reenter)
+        engine.run()
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self, engine):
+        fired = []
+        event = engine.schedule(1.0, EventKind.CALLBACK, lambda e: fired.append(1))
+        event.cancel()
+        engine.run()
+        assert fired == []
+        assert engine.dispatched == 0
+
+    def test_peek_time_skips_cancelled(self, engine):
+        first = engine.schedule(1.0, EventKind.CALLBACK, lambda e: None)
+        engine.schedule(2.0, EventKind.CALLBACK, lambda e: None)
+        first.cancel()
+        assert engine.peek_time() == 2.0
+
+
+class TestTracing:
+    def test_trace_records_dispatches(self):
+        engine = Engine(trace=True)
+        engine.schedule(1.0, EventKind.TASK_ARRIVAL, lambda e: None, payload="t1")
+        engine.schedule(2.0, EventKind.BATCH_TRIGGER, lambda e: None)
+        engine.run()
+        assert [r.kind for r in engine.records] == [
+            EventKind.TASK_ARRIVAL,
+            EventKind.BATCH_TRIGGER,
+        ]
+        assert engine.records[0].payload_repr == "'t1'"
+
+    def test_same_time_priority_dispatch_order(self, engine):
+        fired = []
+        engine.schedule(1.0, EventKind.BATCH_TRIGGER, lambda e: fired.append("batch"))
+        engine.schedule(1.0, EventKind.TASK_COMPLETION, lambda e: fired.append("done"))
+        engine.schedule(1.0, EventKind.TASK_ARRIVAL, lambda e: fired.append("arrive"))
+        engine.run()
+        assert fired == ["done", "arrive", "batch"]
+
+
+class TestDrain:
+    def test_drain_yields_pending_non_cancelled(self, engine):
+        keep = engine.schedule(1.0, EventKind.CALLBACK, lambda e: None)
+        drop = engine.schedule(2.0, EventKind.CALLBACK, lambda e: None)
+        drop.cancel()
+        drained = list(engine.drain())
+        assert drained == [keep]
+        assert engine.pending == 0

@@ -1,0 +1,73 @@
+"""Unit tests for named RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim.rng import STREAM_ARRIVALS, STREAM_MATCHER, RngRegistry
+
+
+class TestReproducibility:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(seed=5).stream("x").random(10)
+        b = RngRegistry(seed=5).stream("x").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=5).stream("x").random(10)
+        b = RngRegistry(seed=6).stream("x").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        reg = RngRegistry(seed=5)
+        a = reg.stream("alpha").random(10)
+        b = reg.stream("beta").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_unaffected_by_other_streams(self):
+        """Requesting extra streams must not perturb an existing one."""
+        solo = RngRegistry(seed=5)
+        value_solo = solo.stream(STREAM_MATCHER).random(5)
+
+        crowded = RngRegistry(seed=5)
+        crowded.stream(STREAM_ARRIVALS).random(100)
+        crowded.stream("unrelated").random(100)
+        value_crowded = crowded.stream(STREAM_MATCHER).random(5)
+        assert np.array_equal(value_solo, value_crowded)
+
+    def test_stream_is_cached(self):
+        reg = RngRegistry(seed=5)
+        assert reg.stream("x") is reg.stream("x")
+
+
+class TestForking:
+    def test_fork_is_deterministic(self):
+        a = RngRegistry(seed=5).fork(3).stream("x").random(5)
+        b = RngRegistry(seed=5).fork(3).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_fork_differs_from_parent(self):
+        parent = RngRegistry(seed=5)
+        child = parent.fork(0)
+        assert not np.array_equal(
+            parent.stream("x").random(5), child.stream("x").random(5)
+        )
+
+    def test_forks_differ_by_offset(self):
+        parent = RngRegistry(seed=5)
+        assert not np.array_equal(
+            parent.fork(0).stream("x").random(5),
+            parent.fork(1).stream("x").random(5),
+        )
+
+
+class TestValidation:
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed="abc")
+
+    def test_contains_and_iter(self):
+        reg = RngRegistry(seed=1)
+        assert "x" not in reg
+        reg.stream("x")
+        assert "x" in reg
+        assert list(reg) == ["x"]

@@ -1,0 +1,79 @@
+"""Unit tests for series and table helpers."""
+
+import pytest
+
+from repro.stats.summaries import (
+    cumulative_fraction,
+    downsample,
+    format_series,
+    format_table,
+    geometric_mean,
+)
+
+
+class TestDownsample:
+    def test_short_series_unchanged(self):
+        series = [(1, 1), (2, 2)]
+        assert downsample(series, 10) == series
+
+    def test_keeps_endpoints(self):
+        series = [(i, i * i) for i in range(100)]
+        sampled = downsample(series, 5)
+        assert sampled[0] == series[0]
+        assert sampled[-1] == series[-1]
+        assert len(sampled) <= 5
+
+    def test_monotone_x_preserved(self):
+        series = [(i, 0) for i in range(1000)]
+        xs = [x for x, _ in downsample(series, 20)]
+        assert xs == sorted(xs)
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ValueError):
+            downsample([(1, 1)], 1)
+
+
+class TestCumulativeFraction:
+    def test_fractions(self):
+        assert cumulative_fraction([(2, 1), (4, 3)]) == [(2, 0.5), (4, 0.75)]
+
+    def test_zero_denominator(self):
+        assert cumulative_fraction([(0, 0)]) == [(0, 0.0)]
+
+
+class TestFormatTable:
+    def test_renders_alignment(self):
+        table = format_table(["name", "value"], [("a", 1), ("longer", 22)])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_row_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+    def test_float_formatting(self):
+        table = format_table(["x"], [(0.123456,)])
+        assert "0.1235" in table
+
+
+class TestFormatSeries:
+    def test_includes_caption_and_counts(self):
+        series = [(float(i), float(i)) for i in range(100)]
+        text = format_series("metric", series, points=10)
+        assert "100 samples" in text
+        assert "metric" in text
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])

@@ -1,0 +1,94 @@
+"""Tests for the timeline recorder."""
+
+import pytest
+
+from repro.stats.timeline import Timeline, TimelineRecorder, TimelineSample, summarize_timeline
+
+from ..platform.helpers import build_server, reliable_behavior, submit
+
+
+def _sample(time=0.0, unassigned=0, executing=0, **kw):
+    defaults = dict(
+        time=time, unassigned=unassigned, executing=executing,
+        busy_workers=0, available_workers=1, trained_workers=0,
+        completed=0, completed_on_time=0, expired_unassigned=0,
+        matcher_busy_seconds=0.0,
+    )
+    defaults.update(kw)
+    return TimelineSample(**defaults)
+
+
+class TestTimeline:
+    def test_column_extraction(self):
+        tl = Timeline(samples=[_sample(0.0, unassigned=3), _sample(10.0, unassigned=7)])
+        assert tl.column("unassigned") == [3, 7]
+        assert tl.peak("unassigned") == 7
+
+    def test_unknown_column_rejected(self):
+        tl = Timeline(samples=[_sample()])
+        with pytest.raises(KeyError):
+            tl.column("bogus")
+
+    def test_at_returns_latest_before(self):
+        tl = Timeline(samples=[_sample(0.0), _sample(10.0), _sample(20.0)])
+        assert tl.at(15.0).time == 10.0
+        with pytest.raises(ValueError):
+            tl.at(-1.0)
+
+    def test_empty_column_and_peak(self):
+        tl = Timeline()
+        assert tl.column("unassigned") == []
+        with pytest.raises(ValueError):
+            tl.peak("unassigned")
+
+    def test_as_rows_round_trip(self):
+        tl = Timeline(samples=[_sample(5.0, unassigned=2)])
+        rows = tl.as_rows()
+        assert rows[0]["time"] == 5.0
+        assert rows[0]["unassigned"] == 2
+
+
+class TestRecorder:
+    def test_samples_on_grid(self):
+        engine, server = build_server(n_workers=2)
+        recorder = TimelineRecorder(engine, server, period=5.0)
+        submit(server, engine)
+        engine.run(until=20.0)
+        times = recorder.timeline.column("time")
+        assert times == [0.0, 5.0, 10.0, 15.0, 20.0]
+
+    def test_observes_queue_drain(self):
+        engine, server = build_server(n_workers=2)
+        recorder = TimelineRecorder(engine, server, period=1.0)
+        for _ in range(2):
+            submit(server, engine)
+        engine.run(until=30.0)
+        executing = recorder.timeline.column("executing")
+        assert max(executing) >= 1  # tasks were seen running
+        assert executing[-1] == 0  # and eventually drained
+        completed = recorder.timeline.column("completed")
+        assert completed == sorted(completed)
+        assert completed[-1] == 2
+
+    def test_stop_halts_sampling(self):
+        engine, server = build_server(n_workers=1)
+        recorder = TimelineRecorder(engine, server, period=1.0)
+        engine.run(until=3.0)
+        recorder.stop()
+        engine.run(until=10.0)
+        assert recorder.timeline.column("time")[-1] <= 3.0
+
+    def test_invalid_period(self):
+        engine, server = build_server(n_workers=1)
+        with pytest.raises(ValueError):
+            TimelineRecorder(engine, server, period=0.0)
+
+    def test_summary_keys(self):
+        engine, server = build_server(n_workers=1)
+        recorder = TimelineRecorder(engine, server, period=2.0)
+        submit(server, engine)
+        engine.run(until=10.0)
+        summary = summarize_timeline(recorder.timeline)
+        assert summary["samples"] == len(recorder.timeline)
+        assert "peak_unassigned" in summary
+        assert summarize_timeline(Timeline()) == {}

@@ -1,0 +1,77 @@
+"""Unit tests for the synthetic CrowdFlower case study."""
+
+import numpy as np
+import pytest
+
+from repro.workload.crowdflower import (
+    MAX_RESPONSE_SECONDS,
+    MEDIAN_RESPONSE_SECONDS,
+    MIN_RESPONSE_SECONDS,
+    analyze_case_study,
+    generate_case_study,
+)
+
+
+class TestGeneration:
+    def test_trace_size(self, rng):
+        trace = generate_case_study(rng, n_responses=250, n_workers=40)
+        assert len(trace) == 250
+        assert all(0 <= r.worker_id < 40 for r in trace)
+
+    def test_response_time_bounds(self, rng):
+        trace = generate_case_study(rng, n_responses=2000)
+        times = [r.response_seconds for r in trace]
+        assert min(times) >= MIN_RESPONSE_SECONDS
+        assert max(times) <= MAX_RESPONSE_SECONDS
+
+    def test_invalid_sizes_rejected(self, rng):
+        with pytest.raises(ValueError):
+            generate_case_study(rng, n_responses=0)
+
+    def test_trust_consistent_per_worker(self, rng):
+        trace = generate_case_study(rng, n_responses=500, n_workers=20)
+        by_worker = {}
+        for r in trace:
+            by_worker.setdefault(r.worker_id, set()).add(r.trust)
+        assert all(len(trusts) == 1 for trusts in by_worker.values())
+
+
+class TestPaperAnchors:
+    """The synthetic trace must reproduce the §V-C published statistics."""
+
+    def test_median_response_near_20s(self, rng):
+        report = analyze_case_study(generate_case_study(rng, n_responses=8000))
+        assert report.median_response_seconds == pytest.approx(
+            MEDIAN_RESPONSE_SECONDS, rel=0.15
+        )
+
+    def test_half_of_responses_under_20s(self, rng):
+        report = analyze_case_study(generate_case_study(rng, n_responses=8000))
+        assert report.fraction_under_20s == pytest.approx(0.5, abs=0.05)
+
+    def test_seventy_percent_trust_above_half(self, rng):
+        report = analyze_case_study(
+            generate_case_study(rng, n_responses=5000, n_workers=800)
+        )
+        assert report.fraction_trust_above_half == pytest.approx(0.7, abs=0.05)
+
+    def test_stragglers_reach_hours(self, rng):
+        report = analyze_case_study(generate_case_study(rng, n_responses=8000))
+        assert report.max_response_seconds > 3600.0  # hours-long tail
+
+    def test_recommended_deadline_range(self, rng):
+        report = analyze_case_study(generate_case_study(rng, n_responses=100))
+        assert report.recommended_deadline_range == (60.0, 120.0)
+
+    def test_answer_correctness_tracks_trust(self, rng):
+        trace = generate_case_study(rng, n_responses=20_000, n_workers=50)
+        high = [r.answer_correct for r in trace if r.trust > 0.8]
+        low = [r.answer_correct for r in trace if r.trust < 0.2]
+        assert np.mean(high) > 0.7
+        assert np.mean(low) < 0.3
+
+
+class TestAnalysis:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            analyze_case_study([])

@@ -1,0 +1,132 @@
+"""Tests for task-trace capture, persistence and replay."""
+
+import numpy as np
+import pytest
+
+from repro.model.task import TaskCategory
+from repro.workload.arrivals import deterministic_gaps, poisson_gaps
+from repro.workload.generators import TrafficMonitoringGenerator
+from repro.workload.trace import TaskTrace, TraceRecord, capture_trace, replay_trace
+
+from ..platform.helpers import build_server
+
+
+def _record(arrival=0.0, deadline=90.0, **kw):
+    defaults = dict(
+        arrival=arrival, latitude=1.0, longitude=2.0, deadline=deadline,
+        reward=0.05, category=TaskCategory.TRAFFIC_MONITORING,
+        description="Is road A congested?",
+    )
+    defaults.update(kw)
+    return TraceRecord(**defaults)
+
+
+class TestTraceStructure:
+    def test_ordering_enforced(self):
+        with pytest.raises(ValueError, match="ordered"):
+            TaskTrace(records=[_record(arrival=5.0), _record(arrival=1.0)])
+
+    def test_record_validation(self):
+        with pytest.raises(ValueError):
+            _record(arrival=-1.0)
+        with pytest.raises(ValueError):
+            _record(deadline=0.0)
+
+    def test_duration_and_rate(self):
+        trace = TaskTrace(records=[_record(arrival=float(i)) for i in range(11)])
+        assert trace.duration == 10.0
+        assert trace.arrival_rate() == pytest.approx(1.1)
+
+    def test_empty_trace(self):
+        trace = TaskTrace()
+        assert len(trace) == 0
+        assert trace.duration == 0.0
+        assert trace.arrival_rate() == 0.0
+
+
+class TestCapture:
+    def test_capture_from_generator(self, rng):
+        generator = TrafficMonitoringGenerator(rng)
+        trace = capture_trace(generator, deterministic_gaps(rate=2.0), count=10)
+        assert len(trace) == 10
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == pytest.approx([0.5 * (i + 1) for i in range(10)])
+        assert all(60 <= r.deadline <= 120 for r in trace)
+
+    def test_capture_poisson_is_deterministic_per_seed(self):
+        def make(seed):
+            gen = TrafficMonitoringGenerator(np.random.default_rng(seed))
+            return capture_trace(
+                gen, poisson_gaps(1.0, np.random.default_rng(seed)), count=20
+            )
+
+        a, b = make(5), make(5)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+
+    def test_invalid_count(self, rng):
+        with pytest.raises(ValueError):
+            capture_trace(
+                TrafficMonitoringGenerator(rng), deterministic_gaps(1.0), count=0
+            )
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, rng):
+        generator = TrafficMonitoringGenerator(rng)
+        trace = capture_trace(generator, deterministic_gaps(1.0), count=15)
+        path = trace.save(tmp_path / "trace.csv")
+        loaded = TaskTrace.load(path)
+        assert len(loaded) == 15
+        for original, reloaded in zip(trace, loaded):
+            assert reloaded.arrival == pytest.approx(original.arrival, abs=1e-5)
+            assert reloaded.deadline == pytest.approx(original.deadline, abs=1e-5)
+            assert reloaded.category is original.category
+            assert reloaded.description == original.description
+
+    def test_load_rejects_missing_columns(self, tmp_path):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("arrival,latitude\n0.0,1.0\n")
+        with pytest.raises(ValueError, match="missing columns"):
+            TaskTrace.load(bad)
+
+
+class TestReplay:
+    def test_replay_preserves_timing(self):
+        engine, server = build_server(n_workers=5)
+        trace = TaskTrace(records=[_record(arrival=t) for t in (1.0, 4.0, 9.0)])
+        submitted = []
+        replay_trace(engine, trace, lambda task: submitted.append((engine.now, task)))
+        engine.run(until=20.0)
+        assert [t for t, _ in submitted] == [1.0, 4.0, 9.0]
+        assert all(task.submitted_at == t for t, task in submitted)
+
+    def test_replay_with_start_offset(self):
+        engine, server = build_server(n_workers=5)
+        trace = TaskTrace(records=[_record(arrival=1.0)])
+        times = []
+        replay_trace(engine, trace, lambda task: times.append(engine.now), start=10.0)
+        engine.run(until=20.0)
+        assert times == [11.0]
+
+    def test_replay_into_server_completes_tasks(self):
+        engine, server = build_server(n_workers=5)
+        trace = TaskTrace(records=[_record(arrival=float(i)) for i in range(5)])
+        replay_trace(engine, trace, server.submit_task)
+        engine.run(until=60.0)
+        assert server.metrics.received == 5
+        assert server.metrics.completed == 5
+
+    def test_same_trace_identical_across_policies(self):
+        """The property the comparison harnesses rely on."""
+        from repro.platform.policies import traditional_policy
+
+        trace = TaskTrace(records=[_record(arrival=float(i), deadline=80.0)
+                                   for i in range(10)])
+        received = []
+        for policy in (None, traditional_policy()):
+            kwargs = {} if policy is None else {"policy": policy}
+            engine, server = build_server(n_workers=5, **kwargs)
+            replay_trace(engine, trace, server.submit_task)
+            engine.run(until=100.0)
+            received.append(server.metrics.received)
+        assert received == [10, 10]

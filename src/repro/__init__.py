@@ -21,6 +21,7 @@ See README.md for the architecture overview and DESIGN.md / EXPERIMENTS.md
 for the per-figure reproduction index.
 """
 
+from .chaos import FaultInjector, FaultSchedule
 from .core.deadline import DeadlineEstimator
 from .core.matching import (
     GreedyMatcher,
@@ -50,6 +51,7 @@ from .platform.policies import (
     react_policy,
     traditional_policy,
 )
+from .platform.resilience import ResilienceConfig
 from .platform.server import REACTServer
 from .sim.engine import Engine
 from .sim.rng import RngRegistry
@@ -59,6 +61,9 @@ __version__ = "1.0.0"
 
 __all__ = [
     "DeadlineEstimator",
+    "FaultInjector",
+    "FaultSchedule",
+    "ResilienceConfig",
     "GreedyMatcher",
     "HungarianMatcher",
     "MatchingResult",

@@ -1,0 +1,34 @@
+"""Chaos / fault-injection subsystem.
+
+Declaratively scheduled, seedable, exactly-replayable faults against the
+REACT platform, plus the injector that executes them.  Pairs with the
+resilience layer (:mod:`repro.platform.resilience`) and the continuous
+invariant auditing in :mod:`repro.platform.invariants`; see docs/CHAOS.md.
+"""
+
+from .faults import (
+    AbandonmentWave,
+    BlackoutFault,
+    FAULT_KINDS,
+    Fault,
+    FaultSchedule,
+    MatcherStallFault,
+    NoShowFault,
+    StaleProfileFault,
+    SweepOutageFault,
+)
+from .injector import FaultInjector, FaultLogEntry
+
+__all__ = [
+    "AbandonmentWave",
+    "BlackoutFault",
+    "FAULT_KINDS",
+    "Fault",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultSchedule",
+    "MatcherStallFault",
+    "NoShowFault",
+    "StaleProfileFault",
+    "SweepOutageFault",
+]

@@ -17,6 +17,7 @@ import numpy as np
 
 from ..workload.crowdflower import analyze_case_study, generate_case_study
 from .ablations import ablate_cycles, ablate_k_constant, ablate_threshold, ablate_training_z
+from .chaos import ChaosConfig, report_chaos, run_chaos_comparison, standard_schedule
 from .config import EndToEndConfig, MatchingSweepConfig, ScalabilityConfig
 from .endtoend import run_comparison
 from .export import export_endtoend, export_matching_sweep, export_scalability
@@ -143,6 +144,16 @@ def _run_voting(quick: bool, out: Optional[str] = None) -> str:
     return report_voting(run_voting_comparison(config))
 
 
+def _run_chaos(quick: bool, out: Optional[str] = None) -> str:
+    config = (
+        ChaosConfig(n_workers=50, arrival_rate=0.8, n_tasks=240, drain_time=250.0)
+        if quick
+        else ChaosConfig()
+    )
+    schedule = standard_schedule(config)
+    return report_chaos(run_chaos_comparison(config, schedule=schedule))
+
+
 def _run_ablations(quick: bool, out: Optional[str] = None) -> str:
     blocks = [
         report_ablation(ablate_cycles()),
@@ -166,6 +177,7 @@ COMMANDS: Dict[str, Callable[..., str]] = {
     "case-study": _run_case_study,
     "ablations": _run_ablations,
     "voting": _run_voting,
+    "chaos": _run_chaos,
 }
 
 

@@ -19,6 +19,7 @@ from .policies import (
     traditional_policy,
 )
 from .profiling import ProfilingComponent
+from .resilience import DegradedModeController, ResilienceConfig
 from .scheduling import BatchRecord, SchedulingComponent
 from .server import REACTServer
 from .task_management import TaskManagementComponent
@@ -41,6 +42,8 @@ __all__ = [
     "react_policy",
     "traditional_policy",
     "ProfilingComponent",
+    "DegradedModeController",
+    "ResilienceConfig",
     "BatchRecord",
     "SchedulingComponent",
     "REACTServer",

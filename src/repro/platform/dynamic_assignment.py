@@ -59,6 +59,10 @@ class DynamicAssignmentComponent:
         self._on_withdraw = on_withdraw
         self._process: Optional[PeriodicProcess] = None
         self.withdrawals: List[Withdrawal] = []
+        #: Chaos switch (:class:`repro.chaos.SweepOutageFault` / blackout):
+        #: while True the periodic sweep fires but evaluates nothing, so no
+        #: dawdling task is rescued until the outage lifts.
+        self.suspended = False
 
     def start(self) -> None:
         """Begin the periodic sweep (no-op when the model is disabled)."""
@@ -84,6 +88,8 @@ class DynamicAssignmentComponent:
 
         Returns the number of withdrawals performed this sweep.
         """
+        if self.suspended:
+            return 0
         pulled = 0
         for task in self._tasks.assigned_tasks():
             worker_id = task.assigned_worker
@@ -99,7 +105,10 @@ class DynamicAssignmentComponent:
             estimate = self._estimator.window_probability(profile, elapsed, ttd)
             self._tasks.withdraw(task)
             self._profiles.record_withdrawal(
-                worker_id, elapsed=elapsed, release=self._policy.release_on_reassign
+                worker_id,
+                elapsed=elapsed,
+                release=self._policy.release_on_reassign,
+                task_id=task.task_id,
             )
             self.withdrawals.append(
                 Withdrawal(

@@ -11,8 +11,10 @@ continuous verification.
 Checked invariants:
 
 I1  Task pools partition: every task is in exactly one of
-    unassigned / in-batch / assigned / finished, and its ``phase`` agrees
-    with the pool it sits in.
+    unassigned / in-batch / assigned / deferred / finished, and its
+    ``phase`` agrees with the pool it sits in.  (The deferred pool holds
+    withdrawn tasks parked by the resilience layer's retry backoff; they
+    are UNASSIGNED but invisible to the matcher.)
 I2  An ASSIGNED task's worker is registered with the Profiling Component.
 I3  No double *active* booking: at most one ASSIGNED task per worker may be
     the one his profile currently claims (``current_task``), and a worker
@@ -57,6 +59,7 @@ def check_server_invariants(server: "REACTServer", strict_accounting: bool = Tru
         "unassigned": (tm._unassigned, (TaskPhase.UNASSIGNED,)),
         "in_batch": (tm._in_batch, (TaskPhase.UNASSIGNED,)),
         "assigned": (tm._assigned, (TaskPhase.ASSIGNED,)),
+        "deferred": (tm._deferred, (TaskPhase.UNASSIGNED,)),
         "finished": (tm._finished, (TaskPhase.COMPLETED, TaskPhase.EXPIRED)),
     }
     seen: dict[int, str] = {}

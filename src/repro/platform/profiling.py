@@ -9,7 +9,7 @@ with the simulator (:mod:`repro.model.worker`), never here.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from ..model.task import TaskCategory
 from ..model.worker import WorkerProfile
@@ -20,6 +20,11 @@ class ProfilingComponent:
 
     def __init__(self) -> None:
         self._profiles: Dict[int, WorkerProfile] = {}
+        #: Chaos hook (:class:`repro.chaos.StaleProfileFault`): maps a raw
+        #: ``(worker_id, execution_time)`` observation to the value actually
+        #: stored, letting fault injection feed the profiler stale or
+        #: corrupted measurements without touching the true outcome.
+        self.observation_hook: Optional[Callable[[int, float], float]] = None
 
     # ---------------------------------------------------------- membership
     def register(self, profile: WorkerProfile) -> None:
@@ -65,10 +70,18 @@ class ProfilingComponent:
     ) -> None:
         """Store a finished task's stats and free the worker."""
         profile = self._profiles[worker_id]
+        if self.observation_hook is not None:
+            execution_time = self.observation_hook(worker_id, execution_time)
         profile.record_completion(execution_time, category, positive_feedback)
         profile.release()
 
-    def record_withdrawal(self, worker_id: int, elapsed: float, release: bool) -> None:
+    def record_withdrawal(
+        self,
+        worker_id: int,
+        elapsed: float,
+        release: bool,
+        task_id: Optional[int] = None,
+    ) -> None:
         """The platform pulled the worker's task after ``elapsed`` seconds.
 
         The elapsed hold time enters the profile as a *censored* duration
@@ -78,9 +91,21 @@ class ProfilingComponent:
         :attr:`SchedulingPolicy.release_on_reassign`: when False the worker
         remains unavailable until his sampled finish time (he is presumed
         still dawdling on the withdrawn task).
+
+        ``task_id`` identifies *which* task was withdrawn.  The worker's
+        availability is only touched when his profile still claims that very
+        task: a worker who silently abandoned it was already released at his
+        sampled walk-away time and may since have been matched to a *newer*
+        task — blindly detaching would kick him off the task he is actually
+        executing, making him matchable a second time while the newer task
+        is still assigned to him (the completion/withdrawal generation-stamp
+        race; see ``tests/chaos/test_generation_stamp_race.py``).  ``None``
+        preserves the legacy unguarded behaviour for direct component use.
         """
         profile = self._profiles[worker_id]
         profile.record_censored(elapsed)
+        if task_id is not None and profile.current_task != task_id:
+            return
         profile.detach_task()
         if release:
             profile.release()

@@ -77,11 +77,31 @@ class SchedulingComponent:
         self._on_batch = on_batch
         self._busy = False
         self.batches: List[BatchRecord] = []
+        #: Chaos hook (:class:`repro.chaos.MatcherStallFault`): maps the cost
+        #: model's latency to the latency actually charged for this batch.
+        self.latency_hook: Optional[Callable[[float], float]] = None
+        #: Blackout switch: while True no batch starts and any in-flight
+        #: batch publishes nothing (its tasks silently rejoin the queue).
+        self.suspended = False
+        #: Batches whose publication was dropped by a suspension (blackout).
+        self.aborted_batches = 0
 
     # ------------------------------------------------------------ triggers
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def matcher(self) -> Matcher:
+        return self._matcher
+
+    def set_matcher(self, matcher: Matcher) -> None:
+        """Hot-swap the matching algorithm (degraded-mode fallback).
+
+        Takes effect from the next batch; a batch already in flight
+        publishes the result its original matcher produced.
+        """
+        self._matcher = matcher
 
     def maybe_trigger(self) -> bool:
         """Threshold trigger: start a batch when enough tasks queued.
@@ -91,7 +111,7 @@ class SchedulingComponent:
         cost model, a livelock risk) when no worker is available, so the
         trigger also requires at least one free worker.
         """
-        if self._busy:
+        if self._busy or self.suspended:
             return False
         if self._tasks.unassigned_count < self._policy.batch_threshold:
             return False
@@ -102,7 +122,7 @@ class SchedulingComponent:
 
     def periodic_trigger(self, now: float) -> None:
         """Fallback periodic trigger (drains stragglers below threshold)."""
-        if not self._busy and self._tasks.unassigned_count > 0:
+        if not self._busy and not self.suspended and self._tasks.unassigned_count > 0:
             self._start_batch()
 
     # --------------------------------------------------------------- batch
@@ -146,6 +166,8 @@ class SchedulingComponent:
             latency = self._cost.from_measurement(wall)
         else:
             latency = self._cost.seconds(self._matcher.name, shape)
+        if self.latency_hook is not None:
+            latency = self.latency_hook(latency)
 
         payload = _PendingBatch(
             started_at=now,
@@ -163,6 +185,15 @@ class SchedulingComponent:
     def _publish(self, event: Event) -> None:
         pending: _PendingBatch = event.payload
         now = self._engine.now
+        if self.suspended:
+            # The region server blacked out while the matcher ran: the batch
+            # result is lost and its tasks rejoin the queue for re-adoption
+            # once the server recovers.
+            for task in pending.batch:
+                self._tasks.return_unmatched(task)
+            self.aborted_batches += 1
+            self._busy = False
+            return
         assignment = pending.result.task_assignment()
         matched = 0
         for j, task in enumerate(pending.batch):

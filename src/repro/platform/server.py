@@ -17,7 +17,7 @@ worker (the human walked away; no result was returned to the platform).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.deadline import DeadlineEstimator
 from ..graph.builders import AssignmentGraphBuilder, RewardRange
@@ -34,7 +34,8 @@ from .cost import CostModel, PaperCalibratedCost
 from .dynamic_assignment import DynamicAssignmentComponent
 from .policies import SchedulingPolicy
 from .profiling import ProfilingComponent
-from .scheduling import SchedulingComponent
+from .resilience import DegradedModeController, ResilienceConfig
+from .scheduling import BatchRecord, SchedulingComponent
 from .task_management import TaskManagementComponent
 
 
@@ -47,6 +48,9 @@ class _Execution:
     generation: int  # task.assignments stamp at scheduling time
     duration: float
     abandoned: bool = False
+    #: handle on the scheduled TASK_COMPLETION event, so chaos injection can
+    #: cancel the sampled finish and replace it (mass-abandonment waves)
+    completion_event: Optional[Event] = None
 
 
 class REACTServer:
@@ -60,9 +64,11 @@ class REACTServer:
         cost_model: Optional[CostModel] = None,
         metrics: Optional[MetricsCollector] = None,
         reward_ranges: Optional[Dict[int, RewardRange]] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         self.engine = engine
         self.policy = policy
+        self.resilience = resilience
         self.metrics = metrics if metrics is not None else MetricsCollector()
         cost_model = cost_model if cost_model is not None else PaperCalibratedCost()
 
@@ -93,10 +99,16 @@ class REACTServer:
             matcher_rng=rng.stream(STREAM_MATCHER),
             on_assign=self._on_assign,
             on_retired=self._on_retired,
-            on_batch=lambda record: self.metrics.record_matcher_run(
-                record.simulated_seconds
-            ),
+            on_batch=self._on_batch,
         )
+        self.degraded_mode: Optional[DegradedModeController] = None
+        if resilience is not None and resilience.latency_budget is not None:
+            self.degraded_mode = DegradedModeController(
+                engine=engine,
+                scheduling=self.scheduling,
+                config=resilience,
+                metrics=self.metrics,
+            )
         self.dynamic_assignment = DynamicAssignmentComponent(
             engine=engine,
             policy=policy,
@@ -110,6 +122,15 @@ class REACTServer:
         self._feedback = FeedbackModel(rng.stream(STREAM_FEEDBACK))
         self._batch_timer: Optional[PeriodicProcess] = None
         self._started = False
+        #: live executions keyed by (task_id, generation stamp); a task can
+        #: have two live executions at once (an abandoner's stale draw plus
+        #: the replacement worker's), hence the generation in the key
+        self._live: Dict[Tuple[int, int], _Execution] = {}
+        #: chaos hook (:class:`repro.chaos.NoShowFault`): may mutate each
+        #: freshly drawn execution before its events are scheduled
+        self.execution_hook: Optional[
+            Callable[[_Execution, Task, WorkerProfile], None]
+        ] = None
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -130,6 +151,8 @@ class REACTServer:
         if self._batch_timer is not None:
             self._batch_timer.stop()
             self._batch_timer = None
+        if self.degraded_mode is not None:
+            self.degraded_mode.finalize()
         self._started = False
 
     # -------------------------------------------------------------- workers
@@ -152,6 +175,7 @@ class REACTServer:
             if task.phase is TaskPhase.ASSIGNED and task.assigned_worker == worker_id:
                 self.task_management.withdraw(task)
                 profile.detach_task()
+                self._requeue_after_withdrawal(task)
                 self.scheduling.maybe_trigger()
         self.profiling.deregister(worker_id)
         self._behaviors.pop(worker_id, None)
@@ -186,12 +210,15 @@ class REACTServer:
             duration=draw.duration,
             abandoned=draw.abandoned,
         )
-        self.engine.schedule(
-            draw.duration,
+        if self.execution_hook is not None:
+            self.execution_hook(execution, task, worker)
+        execution.completion_event = self.engine.schedule(
+            execution.duration,
             EventKind.TASK_COMPLETION,
             self._on_completion,
             payload=execution,
         )
+        self._live[(execution.task_id, execution.generation)] = execution
         # AMT expiry semantics: if the deadline passes while the task is
         # still out with this worker, the platform pulls it back.  Only
         # armed when the deadline is still ahead — a task knowingly handed
@@ -209,6 +236,7 @@ class REACTServer:
     def _on_completion(self, event: Event) -> None:
         execution: _Execution = event.payload
         now = self.engine.now
+        self._live.pop((execution.task_id, execution.generation), None)
         try:
             task = self.task_management.get(execution.task_id)
         except KeyError:  # pragma: no cover - tasks are never deleted
@@ -289,10 +317,129 @@ class REACTServer:
             profile.detach_task()
             if self.policy.release_on_reassign:
                 profile.release()
+        self._requeue_after_withdrawal(task)
         self.scheduling.maybe_trigger()
 
     def _on_withdraw(self, task: Task) -> None:
+        self._requeue_after_withdrawal(task)
         self.scheduling.maybe_trigger()
+
+    def _on_batch(self, record: BatchRecord) -> None:
+        self.metrics.record_matcher_run(record.simulated_seconds)
+        if self.degraded_mode is not None:
+            self.degraded_mode.observe(record)
+
+    # ----------------------------------------------------------- resilience
+    def _requeue_after_withdrawal(self, task: Task) -> None:
+        """Apply the resilience policy to a freshly withdrawn task.
+
+        Without a :class:`ResilienceConfig` this is a no-op and the task —
+        already back in the unassigned pool — is immediately matchable, the
+        paper's behaviour.  With one, the task is either retired (its
+        reassignment budget is spent) or parked for an exponential-backoff
+        delay before the matcher may see it again.
+        """
+        config = self.resilience
+        if config is None or task.phase is not TaskPhase.UNASSIGNED:
+            return
+        if not self.task_management.is_queued(task.task_id):
+            return
+        if (
+            config.max_reassignments is not None
+            and task.assignments >= config.max_reassignments
+        ):
+            self.task_management.retire_unassigned(task)
+            self.metrics.reassignment_budget_exhausted += 1
+            self.metrics.record_expired_unassigned(
+                TaskOutcome(
+                    task_id=task.task_id,
+                    submitted_at=task.submitted_at,
+                    completed_at=None,
+                    deadline=task.deadline,
+                    met_deadline=False,
+                    positive_feedback=False,
+                    assignments=task.assignments,
+                    final_worker=None,
+                    worker_time=None,
+                    total_time=None,
+                )
+            )
+            return
+        if config.backoff_enabled:
+            delay = config.backoff_delay(task.assignments)
+            if delay > 0:
+                self.task_management.defer(task)
+                self.metrics.deferred_retries += 1
+                self.engine.schedule(
+                    delay,
+                    EventKind.CALLBACK,
+                    self._on_deferred_release,
+                    payload=task,
+                )
+
+    def _on_deferred_release(self, event: Event) -> None:
+        task: Task = event.payload
+        if self.task_management.release_deferred(task):
+            self.scheduling.maybe_trigger()
+
+    # ----------------------------------------------------- chaos interface
+    def live_execution(self, task_id: int, generation: int) -> Optional[_Execution]:
+        """The in-flight execution for (task, generation), if any."""
+        return self._live.get((task_id, generation))
+
+    def inject_abandonment(self, task_id: int) -> bool:
+        """Chaos: the worker on ``task_id`` walks away *right now* (§IV-B).
+
+        Cancels his sampled finish and replays the abandonment path
+        immediately: the worker is freed without returning a result and the
+        task stays ASSIGNED until Eq. 2 or the deadline expiry rescues it —
+        exactly the paper's silent-abandonment semantics, just at an
+        injected instant.  Returns False when the task has no live
+        current-generation execution to corrupt.
+        """
+        try:
+            task = self.task_management.get(task_id)
+        except KeyError:
+            return False
+        if task.phase is not TaskPhase.ASSIGNED:
+            return False
+        execution = self._live.get((task_id, task.assignments))
+        if execution is None:
+            return False
+        if execution.completion_event is not None:
+            execution.completion_event.cancel()
+        execution.abandoned = True
+        execution.completion_event = self.engine.schedule(
+            0.0, EventKind.TASK_COMPLETION, self._on_completion, payload=execution
+        )
+        self.metrics.chaos_abandonments += 1
+        return True
+
+    def orphan_assigned_tasks(self) -> List[int]:
+        """Chaos: a blackout wipes the server's assignment state.
+
+        Every assigned task is pulled back into the unassigned pool (from
+        which recovery re-adopts it) and its worker — if he still claims it
+        — is detached and freed; his pending completion becomes a stale
+        dawdle via the usual generation/phase check.  Returns the orphaned
+        task ids.
+        """
+        now = self.engine.now
+        orphaned: List[int] = []
+        for task in self.task_management.assigned_tasks():
+            worker_id = task.assigned_worker
+            assigned_at = task.assigned_at if task.assigned_at is not None else now
+            self.task_management.withdraw(task)
+            if worker_id is not None and worker_id in self.profiling:
+                self.profiling.record_withdrawal(
+                    worker_id,
+                    elapsed=now - assigned_at,
+                    release=True,
+                    task_id=task.task_id,
+                )
+            orphaned.append(task.task_id)
+        self.metrics.blackout_orphaned += len(orphaned)
+        return orphaned
 
     def _on_retired(self, retired: list[Task]) -> None:
         for task in retired:
@@ -317,6 +464,8 @@ class REACTServer:
         summary = self.metrics.summary()
         summary["pending_unassigned"] = self.task_management.unassigned_count
         summary["pending_assigned"] = self.task_management.assigned_count
+        summary["pending_deferred"] = self.task_management.deferred_count
         summary["withdrawals"] = len(self.dynamic_assignment.withdrawals)
         summary["batches"] = len(self.scheduling.batches)
+        summary["aborted_batches"] = self.scheduling.aborted_batches
         return summary

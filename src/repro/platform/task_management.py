@@ -24,6 +24,9 @@ class TaskManagementComponent:
         self._finished: Dict[int, Task] = {}
         #: tasks currently locked inside a running matching batch
         self._in_batch: Dict[int, Task] = {}
+        #: withdrawn tasks parked by the resilience layer's retry backoff;
+        #: invisible to the matcher until their backoff delay elapses
+        self._deferred: Dict[int, Task] = {}
 
     # -------------------------------------------------------------- intake
     def add_task(self, task: Task) -> None:
@@ -47,8 +50,17 @@ class TaskManagementComponent:
         return len(self._finished)
 
     @property
+    def deferred_count(self) -> int:
+        return len(self._deferred)
+
+    @property
     def in_flight(self) -> int:
-        return len(self._unassigned) + len(self._assigned) + len(self._in_batch)
+        return (
+            len(self._unassigned)
+            + len(self._assigned)
+            + len(self._in_batch)
+            + len(self._deferred)
+        )
 
     def unassigned_tasks(self) -> List[Task]:
         return list(self._unassigned.values())
@@ -57,10 +69,20 @@ class TaskManagementComponent:
         return list(self._assigned.values())
 
     def get(self, task_id: int) -> Task:
-        for pool in (self._unassigned, self._assigned, self._in_batch, self._finished):
+        for pool in (
+            self._unassigned,
+            self._assigned,
+            self._in_batch,
+            self._deferred,
+            self._finished,
+        ):
             if task_id in pool:
                 return pool[task_id]
         raise KeyError(f"unknown task {task_id}")
+
+    def is_queued(self, task_id: int) -> bool:
+        """True while the task waits (queued or backoff-deferred) for a match."""
+        return task_id in self._unassigned or task_id in self._deferred
 
     # --------------------------------------------------------------- batch
     def checkout_batch(
@@ -119,6 +141,38 @@ class TaskManagementComponent:
         task.mark_unassigned()
         self._unassigned[task.task_id] = task
 
+    # ---------------------------------------------------------- resilience
+    def defer(self, task: Task) -> None:
+        """Park an unassigned task until its retry backoff elapses."""
+        if task.task_id not in self._unassigned:
+            raise ValueError(f"task {task.task_id} is not unassigned")
+        del self._unassigned[task.task_id]
+        self._deferred[task.task_id] = task
+
+    def release_deferred(self, task: Task) -> bool:
+        """Backoff elapsed: the task rejoins the matcher's queue.
+
+        Returns False (no-op) when the task is no longer deferred — e.g. it
+        was retired while parked.
+        """
+        if task.task_id not in self._deferred:
+            return False
+        del self._deferred[task.task_id]
+        self._unassigned[task.task_id] = task
+        return True
+
+    def retire_unassigned(self, task: Task) -> None:
+        """A queued task leaves the system unserved (reassignment budget).
+
+        Mirrors the expired-at-checkout path: the task moves straight from
+        the unassigned pool to finished with phase EXPIRED.
+        """
+        if task.task_id not in self._unassigned:
+            raise ValueError(f"task {task.task_id} is not unassigned")
+        del self._unassigned[task.task_id]
+        task.mark_expired()
+        self._finished[task.task_id] = task
+
     def extract_unassigned(self, predicate) -> List[Task]:
         """Remove and return queued tasks matching ``predicate``.
 
@@ -138,4 +192,5 @@ class TaskManagementComponent:
         yield from self._unassigned.values()
         yield from self._in_batch.values()
         yield from self._assigned.values()
+        yield from self._deferred.values()
         yield from self._finished.values()

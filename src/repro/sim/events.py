@@ -42,6 +42,10 @@ class EventKind(enum.IntEnum):
     CALLBACK = 7
     #: End-of-simulation sentinel.
     STOP = 8
+    #: Chaos fault activation/deactivation (:mod:`repro.chaos`).  Lowest
+    #: priority on purpose: a fault striking at time t observes the state
+    #: *after* every ordinary event of that instant has been processed.
+    FAULT_INJECTION = 9
 
 
 _SEQUENCE = itertools.count()

@@ -65,3 +65,4 @@ STREAM_FEEDBACK = "feedback"
 STREAM_MATCHER = "matcher"
 STREAM_TASKS = "tasks"
 STREAM_CHURN = "churn"
+STREAM_CHAOS = "chaos"

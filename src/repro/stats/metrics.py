@@ -54,6 +54,30 @@ class MetricsCollector:
     matcher_invocations: int = 0
     matcher_simulated_seconds: float = 0.0
 
+    # Chaos / resilience accounting (src/repro/chaos, platform/resilience).
+    #: fault activations performed by a FaultInjector
+    chaos_faults_injected: int = 0
+    #: executions flipped to walk-aways by an AbandonmentWave
+    chaos_abandonments: int = 0
+    #: assignments converted to no-shows by a NoShowFault
+    chaos_no_shows: int = 0
+    #: profile observations distorted by a StaleProfileFault
+    chaos_corrupted_observations: int = 0
+    #: extra matcher latency charged by MatcherStallFaults
+    matcher_stall_seconds: float = 0.0
+    #: assigned tasks orphaned (re-queued) by region-server blackouts
+    blackout_orphaned: int = 0
+    #: orphaned tasks still queued — and therefore re-adopted — at recovery
+    readopted_tasks: int = 0
+    #: withdrawn tasks parked by the retry exponential backoff
+    deferred_retries: int = 0
+    #: tasks retired because they exhausted the per-task reassignment budget
+    reassignment_budget_exhausted: int = 0
+    #: degraded-mode (fallback matcher) engagements
+    degraded_mode_switches: int = 0
+    #: total simulated seconds spent in degraded mode
+    degraded_mode_seconds: float = 0.0
+
     outcomes: List[TaskOutcome] = field(default_factory=list)
     #: (received_so_far, on_time_so_far) appended at every completion — Fig. 5.
     deadline_series: List[tuple[int, int]] = field(default_factory=list)
@@ -151,6 +175,17 @@ class MetricsCollector:
             "avg_total_time": _round_opt(self.average_total_time()),
             "matcher_invocations": self.matcher_invocations,
             "matcher_simulated_seconds": round(self.matcher_simulated_seconds, 3),
+            "chaos_faults_injected": self.chaos_faults_injected,
+            "chaos_abandonments": self.chaos_abandonments,
+            "chaos_no_shows": self.chaos_no_shows,
+            "chaos_corrupted_observations": self.chaos_corrupted_observations,
+            "matcher_stall_seconds": round(self.matcher_stall_seconds, 3),
+            "blackout_orphaned": self.blackout_orphaned,
+            "readopted_tasks": self.readopted_tasks,
+            "deferred_retries": self.deferred_retries,
+            "reassignment_budget_exhausted": self.reassignment_budget_exhausted,
+            "degraded_mode_switches": self.degraded_mode_switches,
+            "degraded_mode_seconds": round(self.degraded_mode_seconds, 3),
         }
 
 

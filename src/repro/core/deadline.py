@@ -31,13 +31,14 @@ reassignment).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..model.worker import WorkerProfile
 from ..stats.duration_models import DurationModelFamily, PowerLawFamily
 from ..stats.powerlaw import FitMethod, PowerLawFit
+from .kernels.deadline import powerlaw_ccdf_grid, powerlaw_ccdf_values
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,16 @@ class DeadlineEstimator:
         self._fit_cache[worker.worker_id] = (worker.completed_tasks, fit)
         return fit
 
+    def evict(self, worker_id: int) -> None:
+        """Drop a worker's cached fit (called when he leaves the region).
+
+        Without eviction the cache grows monotonically under churn — every
+        worker who ever completed ``min_history`` tasks stays resident
+        forever.  :class:`~repro.platform.profiling.ProfilingComponent`
+        invokes this from its deregister hook.
+        """
+        self._fit_cache.pop(worker_id, None)
+
     # ------------------------------------------------------------- Eq. (3)
     def completion_probability(
         self, worker: WorkerProfile, time_to_deadline: float
@@ -117,18 +128,31 @@ class DeadlineEstimator:
     ) -> np.ndarray:
         """Vectorized Eq. (3): (len(workers), len(ttd)) probabilities.
 
-        This is the graph-construction hot path: one CCDF evaluation per
-        worker over the whole deadline vector instead of a Python call per
-        candidate edge.
+        This is the graph-construction hot path.  Power-law fits (the
+        paper's model, and the overwhelmingly common case) are stacked into
+        per-worker ``alpha`` / ``k_min`` arrays and evaluated as a single
+        broadcasted power over the worker × TTD grid; any other fitted
+        family falls back to one vectorized ``ccdf`` call per worker.  Both
+        paths are bit-identical to the scalar :meth:`completion_probability`
+        (NumPy applies the same elementwise ``pow`` either way).
         """
         ttd = np.asarray(time_to_deadline, dtype=np.float64)
         out = np.empty((len(workers), len(ttd)), dtype=np.float64)
+        powerlaw_rows: list[int] = []
+        powerlaw_fits: list[PowerLawFit] = []
         for i, worker in enumerate(workers):
             fit = self.fit_worker(worker)
             if fit is None:
                 out[i, :] = 1.0
+            elif isinstance(fit, PowerLawFit):
+                powerlaw_rows.append(i)
+                powerlaw_fits.append(fit)
             else:
                 out[i, :] = 1.0 - fit.ccdf(ttd)
+        if powerlaw_rows:
+            alpha = np.array([f.alpha for f in powerlaw_fits], dtype=np.float64)
+            k_min = np.array([f.k_min for f in powerlaw_fits], dtype=np.float64)
+            out[powerlaw_rows, :] = 1.0 - powerlaw_ccdf_grid(alpha, k_min, ttd)
         # Expired deadlines can never be met, trained or not.
         out[:, ttd <= 0] = 0.0
         return np.clip(out, 0.0, 1.0)
@@ -158,6 +182,66 @@ class DeadlineEstimator:
         # negative values the formula yields when t < k_min (both CCDFs 1).
         prob = float(fit.ccdf(elapsed)) - float(fit.ccdf(time_to_deadline))
         return DeadlineEstimate(probability=min(max(prob, 0.0), 1.0), fit=fit, trained=True)
+
+    def window_probability_batch(
+        self,
+        workers: Sequence[WorkerProfile],
+        elapsed: np.ndarray,
+        time_to_deadline: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized Eq. (2): one probability per (worker, window) row.
+
+        ``workers[i]`` has been executing for ``elapsed[i]`` seconds against
+        window ``time_to_deadline[i]``; this is the Dynamic Assignment sweep
+        shape — all assigned tasks evaluated in one batch call.
+
+        Returns ``(probabilities, trained)``.  Rows with ``trained`` False
+        (untrained worker, or window already closed) carry the same
+        probability the scalar :meth:`window_probability` reports (1.0 and
+        0.0 respectively); power-law rows are evaluated with stacked
+        ``alpha`` / ``k_min`` arrays, bit-identically to the scalar path.
+        """
+        elapsed = np.asarray(elapsed, dtype=np.float64)
+        ttd = np.asarray(time_to_deadline, dtype=np.float64)
+        n = len(workers)
+        if elapsed.shape != (n,) or ttd.shape != (n,):
+            raise ValueError(
+                f"elapsed/time_to_deadline must be ({n},) arrays, "
+                f"got {elapsed.shape} and {ttd.shape}"
+            )
+        if n and elapsed.min() < 0:
+            raise ValueError(f"elapsed must be non-negative, got {elapsed.min()}")
+
+        probs = np.ones(n, dtype=np.float64)
+        trained = np.zeros(n, dtype=bool)
+        closed = ttd <= elapsed
+        probs[closed] = 0.0
+
+        powerlaw_rows: list[int] = []
+        powerlaw_fits: list[PowerLawFit] = []
+        for i, worker in enumerate(workers):
+            if closed[i]:
+                continue
+            fit = self.fit_worker(worker)
+            if fit is None:
+                continue
+            if isinstance(fit, PowerLawFit):
+                powerlaw_rows.append(i)
+                powerlaw_fits.append(fit)
+            else:
+                p = float(fit.ccdf(elapsed[i])) - float(fit.ccdf(ttd[i]))
+                probs[i] = min(max(p, 0.0), 1.0)
+                trained[i] = True
+        if powerlaw_rows:
+            rows = np.asarray(powerlaw_rows, dtype=np.int64)
+            alpha = np.array([f.alpha for f in powerlaw_fits], dtype=np.float64)
+            k_min = np.array([f.k_min for f in powerlaw_fits], dtype=np.float64)
+            p = powerlaw_ccdf_values(alpha, k_min, elapsed[rows]) - powerlaw_ccdf_values(
+                alpha, k_min, ttd[rows]
+            )
+            probs[rows] = np.clip(p, 0.0, 1.0)
+            trained[rows] = True
+        return probs, trained
 
     def should_reassign(
         self,

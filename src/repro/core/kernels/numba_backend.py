@@ -1,0 +1,176 @@
+"""Optional numba JIT backend for the matching kernels.
+
+Importing this module requires numba; the kernels package only does so after
+a successful auto-detection, so environments without numba never touch it.
+Compilation is lazy (first call per signature) and cached on disk where
+numba's cache directory is writable.
+
+The loops mirror :mod:`repro.core.kernels.reference` operation for
+operation: same comparisons on the same float64 values, same pre-drawn
+random sequences, so the JIT path is bit-equivalent to the reference and
+pure-Python paths (``math.exp`` lowers to the same libm call CPython uses).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+from numba import njit
+
+from .reference import NO_EDGE
+
+
+@njit(cache=True)
+def _react_loop(ew, et, wt, n_workers, n_tasks, picks, alphas, inv_k):
+    n_edges = wt.shape[0]
+    budget = picks.shape[0]
+    selected = np.zeros(n_edges, dtype=np.uint8)
+    worker_edge = np.full(n_workers, NO_EDGE, dtype=np.int64)
+    task_edge = np.full(n_tasks, NO_EDGE, dtype=np.int64)
+    stats = np.zeros(4, dtype=np.int64)  # add, evict, remove, rejected
+
+    for cycle in range(budget):
+        e = picks[cycle]
+        if selected[e]:
+            w = wt[e]
+            if w <= 0.0:
+                selected[e] = 0
+                worker_edge[ew[e]] = NO_EDGE
+                task_edge[et[e]] = NO_EDGE
+                stats[2] += 1
+            elif alphas[cycle] <= math.exp(-w * inv_k):
+                selected[e] = 0
+                worker_edge[ew[e]] = NO_EDGE
+                task_edge[et[e]] = NO_EDGE
+                stats[2] += 1
+            else:
+                stats[3] += 1
+            continue
+
+        wi = ew[e]
+        tj = et[e]
+        conflict_w = worker_edge[wi]
+        conflict_t = task_edge[tj]
+        if conflict_w == NO_EDGE and conflict_t == NO_EDGE:
+            selected[e] = 1
+            worker_edge[wi] = e
+            task_edge[tj] = e
+            stats[0] += 1
+            continue
+
+        w_new = wt[e]
+        if conflict_w != NO_EDGE and wt[conflict_w] >= w_new:
+            stats[3] += 1
+            continue
+        if conflict_t != NO_EDGE and wt[conflict_t] >= w_new:
+            stats[3] += 1
+            continue
+        if conflict_w != NO_EDGE:
+            selected[conflict_w] = 0
+            worker_edge[ew[conflict_w]] = NO_EDGE
+            task_edge[et[conflict_w]] = NO_EDGE
+        if conflict_t != NO_EDGE:
+            selected[conflict_t] = 0
+            worker_edge[ew[conflict_t]] = NO_EDGE
+            task_edge[et[conflict_t]] = NO_EDGE
+        selected[e] = 1
+        worker_edge[wi] = e
+        task_edge[tj] = e
+        stats[1] += 1
+
+    return selected, stats
+
+
+@njit(cache=True)
+def _metropolis_loop(ew, et, wt, n_workers, n_tasks, picks, alphas, inv_k):
+    n_edges = wt.shape[0]
+    cycles = picks.shape[0]
+    selected = np.zeros(n_edges, dtype=np.uint8)
+    worker_edge = np.full(n_workers, NO_EDGE, dtype=np.int64)
+    task_edge = np.full(n_tasks, NO_EDGE, dtype=np.int64)
+    stats = np.zeros(4, dtype=np.int64)  # add, remove, collapses, rejected
+    g = 0.0
+
+    for cycle in range(cycles):
+        e = picks[cycle]
+        if selected[e]:
+            w = wt[e]
+            if w <= 0.0 or alphas[cycle] <= math.exp(-w * inv_k):
+                selected[e] = 0
+                worker_edge[ew[e]] = NO_EDGE
+                task_edge[et[e]] = NO_EDGE
+                g = max(0.0, g - w)
+                stats[1] += 1
+            else:
+                stats[3] += 1
+            continue
+
+        wi = ew[e]
+        tj = et[e]
+        if worker_edge[wi] == NO_EDGE and task_edge[tj] == NO_EDGE:
+            selected[e] = 1
+            worker_edge[wi] = e
+            task_edge[tj] = e
+            g += wt[e]
+            stats[0] += 1
+            continue
+
+        if g > 0.0 and alphas[cycle] > math.exp(-g * inv_k):
+            stats[3] += 1
+            continue
+        selected[:] = 0
+        worker_edge[:] = NO_EDGE
+        task_edge[:] = NO_EDGE
+        selected[e] = 1
+        worker_edge[wi] = e
+        task_edge[tj] = e
+        g = wt[e]
+        stats[2] += 1
+
+    return selected, stats
+
+
+def react_match(
+    ew: np.ndarray,
+    et: np.ndarray,
+    wt: np.ndarray,
+    n_workers: int,
+    n_tasks: int,
+    picks: np.ndarray,
+    alphas: np.ndarray,
+    inv_k: float,
+) -> Tuple[np.ndarray, Dict[str, int]]:
+    selected, s = _react_loop(
+        ew, et, wt, np.int64(n_workers), np.int64(n_tasks), picks, alphas, inv_k
+    )
+    stats = {
+        "accepted_add": int(s[0]),
+        "accepted_evict": int(s[1]),
+        "accepted_remove": int(s[2]),
+        "rejected": int(s[3]),
+    }
+    return np.flatnonzero(selected), stats
+
+
+def metropolis_match(
+    ew: np.ndarray,
+    et: np.ndarray,
+    wt: np.ndarray,
+    n_workers: int,
+    n_tasks: int,
+    picks: np.ndarray,
+    alphas: np.ndarray,
+    inv_k: float,
+) -> Tuple[np.ndarray, Dict[str, int]]:
+    selected, s = _metropolis_loop(
+        ew, et, wt, np.int64(n_workers), np.int64(n_tasks), picks, alphas, inv_k
+    )
+    stats = {
+        "accepted_add": int(s[0]),
+        "accepted_remove": int(s[1]),
+        "collapses": int(s[2]),
+        "rejected": int(s[3]),
+    }
+    return np.flatnonzero(selected), stats

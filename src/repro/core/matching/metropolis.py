@@ -19,15 +19,14 @@ one, so at equal cycles REACT reaches higher output.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
 from ...graph.bipartite import BipartiteGraph
+from .. import kernels
 from .base import Matcher, MatchingResult, empty_result
-from .react import NO_EDGE
 
 
 @dataclass(frozen=True)
@@ -45,12 +44,22 @@ class MetropolisParameters:
 
 
 class MetropolisMatcher(Matcher):
-    """MCMC matcher without conflict eviction."""
+    """MCMC matcher without conflict eviction.
+
+    Like :class:`~repro.core.matching.react.ReactMatcher`, the cycle loop
+    runs on a bit-equivalent kernel backend (:mod:`repro.core.kernels`);
+    ``backend`` pins one explicitly, the default is auto-detected.
+    """
 
     name = "metropolis"
 
-    def __init__(self, params: Optional[MetropolisParameters] = None) -> None:
+    def __init__(
+        self,
+        params: Optional[MetropolisParameters] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.params = params or MetropolisParameters()
+        self.backend = backend
 
     def match(
         self, graph: BipartiteGraph, rng: Optional[np.random.Generator] = None
@@ -60,70 +69,24 @@ class MetropolisMatcher(Matcher):
         rng = self._rng(rng)
         params = self.params
 
-        ew = graph.edge_workers
-        et = graph.edge_tasks
-        wt = graph.edge_weights
-
-        selected = np.zeros(graph.n_edges, dtype=bool)
-        worker_edge = np.full(graph.n_workers, NO_EDGE, dtype=np.int64)
-        task_edge = np.full(graph.n_tasks, NO_EDGE, dtype=np.int64)
-        g = 0.0
-
         picks = rng.integers(0, graph.n_edges, size=params.cycles)
         alphas = rng.random(params.cycles)
-        inv_k = 1.0 / params.k_constant
 
-        accepted_add = accepted_remove = collapses = rejected = 0
-
-        for cycle in range(params.cycles):
-            e = int(picks[cycle])
-            if selected[e]:
-                w = wt[e]
-                if w <= 0.0 or alphas[cycle] <= math.exp(-w * inv_k):
-                    selected[e] = False
-                    worker_edge[ew[e]] = NO_EDGE
-                    task_edge[et[e]] = NO_EDGE
-                    g = max(0.0, g - w)
-                    accepted_remove += 1
-                else:
-                    rejected += 1
-                continue
-
-            wi = ew[e]
-            tj = et[e]
-            if worker_edge[wi] == NO_EDGE and task_edge[tj] == NO_EDGE:
-                selected[e] = True
-                worker_edge[wi] = e
-                task_edge[tj] = e
-                g += wt[e]
-                accepted_add += 1
-                continue
-
-            # Conflicting addition: g(x') = 0, accept with exp((0 - g)/K).
-            if g > 0.0 and alphas[cycle] > math.exp(-g * inv_k):
-                rejected += 1
-                continue
-            # Accepted a zero-fitness state: the matching collapses to the
-            # single new edge (all previously selected edges are dropped so
-            # the state is a valid matching again).
-            selected[:] = False
-            worker_edge[:] = NO_EDGE
-            task_edge[:] = NO_EDGE
-            selected[e] = True
-            worker_edge[wi] = e
-            task_edge[tj] = e
-            g = float(wt[e])
-            collapses += 1
-
+        edge_indices, stats = kernels.metropolis_match(
+            graph.edge_workers,
+            graph.edge_tasks,
+            graph.edge_weights,
+            graph.n_workers,
+            graph.n_tasks,
+            picks,
+            alphas,
+            1.0 / params.k_constant,
+            backend=self.backend,
+        )
         return MatchingResult(
             graph=graph,
-            edge_indices=np.flatnonzero(selected),
+            edge_indices=edge_indices,
             algorithm=self.name,
             cycles_used=params.cycles,
-            stats={
-                "accepted_add": accepted_add,
-                "accepted_remove": accepted_remove,
-                "collapses": collapses,
-                "rejected": rejected,
-            },
+            stats=stats,
         )

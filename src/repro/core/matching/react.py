@@ -33,10 +33,9 @@ from typing import Optional
 import numpy as np
 
 from ...graph.bipartite import BipartiteGraph
+from .. import kernels
+from ..kernels.reference import NO_EDGE  # noqa: F401  (re-exported sentinel)
 from .base import Matcher, MatchingResult, empty_result
-
-#: Sentinel for "vertex currently unmatched" in the index arrays.
-NO_EDGE = -1
 
 
 @dataclass(frozen=True)
@@ -85,12 +84,24 @@ class ReactParameters:
 
 
 class ReactMatcher(Matcher):
-    """Algorithm 1: randomized matching with conflict eviction."""
+    """Algorithm 1: randomized matching with conflict eviction.
+
+    The cycle loop runs on a kernel backend (``reference`` / ``python`` /
+    ``numba``, see :mod:`repro.core.kernels`); all backends are
+    bit-equivalent, so the choice only affects wall-clock speed.  ``backend``
+    pins one explicitly (the perf harness compares them); by default the
+    auto-detected fastest backend is used.
+    """
 
     name = "react"
 
-    def __init__(self, params: Optional[ReactParameters] = None) -> None:
+    def __init__(
+        self,
+        params: Optional[ReactParameters] = None,
+        backend: Optional[str] = None,
+    ) -> None:
         self.params = params or ReactParameters()
+        self.backend = backend
 
     def match(
         self, graph: BipartiteGraph, rng: Optional[np.random.Generator] = None
@@ -101,92 +112,29 @@ class ReactMatcher(Matcher):
         params = self.params
         budget = params.budget_for(graph.n_edges)
 
-        ew = graph.edge_workers
-        et = graph.edge_tasks
-        wt = graph.edge_weights
-
-        selected = np.zeros(graph.n_edges, dtype=bool)
-        worker_edge = np.full(graph.n_workers, NO_EDGE, dtype=np.int64)
-        task_edge = np.full(graph.n_tasks, NO_EDGE, dtype=np.int64)
-        g = 0.0
-
         # Pre-draw the random sequences in bulk: one edge choice and one
         # uniform acceptance draw per cycle (guide idiom — vectorize the RNG
-        # even when the loop itself is state-dependent).
+        # even when the loop itself is state-dependent).  Every kernel
+        # backend consumes exactly these two draws, so the stream position
+        # after a match is backend-independent.
         picks = rng.integers(0, graph.n_edges, size=budget)
         alphas = rng.random(budget)
 
-        accepted_add = accepted_evict = accepted_remove = rejected = 0
-        inv_k = 1.0 / params.k_constant
-
-        for cycle in range(budget):
-            e = int(picks[cycle])
-            if selected[e]:
-                # Flip removes edge e: g(x') = g - w_e <= g.
-                w = wt[e]
-                if w <= 0.0:
-                    # g(x') == g(x): accept (the >= branch of Algorithm 1).
-                    selected[e] = False
-                    worker_edge[ew[e]] = NO_EDGE
-                    task_edge[et[e]] = NO_EDGE
-                    accepted_remove += 1
-                elif alphas[cycle] <= math.exp(-w * inv_k):
-                    selected[e] = False
-                    worker_edge[ew[e]] = NO_EDGE
-                    task_edge[et[e]] = NO_EDGE
-                    g -= w
-                    accepted_remove += 1
-                else:
-                    rejected += 1
-                continue
-
-            wi = ew[e]
-            tj = et[e]
-            conflict_w = worker_edge[wi]
-            conflict_t = task_edge[tj]
-            if conflict_w == NO_EDGE and conflict_t == NO_EDGE:
-                # Conflict-free addition: g(x') = g + w >= g, always accept.
-                selected[e] = True
-                worker_edge[wi] = e
-                task_edge[tj] = e
-                g += wt[e]
-                accepted_add += 1
-                continue
-
-            # g(x') = 0 branch: new edge collides with one or two matched
-            # edges.  Accept only if it outweighs *every* one of them.
-            w_new = wt[e]
-            beats = True
-            if conflict_w != NO_EDGE and wt[conflict_w] >= w_new:
-                beats = False
-            if beats and conflict_t != NO_EDGE and wt[conflict_t] >= w_new:
-                beats = False
-            if not beats:
-                rejected += 1
-                continue
-            for old in {int(conflict_w), int(conflict_t)}:
-                if old == NO_EDGE:
-                    continue
-                selected[old] = False
-                worker_edge[ew[old]] = NO_EDGE
-                task_edge[et[old]] = NO_EDGE
-                g -= wt[old]
-            selected[e] = True
-            worker_edge[wi] = e
-            task_edge[tj] = e
-            g += w_new
-            accepted_evict += 1
-
-        result = MatchingResult(
+        edge_indices, stats = kernels.react_match(
+            graph.edge_workers,
+            graph.edge_tasks,
+            graph.edge_weights,
+            graph.n_workers,
+            graph.n_tasks,
+            picks,
+            alphas,
+            1.0 / params.k_constant,
+            backend=self.backend,
+        )
+        return MatchingResult(
             graph=graph,
-            edge_indices=np.flatnonzero(selected),
+            edge_indices=edge_indices,
             algorithm=self.name,
             cycles_used=budget,
-            stats={
-                "accepted_add": accepted_add,
-                "accepted_evict": accepted_evict,
-                "accepted_remove": accepted_remove,
-                "rejected": rejected,
-            },
+            stats=stats,
         )
-        return result

@@ -23,6 +23,7 @@ from .endtoend import run_comparison
 from .export import export_endtoend, export_matching_sweep, export_scalability
 from .voting import VotingConfig, report_voting, run_voting_comparison
 from .matching_bench import run_matching_sweep
+from .perf import run_bench
 from .reporting import (
     report_ablation,
     report_fig3,
@@ -154,6 +155,12 @@ def _run_chaos(quick: bool, out: Optional[str] = None) -> str:
     return report_chaos(run_chaos_comparison(config, schedule=schedule))
 
 
+def _run_bench(quick: bool, out: Optional[str] = None) -> str:
+    # BENCH_*.json go to the repo root (the perf-regression baseline files)
+    # unless --out redirects them, e.g. for scratch comparisons.
+    return run_bench(quick, out_dir=out)
+
+
 def _run_ablations(quick: bool, out: Optional[str] = None) -> str:
     blocks = [
         report_ablation(ablate_cycles()),
@@ -178,6 +185,7 @@ COMMANDS: Dict[str, Callable[..., str]] = {
     "ablations": _run_ablations,
     "voting": _run_voting,
     "chaos": _run_chaos,
+    "bench": _run_bench,
 }
 
 

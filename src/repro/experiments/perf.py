@@ -1,0 +1,320 @@
+"""Perf-regression micro-benchmarks for the hot paths.
+
+Times the three kernels the platform spends its wall-clock in — matcher
+inner loops, graph construction/pruning, and the Eq. 2 / Eq. 3 batch
+evaluators — and writes machine-readable baselines (``BENCH_matching.json``
+and ``BENCH_platform.json`` at the repo root) so regressions show up as a
+diff instead of a vague "the sweep feels slower".
+
+Every record follows one schema::
+
+    {"bench": ..., "params": {...}, "wall_seconds": ..., "throughput": ...,
+     "commit": ...}
+
+``wall_seconds`` is the median over ``repeats`` runs (the minimum is too
+flattering on shared CI runners, the mean too noisy); ``throughput`` is the
+bench-specific rate (cycles/s for matchers, edges/s for graph build,
+cells/s or rows/s for the deadline evaluators).
+
+Usage: ``python -m repro.experiments bench [--quick]`` or the thin driver
+``benchmarks/perf/run.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..core import kernels
+from ..core.deadline import DeadlineEstimator
+from ..core.matching.metropolis import MetropolisMatcher, MetropolisParameters
+from ..core.matching.react import ReactMatcher, ReactParameters
+from ..graph.bipartite import BipartiteGraph
+from ..model.task import TaskCategory
+from ..model.worker import WorkerProfile
+
+#: RNG seed shared by every bench so runs are comparable across commits.
+BENCH_SEED = 20130521  # IPDPS 2013 vintage
+
+
+@dataclass
+class BenchResult:
+    """One benchmark measurement in the BENCH_*.json schema."""
+
+    bench: str
+    params: Dict[str, object]
+    wall_seconds: float
+    throughput: float
+    commit: str = field(default="unknown")
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "bench": self.bench,
+            "params": self.params,
+            "wall_seconds": self.wall_seconds,
+            "throughput": self.throughput,
+            "commit": self.commit,
+        }
+
+
+def git_commit(repo_root: Optional[Path] = None) -> str:
+    """Current HEAD hash, or "unknown" outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+def _median_wall(run: Callable[[], None], repeats: int) -> float:
+    """Median wall-clock of ``repeats`` runs, after one untimed warmup.
+
+    The warmup absorbs one-time costs that are not the steady-state rate we
+    want to track: numba JIT compilation, lazy adjacency-cache builds, and
+    cold CPU caches.
+    """
+    run()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run()
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def _bench_graph(n_workers: int, n_tasks: int) -> BipartiteGraph:
+    """The matcher workload: a seeded full bipartite graph (worst case)."""
+    rng = np.random.default_rng(BENCH_SEED)
+    return BipartiteGraph.full(rng.random((n_workers, n_tasks)))
+
+
+# ------------------------------------------------------------------ matching
+def run_matching_benchmarks(quick: bool = False) -> List[BenchResult]:
+    """Matcher cycles/sec per backend, on the Fig. 3/4 worst-case graph.
+
+    The "reference" backend is the seed implementation kept verbatim in
+    :mod:`repro.core.kernels.reference`; its record is the denominator for
+    the ``speedup_vs_reference`` recorded on every optimized backend.
+    """
+    n = 50 if quick else 200
+    cycles = 200 if quick else 1000
+    repeats = 3 if quick else 5
+    graph = _bench_graph(n, n)
+    commit = git_commit()
+
+    backends = ["reference", "python"]
+    if "numba" in kernels.available_backends():
+        backends.append("numba")
+
+    matchers: Dict[str, Callable[[str], object]] = {
+        "react": lambda backend: ReactMatcher(
+            ReactParameters(cycles=cycles), backend=backend
+        ),
+        "metropolis": lambda backend: MetropolisMatcher(
+            MetropolisParameters(cycles=cycles), backend=backend
+        ),
+    }
+
+    results: List[BenchResult] = []
+    for name, make in matchers.items():
+        reference_wall: Optional[float] = None
+        for backend in backends:
+            matcher = make(backend)
+
+            def run() -> None:
+                matcher.match(graph, np.random.default_rng(BENCH_SEED))
+
+            wall = _median_wall(run, repeats)
+            params: Dict[str, object] = {
+                "matcher": name,
+                "backend": backend,
+                "n_workers": n,
+                "n_tasks": n,
+                "n_edges": graph.n_edges,
+                "cycles": cycles,
+                "repeats": repeats,
+            }
+            if backend == "reference":
+                reference_wall = wall
+            elif reference_wall is not None:
+                params["speedup_vs_reference"] = reference_wall / wall
+            results.append(
+                BenchResult(
+                    bench=f"{name}_match",
+                    params=params,
+                    wall_seconds=wall,
+                    throughput=cycles / wall,
+                    commit=commit,
+                )
+            )
+    return results
+
+
+# ------------------------------------------------------------------ platform
+def _trained_workers(count: int, history: int) -> List[WorkerProfile]:
+    """Workers with heavy-tailed histories, as the estimator sees them."""
+    rng = np.random.default_rng(BENCH_SEED)
+    workers = []
+    for worker_id in range(count):
+        profile = WorkerProfile(worker_id=worker_id)
+        for duration in 5.0 + rng.pareto(2.5, size=history) * 20.0:
+            profile.record_completion(
+                float(duration), TaskCategory.GENERIC, positive_feedback=True
+            )
+        workers.append(profile)
+    return workers
+
+
+def run_platform_benchmarks(quick: bool = False) -> List[BenchResult]:
+    """Graph build/prune and Eq. 2 / Eq. 3 batch-evaluation throughput."""
+    n = 100 if quick else 400
+    n_workers = 50 if quick else 200
+    n_ttd = 64 if quick else 256
+    history = 30
+    repeats = 3 if quick else 5
+    commit = git_commit()
+    results: List[BenchResult] = []
+
+    # Graph construction + pruning: from_dense validation, the trusted
+    # pruning path, and one adjacency query to force the CSR build.
+    dense = np.random.default_rng(BENCH_SEED).random((n, n))
+
+    def build() -> None:
+        graph = BipartiteGraph.full(dense).prune_below(0.25)
+        graph.edges_of_task(0)
+
+    wall = _median_wall(build, repeats)
+    results.append(
+        BenchResult(
+            bench="graph_build_prune",
+            params={"n_workers": n, "n_tasks": n, "n_edges": n * n, "repeats": repeats},
+            wall_seconds=wall,
+            throughput=n * n / wall,
+            commit=commit,
+        )
+    )
+
+    # Eq. 3 matrix (graph-construction hot path).  Fits are warmed first so
+    # the record tracks evaluation throughput, not one-off fitting cost.
+    estimator = DeadlineEstimator(min_history=3)
+    workers = _trained_workers(n_workers, history)
+    ttd = np.linspace(1.0, 300.0, n_ttd)
+
+    def eq3() -> None:
+        estimator.completion_probability_matrix(workers, ttd)
+
+    wall = _median_wall(eq3, repeats)
+    results.append(
+        BenchResult(
+            bench="eq3_matrix",
+            params={
+                "n_workers": n_workers,
+                "n_ttd": n_ttd,
+                "history": history,
+                "repeats": repeats,
+            },
+            wall_seconds=wall,
+            throughput=n_workers * n_ttd / wall,
+            commit=commit,
+        )
+    )
+
+    # Eq. 2 sweep (Dynamic Assignment hot path): one batch call per sweep,
+    # looped because a single call is microseconds.
+    sweep_rng = np.random.default_rng(BENCH_SEED)
+    elapsed = sweep_rng.uniform(0.0, 60.0, size=n_workers)
+    windows = elapsed + sweep_rng.uniform(1.0, 120.0, size=n_workers)
+    iters = 50 if quick else 200
+
+    def eq2() -> None:
+        for _ in range(iters):
+            estimator.window_probability_batch(workers, elapsed, windows)
+
+    wall = _median_wall(eq2, repeats)
+    results.append(
+        BenchResult(
+            bench="eq2_sweep",
+            params={
+                "n_rows": n_workers,
+                "iters": iters,
+                "history": history,
+                "repeats": repeats,
+            },
+            wall_seconds=wall,
+            throughput=iters * n_workers / wall,
+            commit=commit,
+        )
+    )
+    return results
+
+
+# ------------------------------------------------------------------- driver
+def repo_root() -> Path:
+    """Git toplevel if available, else the current directory."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return Path.cwd()
+    return Path(out.stdout.strip()) if out.returncode == 0 else Path.cwd()
+
+
+def write_bench_file(path: Path, results: List[BenchResult]) -> Path:
+    path.write_text(
+        json.dumps([r.to_dict() for r in results], indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def format_report(results: List[BenchResult]) -> str:
+    lines = [
+        f"{'bench':<22} {'backend':<10} {'wall (ms)':>10} {'throughput':>14} {'speedup':>8}"
+    ]
+    for r in results:
+        backend = str(r.params.get("backend", "-"))
+        speedup = r.params.get("speedup_vs_reference")
+        lines.append(
+            f"{r.bench:<22} {backend:<10} {r.wall_seconds * 1e3:>10.2f} "
+            f"{r.throughput:>14.0f} "
+            f"{f'{speedup:.2f}x' if speedup is not None else '-':>8}"
+        )
+    return "\n".join(lines)
+
+
+def run_bench(quick: bool = False, out_dir: Optional[Path] = None) -> str:
+    """Run every bench, write BENCH_*.json, return the text report."""
+    out_dir = repo_root() if out_dir is None else Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    matching = run_matching_benchmarks(quick)
+    platform = run_platform_benchmarks(quick)
+    written = [
+        write_bench_file(out_dir / "BENCH_matching.json", matching),
+        write_bench_file(out_dir / "BENCH_platform.json", platform),
+    ]
+    report = [
+        "# Perf micro-benchmarks"
+        + (" (--quick)" if quick else "")
+        + f" [backends: {', '.join(kernels.available_backends())};"
+        + f" active: {kernels.active_backend()}]",
+        format_report(matching + platform),
+    ]
+    report.extend(f"# wrote {p}" for p in written)
+    return "\n".join(report)

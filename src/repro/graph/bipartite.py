@@ -68,6 +68,66 @@ class BipartiteGraph:
             if len(np.unique(keys)) != len(keys):
                 raise ValueError("duplicate (worker, task) edges")
 
+    @classmethod
+    def _trusted(
+        cls,
+        n_workers: int,
+        n_tasks: int,
+        edge_workers: np.ndarray,
+        edge_tasks: np.ndarray,
+        edge_weights: np.ndarray,
+    ) -> "BipartiteGraph":
+        """Construct without re-running the O(E) validation scans.
+
+        Internal fast path for derivations that provably preserve every
+        invariant — e.g. pruning, which takes a subset of already-validated
+        edge arrays.  Callers must pass contiguous arrays of the canonical
+        dtypes (boolean/fancy indexing of validated arrays yields exactly
+        that).
+        """
+        graph = object.__new__(cls)
+        object.__setattr__(graph, "n_workers", n_workers)
+        object.__setattr__(graph, "n_tasks", n_tasks)
+        object.__setattr__(graph, "edge_workers", edge_workers)
+        object.__setattr__(graph, "edge_tasks", edge_tasks)
+        object.__setattr__(graph, "edge_weights", edge_weights)
+        return graph
+
+    # ------------------------------------------------------- lazy adjacency
+    def _cache(self) -> dict:
+        """Per-instance cache for derived structures (lazy, never pickled).
+
+        Created on first use so both construction paths (validated and
+        trusted) share it; the graph's edge arrays are immutable, so cached
+        derivations stay valid for the instance's lifetime.
+        """
+        cache = self.__dict__.get("_derived_cache")
+        if cache is None:
+            cache = {}
+            object.__setattr__(self, "_derived_cache", cache)
+        return cache
+
+    def _csr(self, axis: str) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR adjacency over ``axis`` ("worker" or "task").
+
+        Returns ``(indptr, order)``: ``order[indptr[v]:indptr[v+1]]`` are
+        the edge indices incident to vertex ``v``, ascending (stable sort
+        preserves edge-array order inside each bucket, matching what the
+        old ``np.flatnonzero`` scans returned).
+        """
+        cache = self._cache()
+        key = f"csr_{axis}"
+        if key not in cache:
+            if axis == "worker":
+                ids, n = self.edge_workers, self.n_workers
+            else:
+                ids, n = self.edge_tasks, self.n_tasks
+            order = np.argsort(ids, kind="stable")
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(np.bincount(ids, minlength=n), out=indptr[1:])
+            cache[key] = (indptr, order)
+        return cache[key]
+
     # ------------------------------------------------------------ queries
     @property
     def n_edges(self) -> int:
@@ -83,18 +143,34 @@ class BipartiteGraph:
         return min(self.n_workers, self.n_tasks)
 
     def worker_degrees(self) -> np.ndarray:
-        return np.bincount(self.edge_workers, minlength=self.n_workers)
+        cache = self._cache()
+        if "worker_degrees" not in cache:
+            cache["worker_degrees"] = np.bincount(
+                self.edge_workers, minlength=self.n_workers
+            )
+        return cache["worker_degrees"].copy()
 
     def task_degrees(self) -> np.ndarray:
-        return np.bincount(self.edge_tasks, minlength=self.n_tasks)
+        cache = self._cache()
+        if "task_degrees" not in cache:
+            cache["task_degrees"] = np.bincount(
+                self.edge_tasks, minlength=self.n_tasks
+            )
+        return cache["task_degrees"].copy()
 
     def edges_of_task(self, task: int) -> np.ndarray:
-        """Edge indices incident to ``task``."""
-        return np.flatnonzero(self.edge_tasks == task)
+        """Edge indices incident to ``task``, ascending."""
+        if not 0 <= task < self.n_tasks:
+            return np.empty(0, dtype=np.int64)
+        indptr, order = self._csr("task")
+        return order[indptr[task] : indptr[task + 1]]
 
     def edges_of_worker(self, worker: int) -> np.ndarray:
-        """Edge indices incident to ``worker``."""
-        return np.flatnonzero(self.edge_workers == worker)
+        """Edge indices incident to ``worker``, ascending."""
+        if not 0 <= worker < self.n_workers:
+            return np.empty(0, dtype=np.int64)
+        indptr, order = self._csr("worker")
+        return order[indptr[worker] : indptr[worker + 1]]
 
     def to_dense(self, fill: float = np.nan) -> np.ndarray:
         """(n_workers, n_tasks) weight matrix; absent edges take ``fill``."""
@@ -174,7 +250,10 @@ class BipartiteGraph:
         keep = np.asarray(keep, dtype=bool)
         if keep.shape != (self.n_edges,):
             raise ValueError("keep mask must have one entry per edge")
-        return BipartiteGraph(
+        # A subset of validated edges cannot violate any invariant (index
+        # ranges, finiteness, non-negativity, pair uniqueness), so skip the
+        # O(E) re-validation scans via the trusted constructor.
+        return BipartiteGraph._trusted(
             n_workers=self.n_workers,
             n_tasks=self.n_tasks,
             edge_workers=self.edge_workers[keep],

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..core.deadline import DeadlineEstimator
 from ..model.task import Task
 from ..sim.engine import Engine
@@ -86,27 +88,64 @@ class DynamicAssignmentComponent:
     def sweep(self, now: float) -> int:
         """Evaluate Eq. (2) for every running task; withdraw the hopeless.
 
+        All assigned tasks are evaluated in one batched estimator call
+        (stacked power-law parameters, see
+        :meth:`~repro.core.deadline.DeadlineEstimator.window_probability_batch`)
+        before any withdrawal is materialized; withdrawals then happen in
+        the same task order as the original per-task loop.  The one
+        sequential dependency is preserved explicitly: a withdrawal feeds a
+        censored observation into the worker's history, so in the rare case
+        the same worker backs *another* assigned task later in the sweep
+        (the silent-abandonment re-match race), that task is re-evaluated
+        against the updated profile instead of using the batch value.
+
         Returns the number of withdrawals performed this sweep.
         """
         if self.suspended:
             return 0
-        pulled = 0
-        for task in self._tasks.assigned_tasks():
+        tasks = self._tasks.assigned_tasks()
+        if not tasks:
+            return 0
+        threshold = self._policy.reassign_threshold
+        if not (0.0 <= threshold <= 1.0):
+            raise ValueError(f"threshold must be in [0,1], got {threshold}")
+
+        profiles = []
+        elapsed = np.empty(len(tasks), dtype=np.float64)
+        ttd = np.empty(len(tasks), dtype=np.float64)
+        for idx, task in enumerate(tasks):
             worker_id = task.assigned_worker
             assert worker_id is not None and task.assigned_at is not None
-            profile = self._profiles.get(worker_id)
-            elapsed = now - task.assigned_at
+            profiles.append(self._profiles.get(worker_id))
+            elapsed[idx] = now - task.assigned_at
             # TimeToDeadline_ij is anchored at the assignment instant.
-            ttd = task.absolute_deadline - task.assigned_at
-            if not self._estimator.should_reassign(
-                profile, elapsed, ttd, self._policy.reassign_threshold
-            ):
-                continue
-            estimate = self._estimator.window_probability(profile, elapsed, ttd)
+            ttd[idx] = task.absolute_deadline - task.assigned_at
+        probs, trained = self._estimator.window_probability_batch(
+            profiles, elapsed, ttd
+        )
+
+        pulled = 0
+        withdrawn_workers: set[int] = set()
+        for idx, task in enumerate(tasks):
+            worker_id = task.assigned_worker
+            assert worker_id is not None
+            if worker_id in withdrawn_workers:
+                # This worker's history changed earlier in the sweep;
+                # re-evaluate sequentially (matches the pre-batch loop).
+                estimate = self._estimator.window_probability(
+                    profiles[idx], float(elapsed[idx]), float(ttd[idx])
+                )
+                if not estimate.trained or estimate.probability >= threshold:
+                    continue
+                probability = estimate.probability
+            else:
+                if not trained[idx] or probs[idx] >= threshold:
+                    continue
+                probability = float(probs[idx])
             self._tasks.withdraw(task)
             self._profiles.record_withdrawal(
                 worker_id,
-                elapsed=elapsed,
+                elapsed=float(elapsed[idx]),
                 release=self._policy.release_on_reassign,
                 task_id=task.task_id,
             )
@@ -115,10 +154,11 @@ class DynamicAssignmentComponent:
                     time=now,
                     task_id=task.task_id,
                     worker_id=worker_id,
-                    elapsed=elapsed,
-                    probability=estimate.probability,
+                    elapsed=float(elapsed[idx]),
+                    probability=probability,
                 )
             )
+            withdrawn_workers.add(worker_id)
             pulled += 1
             self._on_withdraw(task)
         return pulled

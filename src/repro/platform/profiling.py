@@ -25,6 +25,7 @@ class ProfilingComponent:
         #: stored, letting fault injection feed the profiler stale or
         #: corrupted measurements without touching the true outcome.
         self.observation_hook: Optional[Callable[[int, float], float]] = None
+        self._deregister_hooks: List[Callable[[int], None]] = []
 
     # ---------------------------------------------------------- membership
     def register(self, profile: WorkerProfile) -> None:
@@ -32,9 +33,21 @@ class ProfilingComponent:
             raise ValueError(f"worker {profile.worker_id} is already registered")
         self._profiles[profile.worker_id] = profile
 
+    def add_deregister_hook(self, hook: Callable[[int], None]) -> None:
+        """Subscribe to worker departures (churn / region migration).
+
+        Used to invalidate per-worker caches held elsewhere — notably the
+        :class:`~repro.core.deadline.DeadlineEstimator` fit cache, which
+        would otherwise retain an entry for every worker that ever trained.
+        """
+        self._deregister_hooks.append(hook)
+
     def deregister(self, worker_id: int) -> WorkerProfile:
         """Remove a worker (churn); raises ``KeyError`` if unknown."""
-        return self._profiles.pop(worker_id)
+        profile = self._profiles.pop(worker_id)
+        for hook in self._deregister_hooks:
+            hook(worker_id)
+        return profile
 
     def get(self, worker_id: int) -> WorkerProfile:
         return self._profiles[worker_id]

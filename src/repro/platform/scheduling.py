@@ -121,9 +121,23 @@ class SchedulingComponent:
         return True
 
     def periodic_trigger(self, now: float) -> None:
-        """Fallback periodic trigger (drains stragglers below threshold)."""
-        if not self._busy and not self.suspended and self._tasks.unassigned_count > 0:
-            self._start_batch()
+        """Fallback periodic trigger (drains stragglers below threshold).
+
+        Mirrors :meth:`maybe_trigger`'s free-worker guard: with nobody to
+        match, a batch would only burn simulated matcher latency and churn
+        the event queue before returning every task to the queue.  Queued
+        tasks whose deadline lapses while no worker is around are still
+        retired on schedule — just without the pointless batch.
+        """
+        if self._busy or self.suspended or self._tasks.unassigned_count == 0:
+            return
+        if not self._profiles.available_workers():
+            if not self._policy.assign_expired:
+                retired = self._tasks.retire_expired(now)
+                if retired:
+                    self._on_retired(retired)
+            return
+        self._start_batch()
 
     # --------------------------------------------------------------- batch
     def _start_batch(self) -> None:

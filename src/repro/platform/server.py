@@ -78,6 +78,9 @@ class REACTServer:
             min_history=policy.min_history,
             family=make_family(policy.duration_model),
         )
+        # A departing worker's fit must not linger in the estimator cache
+        # (unbounded growth under churn; stale entry if his id is reused).
+        self.profiling.add_deregister_hook(self.estimator.evict)
 
         # With the probabilistic model off (traditional), edges are never
         # pruned: bound 0 keeps every candidate edge.

@@ -110,6 +110,21 @@ class TaskManagementComponent:
             self._finished[task.task_id] = task
         return batch, retired
 
+    def retire_expired(self, now: float) -> List[Task]:
+        """Expire overdue queued tasks in place, without a batch checkout.
+
+        Used by the periodic trigger when no worker is available: the
+        expired-at-checkout retirement still has to happen on schedule, but
+        starting a matcher batch just to run it would burn simulated latency
+        on an empty worker set.
+        """
+        retired = [t for t in self._unassigned.values() if t.is_expired(now)]
+        for task in retired:
+            del self._unassigned[task.task_id]
+            task.mark_expired()
+            self._finished[task.task_id] = task
+        return retired
+
     def commit_assignment(self, task: Task, worker_id: int, now: float) -> None:
         """A batch result assigned ``task`` to ``worker_id``."""
         if task.task_id not in self._in_batch:

@@ -9,7 +9,7 @@ class TestDispatch:
     def test_all_figures_registered(self):
         expected = {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "case-study", "ablations", "voting", "chaos",
+            "case-study", "ablations", "voting", "chaos", "bench",
         }
         assert set(COMMANDS) == expected
 

@@ -1,0 +1,64 @@
+"""Smoke tests for the perf-regression harness (quick sizes only)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.cli import COMMANDS
+from repro.experiments.perf import (
+    BenchResult,
+    format_report,
+    run_bench,
+    run_matching_benchmarks,
+)
+
+SCHEMA_KEYS = {"bench", "params", "wall_seconds", "throughput", "commit"}
+
+
+class TestMatchingBenchmarks:
+    def test_quick_run_schema_and_speedup(self):
+        results = run_matching_benchmarks(quick=True)
+        assert {r.bench for r in results} == {"react_match", "metropolis_match"}
+        for r in results:
+            assert set(r.to_dict()) == SCHEMA_KEYS
+            assert r.wall_seconds > 0
+            assert r.throughput > 0
+            if r.params["backend"] == "reference":
+                assert "speedup_vs_reference" not in r.params
+            else:
+                assert r.params["speedup_vs_reference"] > 0
+
+    def test_backends_covered(self):
+        from repro.core import kernels
+
+        results = run_matching_benchmarks(quick=True)
+        react_backends = {
+            r.params["backend"] for r in results if r.bench == "react_match"
+        }
+        assert react_backends == set(kernels.available_backends())
+
+
+class TestDriver:
+    def test_run_bench_writes_json_files(self, tmp_path):
+        report = run_bench(quick=True, out_dir=tmp_path)
+        for name in ("BENCH_matching.json", "BENCH_platform.json"):
+            payload = json.loads((tmp_path / name).read_text())
+            assert isinstance(payload, list) and payload
+            for record in payload:
+                assert set(record) == SCHEMA_KEYS
+            assert name in report
+        platform = json.loads((tmp_path / "BENCH_platform.json").read_text())
+        assert {r["bench"] for r in platform} == {
+            "graph_build_prune",
+            "eq3_matrix",
+            "eq2_sweep",
+        }
+
+    def test_format_report_handles_missing_backend(self):
+        text = format_report(
+            [BenchResult("x", {}, wall_seconds=0.5, throughput=2.0)]
+        )
+        assert "x" in text
+
+    def test_cli_exposes_bench_command(self):
+        assert "bench" in COMMANDS

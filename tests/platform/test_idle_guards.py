@@ -1,0 +1,133 @@
+"""Worker-absence guards and cache hygiene added with the kernels layer.
+
+Three related behaviours:
+
+* the periodic batch trigger skips matching when no worker is available
+  (mirroring ``maybe_trigger``) but still retires expired queued tasks;
+* :meth:`TaskManagementComponent.retire_expired` implements that retirement
+  without a batch checkout;
+* the profiling deregister hook evicts departing workers from the
+  :class:`DeadlineEstimator` fit cache so churn cannot grow it unboundedly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.model.task import TaskPhase
+from repro.platform.policies import react_policy
+
+from .helpers import build_server, submit
+
+
+class TestPeriodicTriggerGuard:
+    def test_no_batch_without_available_workers(self):
+        engine, server = build_server(n_workers=0, start=True)
+        submit(server, engine, deadline=90.0)
+        engine.run(until=30.0)
+        assert server.scheduling.batches == []
+        assert server.task_management.unassigned_count == 1
+
+    def test_queued_tasks_still_expire_without_workers(self):
+        engine, server = build_server(n_workers=0, start=True)
+        task = submit(server, engine, deadline=20.0)
+        engine.run(until=60.0)
+        # No batch ever ran, yet the lapsed task left the queue on schedule.
+        assert server.scheduling.batches == []
+        assert task.phase is TaskPhase.EXPIRED
+        assert server.task_management.unassigned_count == 0
+        assert server.metrics.expired_unassigned >= 1
+
+    def test_batch_runs_once_a_worker_frees_up(self):
+        engine, server = build_server(n_workers=1, start=True)
+        submit(server, engine, deadline=500.0)
+        submit(server, engine, deadline=500.0)
+        engine.run(until=400.0)
+        # One worker serves both tasks sequentially: the second assignment
+        # needs the periodic trigger to fire after he frees up.
+        assert len(server.scheduling.batches) >= 2
+        assert server.metrics.completed == 2
+
+    def test_assign_expired_policy_still_batches_expired_tasks(self):
+        # With assign_expired=True lapsed tasks are still handed to the
+        # matcher, so the no-worker guard must not retire them.
+        engine, server = build_server(
+            n_workers=0,
+            policy=react_policy(batch_threshold=1, assign_expired=True),
+            start=True,
+        )
+        task = submit(server, engine, deadline=20.0)
+        engine.run(until=60.0)
+        assert task.phase is TaskPhase.UNASSIGNED
+        assert server.task_management.unassigned_count == 1
+
+
+class TestRetireExpired:
+    def test_moves_only_expired_tasks(self, make_task):
+        from repro.platform.task_management import TaskManagementComponent
+
+        tm = TaskManagementComponent()
+        fresh = make_task(deadline=100.0)
+        stale = make_task(deadline=10.0)
+        tm.add_task(fresh)
+        tm.add_task(stale)
+        retired = tm.retire_expired(now=50.0)
+        assert retired == [stale]
+        assert stale.phase is TaskPhase.EXPIRED
+        assert tm.unassigned_count == 1
+        assert tm.finished_count == 1
+        assert tm.get(fresh.task_id) is fresh
+
+    def test_noop_when_nothing_expired(self, make_task):
+        from repro.platform.task_management import TaskManagementComponent
+
+        tm = TaskManagementComponent()
+        tm.add_task(make_task(deadline=100.0))
+        assert tm.retire_expired(now=5.0) == []
+        assert tm.unassigned_count == 1
+
+
+class TestFitCacheEviction:
+    def _train(self, server, worker_id: int, n: int = 5) -> None:
+        profile = server.profiling.get(worker_id)
+        rng = np.random.default_rng(worker_id)
+        for t in 2.0 + rng.pareto(2.0, n) * 5.0:
+            from repro.model.task import TaskCategory
+
+            profile.record_completion(float(t), TaskCategory.GENERIC, True)
+
+    def test_deregister_evicts_cached_fit(self):
+        engine, server = build_server(n_workers=3, start=False)
+        self._train(server, 0)
+        fit = server.estimator.fit_worker(server.profiling.get(0))
+        assert fit is not None
+        assert 0 in server.estimator._fit_cache
+        server.profiling.deregister(0)
+        assert 0 not in server.estimator._fit_cache
+
+    def test_remove_worker_path_evicts(self):
+        engine, server = build_server(n_workers=2, start=True)
+        self._train(server, 1)
+        server.estimator.fit_worker(server.profiling.get(1))
+        assert 1 in server.estimator._fit_cache
+        server.remove_worker(1)
+        assert 1 not in server.estimator._fit_cache
+        # The remaining worker's fit is untouched.
+        self._train(server, 0)
+        server.estimator.fit_worker(server.profiling.get(0))
+        assert 0 in server.estimator._fit_cache
+
+    def test_evict_unknown_worker_is_noop(self):
+        engine, server = build_server(n_workers=1, start=False)
+        server.estimator.evict(12345)  # never fitted: must not raise
+
+    def test_hooks_run_for_every_subscriber(self):
+        engine, server = build_server(n_workers=1, start=False)
+        seen = []
+        server.profiling.add_deregister_hook(seen.append)
+        server.profiling.deregister(0)
+        assert seen == [0]
+        with pytest.raises(KeyError):
+            server.profiling.deregister(0)
+        assert seen == [0]  # hooks don't fire for failed deregistration

@@ -31,6 +31,8 @@ import numpy as np
 
 from ..model.task import Task
 from ..model.worker import WorkerProfile
+from ..obs.runtime import NULL_OBS
+from ..obs.trace import CHAOS_TRACK
 from ..sim.engine import Engine
 from ..sim.events import Event, EventKind
 from .faults import (
@@ -73,6 +75,17 @@ class FaultInjector:
         self._rng = np.random.default_rng(np.random.SeedSequence(schedule.seed))
         self.log: List[FaultLogEntry] = []
         self._armed = False
+        # Telemetry rides on the server's observability (no-op by default).
+        obs = getattr(server, "obs", NULL_OBS)
+        self._tracer = obs.tracer
+        self._obs_activations = obs.registry.counter(
+            "react_chaos_fault_activations_total",
+            "Fault activations performed by the injector",
+            labelnames=("kind",),
+        )
+        self._obs_active = obs.registry.gauge(
+            "react_chaos_faults_active", "Fault windows currently open"
+        )
         # Active-fault state; lists/counters so overlapping windows compose.
         self._active_stalls: List[MatcherStallFault] = []
         self._active_no_shows: List[NoShowFault] = []
@@ -131,6 +144,15 @@ class FaultInjector:
         self.log.append(
             FaultLogEntry(time=self.engine.now, kind=fault.kind, action="activate", detail=detail)
         )
+        self._obs_activations.labels(kind=fault.kind).inc()
+        self._obs_active.set(self._open_windows())
+        self._tracer.instant(
+            f"fault.{fault.kind}",
+            cat="chaos",
+            tid=CHAOS_TRACK,
+            action="activate",
+            detail=detail,
+        )
 
     def _deactivate(self, event: Event) -> None:
         fault: Fault = event.payload
@@ -150,6 +172,14 @@ class FaultInjector:
             detail = f"readopted={self._readopt(fault)}"
         self.log.append(
             FaultLogEntry(time=self.engine.now, kind=fault.kind, action="deactivate", detail=detail)
+        )
+        self._obs_active.set(self._open_windows())
+        self._tracer.instant(
+            f"fault.{fault.kind}",
+            cat="chaos",
+            tid=CHAOS_TRACK,
+            action="deactivate",
+            detail=detail,
         )
 
     # ------------------------------------------------------- fault actions
@@ -211,6 +241,16 @@ class FaultInjector:
             latency += fault.extra_latency
             self.server.metrics.matcher_stall_seconds += fault.extra_latency
         return latency
+
+    def _open_windows(self) -> int:
+        """Fault windows currently open (the active-faults gauge value)."""
+        return (
+            len(self._active_stalls)
+            + len(self._active_no_shows)
+            + len(self._active_distortions)
+            + self._sweep_suspensions
+            + self._blackouts
+        )
 
     # ------------------------------------------------------------- queries
     @property

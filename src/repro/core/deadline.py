@@ -83,6 +83,11 @@ class DeadlineEstimator:
         # a cached fit stays valid until the completed-task count changes.
         # This matters: graph construction re-fits every worker every batch.
         self._fit_cache: dict[int, tuple[int, object]] = {}
+        # Cache effectiveness tallies, exported by the observability layer
+        # (plain ints here — core must not depend on repro.obs).  A miss is
+        # any trained fit_worker call that had to run the MLE.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
     # ------------------------------------------------------------- fitting
     def fit_worker(self, worker: WorkerProfile):
@@ -91,7 +96,9 @@ class DeadlineEstimator:
             return None
         cached = self._fit_cache.get(worker.worker_id)
         if cached is not None and cached[0] == worker.completed_tasks:
+            self.cache_hits += 1
             return cached[1]
+        self.cache_misses += 1
         fit = self.family.fit(worker.execution_times)
         self._fit_cache[worker.worker_id] = (worker.completed_tasks, fit)
         return fit

@@ -12,11 +12,13 @@ baseline must *survive* the chaos, not just the happy path.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..chaos import FaultInjector, FaultLogEntry, FaultSchedule
 from ..model.task import reset_task_ids
+from ..obs.runtime import ObservabilityLike
 from ..platform.cost import PaperCalibratedCost
 from ..platform.invariants import InvariantMonitor
 from ..platform.policies import (
@@ -34,6 +36,8 @@ from ..sim.rng import STREAM_TASKS, STREAM_WORKER_POPULATION, RngRegistry
 from ..workload.arrivals import deterministic_gaps
 from ..workload.generators import TaskGeneratorConfig, TrafficMonitoringGenerator
 from ..workload.population import PopulationConfig, generate_population
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -109,8 +113,13 @@ def run_chaos(
     policy: SchedulingPolicy,
     config: ChaosConfig,
     schedule: Optional[FaultSchedule] = None,
+    observability: Optional[ObservabilityLike] = None,
 ) -> ChaosRunResult:
     """One audited run; ``schedule=None`` gives the fault-free twin."""
+    logger.info(
+        "chaos: policy=%s seed=%d faulted=%s",
+        policy.name, config.seed, schedule is not None,
+    )
     reset_task_ids()
     engine = Engine()
     rng = RngRegistry(seed=config.seed)
@@ -121,6 +130,7 @@ def run_chaos(
         rng=rng,
         cost_model=PaperCalibratedCost(batch_overhead=0.1),
         resilience=resilience,
+        observability=observability,
     )
     for profile, behavior in generate_population(
         rng.stream(STREAM_WORKER_POPULATION), PopulationConfig(size=config.n_workers)
@@ -176,10 +186,14 @@ def run_chaos_comparison(
     config: ChaosConfig,
     schedule: Optional[FaultSchedule] = None,
     policies: Optional[Sequence[SchedulingPolicy]] = None,
+    observability_factory: Optional[Callable[[str], ObservabilityLike]] = None,
 ) -> Dict[str, Dict[str, ChaosRunResult]]:
     """Faulted + fault-free twin runs for every policy, same seed.
 
     Returns ``{policy: {"faulted": ..., "clean": ...}}``.
+    ``observability_factory`` maps a run label (``"<policy>.faulted"`` /
+    ``"<policy>.clean"``) to a fresh Observability; only the faulted twin
+    is traced when the factory chooses to (each run needs its own registry).
     """
     if schedule is None:
         schedule = standard_schedule(config)
@@ -187,9 +201,19 @@ def run_chaos_comparison(
     for policy in policies if policies is not None else default_policies():
         if policy.name in results:
             raise ValueError(f"duplicate policy name {policy.name!r}")
+
+        def _obs(label: str) -> Optional[ObservabilityLike]:
+            return observability_factory(label) if observability_factory else None
+
         results[policy.name] = {
-            "clean": run_chaos(policy, config, schedule=None),
-            "faulted": run_chaos(policy, config, schedule=schedule),
+            "clean": run_chaos(
+                policy, config, schedule=None,
+                observability=_obs(f"{policy.name}.clean"),
+            ),
+            "faulted": run_chaos(
+                policy, config, schedule=schedule,
+                observability=_obs(f"{policy.name}.faulted"),
+            ),
         }
     return results
 

@@ -5,16 +5,24 @@ prints the corresponding text report.  ``--quick`` shrinks every workload to
 a laptop-friendly size while preserving the qualitative shapes; the full
 paper-scale runs are the defaults.  ``--out DIR`` additionally writes the
 raw series as CSV/JSON into ``DIR`` (figures 3-10 only).
+
+Telemetry (docs/OBSERVABILITY.md): the ``endtoend`` and ``chaos`` commands
+accept ``--trace-out DIR`` / ``--metrics-out DIR`` to record a sim-time
+Chrome trace and a Prometheus/CSV metrics snapshot per run, and
+``python -m repro.experiments obs ...`` summarizes or converts a recorded
+trace.
 """
 
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..obs.runtime import Observability
 from ..workload.crowdflower import analyze_case_study, generate_case_study
 from .ablations import ablate_cycles, ablate_k_constant, ablate_threshold, ablate_training_z
 from .chaos import ChaosConfig, report_chaos, run_chaos_comparison, standard_schedule
@@ -145,14 +153,85 @@ def _run_voting(quick: bool, out: Optional[str] = None) -> str:
     return report_voting(run_voting_comparison(config))
 
 
-def _run_chaos(quick: bool, out: Optional[str] = None) -> str:
+def _obs_factory(
+    prefix: str, trace_out: Optional[str], metrics_out: Optional[str]
+):
+    """Build (factory, exporter) when telemetry output was requested.
+
+    The factory hands each run its own :class:`Observability`; calling the
+    returned ``flush`` after the runs writes every recorded context to the
+    requested directories and returns '# wrote ...' note lines.
+    """
+    if trace_out is None and metrics_out is None:
+        return None, lambda: []
+    observers: Dict[str, Observability] = {}
+
+    def factory(label: str) -> Observability:
+        obs = Observability()
+        observers[label] = obs
+        return obs
+
+    def flush() -> List[str]:
+        notes = []
+        for label, obs in observers.items():
+            for path in obs.export(
+                f"{prefix}_{label}", trace_dir=trace_out, metrics_dir=metrics_out
+            ):
+                notes.append(f"# wrote {path}")
+        return notes
+
+    return factory, flush
+
+
+def _run_endtoend(
+    quick: bool,
+    out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+) -> str:
+    factory, flush = _obs_factory("endtoend", trace_out, metrics_out)
+    results = run_comparison(_endtoend_config(quick), observability_factory=factory)
+    lines = [
+        "# End-to-end run (Figs. 5-8 source data)",
+        f"{'policy':<14}{'received':>9}{'completed':>10}{'on-time':>9}"
+        f"{'feedback':>9}{'reassign':>9}{'batches':>8}",
+    ]
+    for name, result in results.items():
+        summary = result.summary
+        lines.append(
+            f"{name:<14}"
+            f"{int(summary['received']):>9d}"
+            f"{int(summary['completed']):>10d}"
+            f"{summary['on_time_fraction']:>8.1%}"
+            f"{summary['positive_feedback_fraction']:>8.1%}"
+            f"{int(summary['reassignments']):>9d}"
+            f"{result.batches:>8d}"
+        )
+    note = _maybe_export(out, export_endtoend, results, out or "")
+    if note:
+        lines.append(note)
+    lines.extend(flush())
+    return "\n".join(lines)
+
+
+def _run_chaos(
+    quick: bool,
+    out: Optional[str] = None,
+    trace_out: Optional[str] = None,
+    metrics_out: Optional[str] = None,
+) -> str:
     config = (
         ChaosConfig(n_workers=50, arrival_rate=0.8, n_tasks=240, drain_time=250.0)
         if quick
         else ChaosConfig()
     )
     schedule = standard_schedule(config)
-    return report_chaos(run_chaos_comparison(config, schedule=schedule))
+    factory, flush = _obs_factory("chaos", trace_out, metrics_out)
+    report = report_chaos(
+        run_chaos_comparison(config, schedule=schedule, observability_factory=factory)
+    )
+    notes = flush()
+    return report + ("\n" + "\n".join(notes) if notes else "")
 
 
 def _run_bench(quick: bool, out: Optional[str] = None) -> str:
@@ -184,15 +263,30 @@ COMMANDS: Dict[str, Callable[..., str]] = {
     "case-study": _run_case_study,
     "ablations": _run_ablations,
     "voting": _run_voting,
+    "endtoend": _run_endtoend,
     "chaos": _run_chaos,
     "bench": _run_bench,
 }
 
+#: Commands that understand --trace-out / --metrics-out (the rest reject
+#: the flags so a typo doesn't silently record nothing).
+TRACEABLE = ("endtoend", "chaos")
+
 
 def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "obs":
+        # Trace-file utilities live in their own argparse tree.
+        from ..obs.cli import main as obs_main
+
+        return obs_main(list(argv[1:]))
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the figures of 'Crowdsourcing under Real-Time Constraints'.",
+        epilog="'obs' (python -m repro.experiments obs --help) summarizes "
+        "or converts recorded trace files.",
     )
     parser.add_argument("figure", choices=sorted(COMMANDS) + ["all"])
     parser.add_argument(
@@ -206,11 +300,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="DIR",
         help="also write raw series (CSV/JSON) into DIR",
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="DIR",
+        help="record a sim-time trace per run into DIR "
+        f"(Chrome JSON + JSONL; {'/'.join(TRACEABLE)} only)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="DIR",
+        help="write a metrics snapshot per run into DIR "
+        f"(Prometheus text + CSV; {'/'.join(TRACEABLE)} only)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="enable stdlib logging from the experiment drivers",
+    )
     args = parser.parse_args(argv)
 
+    if args.log_level is not None:
+        logging.basicConfig(
+            level=getattr(logging, args.log_level.upper()),
+            format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        )
+
     targets = sorted(COMMANDS) if args.figure == "all" else [args.figure]
+    telemetry = args.trace_out is not None or args.metrics_out is not None
+    if telemetry and not any(t in TRACEABLE for t in targets):
+        parser.error(
+            f"--trace-out/--metrics-out only apply to: {', '.join(TRACEABLE)}"
+        )
     for target in targets:
-        print(COMMANDS[target](args.quick, args.out))
+        if target in TRACEABLE:
+            print(
+                COMMANDS[target](
+                    args.quick,
+                    args.out,
+                    trace_out=args.trace_out,
+                    metrics_out=args.metrics_out,
+                )
+            )
+        else:
+            print(COMMANDS[target](args.quick, args.out))
         print()
     return 0
 

@@ -9,10 +9,12 @@ population.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..model.task import reset_task_ids
+from ..obs.runtime import ObservabilityLike
 from ..platform.cost import CostModel, PaperCalibratedCost, ZeroCost
 from ..platform.policies import (
     SchedulingPolicy,
@@ -37,6 +39,8 @@ from ..workload.churn import ChurnProcess
 from ..workload.generators import TaskGeneratorConfig, TrafficMonitoringGenerator
 from ..workload.population import PopulationConfig, generate_population
 from .config import EndToEndConfig
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -70,8 +74,20 @@ def _cost_model(config: EndToEndConfig) -> CostModel:
     return ZeroCost()
 
 
-def run_endtoend(policy: SchedulingPolicy, config: EndToEndConfig) -> EndToEndResult:
-    """Simulate one technique under the §V-C workload."""
+def run_endtoend(
+    policy: SchedulingPolicy,
+    config: EndToEndConfig,
+    observability: Optional[ObservabilityLike] = None,
+) -> EndToEndResult:
+    """Simulate one technique under the §V-C workload.
+
+    ``observability`` (see :mod:`repro.obs`) attaches a live tracer/registry
+    to the server; None keeps the zero-overhead no-op instruments.
+    """
+    logger.info(
+        "endtoend: policy=%s seed=%d tasks=%d workers=%d",
+        policy.name, config.seed, config.n_tasks, config.n_workers,
+    )
     reset_task_ids()
     engine = Engine()
     rng = RngRegistry(seed=config.seed)
@@ -81,6 +97,7 @@ def run_endtoend(policy: SchedulingPolicy, config: EndToEndConfig) -> EndToEndRe
         policy=policy,
         rng=rng,
         cost_model=_cost_model(config),
+        observability=observability,
     )
     population = generate_population(
         rng.stream(STREAM_WORKER_POPULATION),
@@ -124,6 +141,10 @@ def run_endtoend(policy: SchedulingPolicy, config: EndToEndConfig) -> EndToEndRe
     server.metrics.check_conservation()
 
     metrics = server.metrics
+    logger.info(
+        "endtoend: policy=%s done received=%d completed=%d on_time=%d",
+        policy.name, metrics.received, metrics.completed, metrics.completed_on_time,
+    )
     return EndToEndResult(
         policy_name=policy.name,
         config=config,
@@ -149,11 +170,18 @@ def default_policies() -> Sequence[SchedulingPolicy]:
 def run_comparison(
     config: EndToEndConfig,
     policies: Optional[Sequence[SchedulingPolicy]] = None,
+    observability_factory: Optional[Callable[[str], ObservabilityLike]] = None,
 ) -> Dict[str, EndToEndResult]:
-    """Run every policy on the same seeded workload; keyed by policy name."""
+    """Run every policy on the same seeded workload; keyed by policy name.
+
+    ``observability_factory`` maps a policy name to the
+    :class:`~repro.obs.runtime.Observability` for that run — each policy
+    needs its own registry/tracer, so a shared instance cannot be reused.
+    """
     results: Dict[str, EndToEndResult] = {}
     for policy in policies if policies is not None else default_policies():
         if policy.name in results:
             raise ValueError(f"duplicate policy name {policy.name!r}")
-        results[policy.name] = run_endtoend(policy, config)
+        obs = observability_factory(policy.name) if observability_factory else None
+        results[policy.name] = run_endtoend(policy, config, observability=obs)
     return results

@@ -23,6 +23,7 @@ Usage: ``python -m repro.experiments bench [--quick]`` or the thin driver
 from __future__ import annotations
 
 import json
+import logging
 import statistics
 import subprocess
 import time
@@ -39,6 +40,10 @@ from ..core.matching.react import ReactMatcher, ReactParameters
 from ..graph.bipartite import BipartiteGraph
 from ..model.task import TaskCategory
 from ..model.worker import WorkerProfile
+from ..obs.registry import NULL_INSTRUMENT
+from ..obs.trace import NULL_TRACER
+
+logger = logging.getLogger(__name__)
 
 #: RNG seed shared by every bench so runs are comparable across commits.
 BENCH_SEED = 20130521  # IPDPS 2013 vintage
@@ -261,6 +266,143 @@ def run_platform_benchmarks(quick: bool = False) -> List[BenchResult]:
     return results
 
 
+# ---------------------------------------------------------------- obs guard
+class _CountingInstrument:
+    """No-op instrument that tallies how often the platform touches it."""
+
+    __slots__ = ("_box",)
+
+    def __init__(self, box: List[int]) -> None:
+        self._box = box
+
+    def labels(self, **labels: str) -> "_CountingInstrument":
+        self._box[0] += 1
+        return self
+
+    def inc(self, amount: float = 1.0) -> None:
+        self._box[0] += 1
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._box[0] += 1
+
+    def set(self, value: float) -> None:
+        self._box[0] += 1
+
+    def observe(self, value: float) -> None:
+        self._box[0] += 1
+
+
+class _CountingObservability:
+    """Quacks like Observability but only counts instrument/tracer calls.
+
+    Instrumented call sites are unconditional, so the number of live calls
+    in an enabled run equals the number of no-op calls a disabled run makes
+    on the same seed — this counts them exactly.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.box = [0]
+        self.tracer = self
+        self.registry = self
+        self._instrument = _CountingInstrument(self.box)
+
+    # Observability facade
+    def bind_engine(self, engine) -> "_CountingObservability":
+        return self
+
+    def export(self, name, trace_dir=None, metrics_dir=None) -> List[Path]:
+        return []
+
+    # registry facade
+    def counter(self, name, help="", labelnames=(), **kwargs) -> _CountingInstrument:
+        return self._instrument
+
+    gauge = counter
+    histogram = counter
+
+    def add_collect_hook(self, hook) -> None:
+        pass
+
+    # tracer facade
+    def set_clock(self, clock) -> None:
+        pass
+
+    def instant(self, name, cat="", tid=0, **args) -> None:
+        self.box[0] += 1
+
+    def complete(self, name, start, end=None, cat="", tid=0, **args) -> None:
+        self.box[0] += 1
+
+
+def _null_call_cost(iters: int = 100_000) -> float:
+    """Per-call seconds of one disabled instrument touch (kwargs included)."""
+    inc = NULL_INSTRUMENT.inc
+    instant = NULL_TRACER.instant
+    start = time.perf_counter()
+    for _ in range(iters):
+        inc()
+        instant("x", cat="bench", tid=0, value=1)
+    return (time.perf_counter() - start) / (2 * iters)
+
+
+def run_overhead_benchmark(quick: bool = False) -> BenchResult:
+    """The disabled-instrumentation overhead guard (docs/OBSERVABILITY.md).
+
+    Runs the seeded end-to-end scenario once per repeat with observability
+    off to get the baseline wall time, counts every obs touchpoint the same
+    seeded run makes via :class:`_CountingObservability`, micro-benchmarks
+    the cost of one no-op call, and reports
+
+        overhead_fraction = obs_calls * null_call_seconds / disabled_wall
+
+    ``tests/obs/test_overhead.py`` asserts the fraction stays <= 2%.
+    """
+    from ..platform.policies import react_policy
+    from .config import EndToEndConfig
+    from .endtoend import run_endtoend
+
+    config = EndToEndConfig(
+        n_workers=60,
+        arrival_rate=1.0,
+        n_tasks=150 if quick else 400,
+        drain_time=200.0,
+    )
+    policy = react_policy(cycles=200)
+    repeats = 2 if quick else 3
+
+    disabled_wall = _median_wall(lambda: run_endtoend(policy, config), repeats)
+
+    counting = _CountingObservability()
+    start = time.perf_counter()
+    run_endtoend(policy, config, observability=counting)
+    counted_wall = time.perf_counter() - start
+    obs_calls = counting.box[0]
+
+    call_cost = _null_call_cost()
+    overhead = obs_calls * call_cost / disabled_wall if disabled_wall > 0 else 0.0
+    logger.info(
+        "obs overhead: %d calls x %.1f ns / %.3f s disabled = %.4f%%",
+        obs_calls, call_cost * 1e9, disabled_wall, overhead * 100,
+    )
+    return BenchResult(
+        bench="endtoend_obs_overhead",
+        params={
+            "n_workers": config.n_workers,
+            "n_tasks": config.n_tasks,
+            "repeats": repeats,
+            "obs_calls": obs_calls,
+            "null_call_ns": call_cost * 1e9,
+            "overhead_fraction": overhead,
+            "counted_wall_seconds": counted_wall,
+        },
+        wall_seconds=disabled_wall,
+        throughput=obs_calls / disabled_wall if disabled_wall > 0 else 0.0,
+        commit=git_commit(),
+    )
+
+
 # ------------------------------------------------------------------- driver
 def repo_root() -> Path:
     """Git toplevel if available, else the current directory."""
@@ -303,8 +445,11 @@ def run_bench(quick: bool = False, out_dir: Optional[Path] = None) -> str:
     """Run every bench, write BENCH_*.json, return the text report."""
     out_dir = repo_root() if out_dir is None else Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
+    logger.info("bench: matching suite")
     matching = run_matching_benchmarks(quick)
+    logger.info("bench: platform suite")
     platform = run_platform_benchmarks(quick)
+    platform.append(run_overhead_benchmark(quick))
     written = [
         write_bench_file(out_dir / "BENCH_matching.json", matching),
         write_bench_file(out_dir / "BENCH_platform.json", platform),

@@ -8,12 +8,15 @@ positive feedback (Fig. 10).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..platform.policies import SchedulingPolicy
 from .config import ScalabilityConfig
 from .endtoend import default_policies, run_endtoend
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -55,6 +58,9 @@ def run_scalability(
     config = config or ScalabilityConfig()
     result = ScalabilityResult(config=config)
     for workers, rate, n_tasks in config.points():
+        logger.info(
+            "scalability: point workers=%d rate=%.2f tasks=%d", workers, rate, n_tasks
+        )
         point_config = config.endtoend_config(workers, rate, n_tasks)
         for policy in policies if policies is not None else default_policies():
             run = run_endtoend(policy, point_config)

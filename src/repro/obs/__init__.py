@@ -1,0 +1,62 @@
+"""Observability subsystem: metrics registry, sim-time tracing, exporters.
+
+The paper's evaluation (§V, Figs. 5-8) is entirely about *observing* the
+platform — deadline hit rates, reassignment counts, matcher latency.  This
+package is the first-class layer those observations flow through:
+
+* :mod:`repro.obs.registry` — counter / gauge / histogram instruments with
+  labeled series and deterministic snapshot order;
+* :mod:`repro.obs.trace` — sim-time spans and instant events in a bounded
+  ring buffer, near-zero-cost no-ops when disabled;
+* :mod:`repro.obs.exporters` — JSONL event logs, Perfetto-loadable Chrome
+  trace JSON, Prometheus text exposition, CSV summaries;
+* :mod:`repro.obs.runtime` — the :class:`Observability` facade the platform
+  components accept (``observability=`` constructor arguments) and the
+  shared :data:`NULL_OBS` disabled context.
+
+See ``docs/OBSERVABILITY.md`` for the instrument catalogue and usage.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    NULL_REGISTRY,
+    Sample,
+)
+from .runtime import NULL_OBS, Observability, resolve
+from .trace import (
+    CHAOS_TRACK,
+    DEFAULT_MAX_EVENTS,
+    MONITOR_TRACK,
+    NULL_TRACER,
+    PLATFORM_TRACK,
+    SCHEDULER_TRACK,
+    TraceEvent,
+    Tracer,
+    worker_track,
+)
+
+__all__ = [
+    "CHAOS_TRACK",
+    "Counter",
+    "DEFAULT_MAX_EVENTS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MONITOR_TRACK",
+    "NULL_INSTRUMENT",
+    "NULL_OBS",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "Observability",
+    "PLATFORM_TRACK",
+    "Sample",
+    "SCHEDULER_TRACK",
+    "TraceEvent",
+    "Tracer",
+    "resolve",
+    "worker_track",
+]

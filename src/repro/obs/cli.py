@@ -1,0 +1,57 @@
+"""``python -m repro.experiments obs <verb>`` — offline telemetry tooling.
+
+Two verbs over a recorded JSONL event log (the archival format every
+``--trace-out`` run writes next to its Chrome trace):
+
+* ``summarize TRACE.jsonl`` — event counts and span durations per
+  (category, name), plus the covered sim-time window;
+* ``convert TRACE.jsonl --to chrome|jsonl --out PATH`` — re-emit the log in
+  another exporter format (e.g. regenerate a Perfetto-loadable Chrome
+  trace from the archival log).
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import List, Optional
+
+from .exporters import (
+    read_trace_jsonl,
+    summarize_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments obs",
+        description="Summarize or convert recorded run telemetry.",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True)
+
+    summarize = verbs.add_parser("summarize", help="digest a JSONL trace log")
+    summarize.add_argument("trace", metavar="TRACE.jsonl")
+
+    convert = verbs.add_parser("convert", help="re-emit a JSONL trace log")
+    convert.add_argument("trace", metavar="TRACE.jsonl")
+    convert.add_argument(
+        "--to", dest="fmt", choices=("chrome", "jsonl"), default="chrome"
+    )
+    convert.add_argument("--out", required=True, metavar="PATH")
+
+    args = parser.parse_args(argv)
+    try:
+        events = read_trace_jsonl(args.trace)
+    except (OSError, ValueError) as exc:
+        parser.exit(2, f"error: {exc}\n")
+
+    if args.verb == "summarize":
+        print(summarize_trace(events))
+        return 0
+
+    writer = write_chrome_trace if args.fmt == "chrome" else write_trace_jsonl
+    written = writer(events, Path(args.out))
+    print(f"# wrote {written}")
+    return 0

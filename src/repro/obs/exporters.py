@@ -1,0 +1,230 @@
+"""Telemetry exporters: JSONL, Chrome trace JSON, Prometheus text, CSV.
+
+Four write-side formats, all pure functions over the tracer's event buffer
+and the registry's snapshot so they can also be driven offline by the
+``obs`` CLI subcommand (summarize / convert a recorded JSONL log):
+
+* **JSONL** — one :class:`~repro.obs.trace.TraceEvent` dict per line, in
+  sim-time seconds.  The lossless archival format; round-trips through
+  :func:`read_trace_jsonl`.
+* **Chrome trace JSON** — the ``{"traceEvents": [...]}`` object format
+  understood by Perfetto / ``chrome://tracing``; sim-time seconds are
+  mapped to microseconds (the format's native unit) and every event
+  carries ``ph``/``ts``/``pid``/``tid``/``name``.
+* **Prometheus text exposition** — ``# HELP`` / ``# TYPE`` comments plus
+  one ``name{labels} value`` line per sample, in the registry's
+  deterministic snapshot order.
+* **CSV summary** — ``metric,labels,value`` rows for spreadsheet diffing.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import math
+from collections import Counter as _TallyCounter
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from .registry import MetricsRegistry, Sample
+from .trace import TRACK_NAMES, TraceEvent, WORKER_TRACK_BASE
+
+PathLike = Union[str, Path]
+
+#: Chrome trace ``pid`` for every event — one simulated process.
+TRACE_PID = 1
+
+
+# -------------------------------------------------------------------- JSONL
+def trace_jsonl_lines(events: Iterable[TraceEvent]) -> List[str]:
+    return [json.dumps(event.to_dict(), sort_keys=True) for event in events]
+
+
+def write_trace_jsonl(events: Iterable[TraceEvent], path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text("\n".join(trace_jsonl_lines(events)) + "\n", encoding="utf-8")
+    return path
+
+
+def read_trace_jsonl(path: PathLike) -> List[TraceEvent]:
+    """Parse a JSONL event log back into :class:`TraceEvent` objects."""
+    events: List[TraceEvent] = []
+    for lineno, line in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(TraceEvent.from_dict(json.loads(line)))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{path}:{lineno}: malformed trace line: {exc}") from exc
+    return events
+
+
+# ------------------------------------------------------------- Chrome trace
+def chrome_trace_dict(events: Iterable[TraceEvent]) -> Dict[str, object]:
+    """Events as a Perfetto-loadable Chrome trace-event JSON object.
+
+    Sim-time seconds map to integer microseconds (``ts``/``dur``), the
+    format's native unit; thread-name metadata events label the well-known
+    tracks and the per-worker execution tracks.
+    """
+    trace_events: List[Dict[str, object]] = []
+    seen_tids: set = set()
+    for event in events:
+        seen_tids.add(event.tid)
+        entry: Dict[str, object] = {
+            "name": event.name,
+            "cat": event.cat or "default",
+            "ph": event.ph,
+            "ts": round(event.ts * 1e6),
+            "pid": TRACE_PID,
+            "tid": event.tid,
+        }
+        if event.ph == "X":
+            entry["dur"] = round(event.dur * 1e6)
+        elif event.ph == "i":
+            entry["s"] = "t"  # instant scope: thread
+        if event.args:
+            entry["args"] = dict(event.args)
+        trace_events.append(entry)
+    for tid in sorted(seen_tids):
+        name = TRACK_NAMES.get(tid)
+        if name is None and tid >= WORKER_TRACK_BASE:
+            name = f"worker-{tid - WORKER_TRACK_BASE}"
+        if name is None:
+            continue
+        trace_events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": TRACE_PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Iterable[TraceEvent], path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(chrome_trace_dict(events)) + "\n", encoding="utf-8")
+    return path
+
+
+# --------------------------------------------------------------- Prometheus
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Registry snapshot in the Prometheus text exposition format."""
+    lines: List[str] = []
+    samples_by_name: Dict[str, List[Sample]] = {}
+    for sample in registry.snapshot():
+        samples_by_name.setdefault(sample.name, []).append(sample)
+    for instrument in registry.instruments():
+        if instrument.help:
+            lines.append(f"# HELP {instrument.name} {_escape_help(instrument.help)}")
+        lines.append(f"# TYPE {instrument.name} {instrument.kind}")
+        names = (
+            [instrument.name + "_bucket", instrument.name + "_sum", instrument.name + "_count"]
+            if instrument.kind == "histogram"
+            else [instrument.name]
+        )
+        for name in names:
+            for sample in samples_by_name.get(name, []):
+                lines.append(_render_sample(sample))
+    return "\n".join(lines) + "\n"
+
+
+def _render_sample(sample: Sample) -> str:
+    if sample.labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label(value)}"' for key, value in sample.labels
+        )
+        series = f"{sample.name}{{{rendered}}}"
+    else:
+        series = sample.name
+    return f"{series} {_fmt_value(sample.value)}"
+
+
+def _fmt_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def write_prometheus(registry: MetricsRegistry, path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(prometheus_text(registry), encoding="utf-8")
+    return path
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Parse exposition text back to ``{series: value}`` (for tests/CLI)."""
+    out: Dict[str, float] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        if not series:
+            raise ValueError(f"line {lineno}: malformed sample {line!r}")
+        out[series] = float(value)
+    return out
+
+
+# ---------------------------------------------------------------------- CSV
+def metrics_csv(registry: MetricsRegistry) -> str:
+    """Registry snapshot as ``metric,labels,value`` CSV rows."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["metric", "labels", "value"])
+    for sample in registry.snapshot():
+        labels = ";".join(f"{k}={v}" for k, v in sample.labels)
+        writer.writerow([sample.name, labels, _fmt_value(sample.value)])
+    return buffer.getvalue()
+
+
+def write_metrics_csv(registry: MetricsRegistry, path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(metrics_csv(registry), encoding="utf-8")
+    return path
+
+
+# ------------------------------------------------------------- summarization
+def summarize_trace(events: Sequence[TraceEvent]) -> str:
+    """Human-readable digest of an event log (the ``obs summarize`` output)."""
+    if not events:
+        return "# empty trace"
+    start = min(e.ts for e in events)
+    end = max(e.ts + e.dur for e in events)
+    tally = _TallyCounter((e.cat or "default", e.name) for e in events)
+    spans = [e for e in events if e.ph == "X"]
+    lines = [
+        "# trace summary",
+        f"events:            {len(events)}",
+        f"sim-time window:   {start:.3f} .. {end:.3f} s ({end - start:.3f} s)",
+        f"spans / instants:  {len(spans)} / {len(events) - len(spans)}",
+        "",
+        f"{'category':<22}{'event':<28}{'count':>8}{'total dur (s)':>15}",
+    ]
+    durations: Dict[tuple, float] = {}
+    for event in spans:
+        durations[(event.cat or "default", event.name)] = (
+            durations.get((event.cat or "default", event.name), 0.0) + event.dur
+        )
+    for (cat, name), count in sorted(tally.items()):
+        total = durations.get((cat, name))
+        lines.append(
+            f"{cat:<22}{name:<28}{count:>8}"
+            + (f"{total:>15.3f}" if total is not None else f"{'-':>15}")
+        )
+    return "\n".join(lines)

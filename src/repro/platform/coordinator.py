@@ -20,6 +20,8 @@ from typing import Callable, Dict, List, Optional
 from ..model.region import Region
 from ..model.task import Task
 from ..model.worker import WorkerBehavior, WorkerProfile
+from ..obs.runtime import ObservabilityLike, resolve
+from ..obs.trace import PLATFORM_TRACK
 from ..sim.engine import Engine
 from ..sim.rng import RngRegistry
 from .cost import CostModel
@@ -44,6 +46,7 @@ class Coordinator:
         rng: RngRegistry,
         cost_model: Optional[CostModel] = None,
         overload_queue_limit: Optional[int] = None,
+        observability: Optional[ObservabilityLike] = None,
     ) -> None:
         if not regions:
             raise ValueError("at least one region is required")
@@ -54,12 +57,25 @@ class Coordinator:
         self._rng = rng
         self._cost_model = cost_model
         self._overload_limit = overload_queue_limit
+        # Split telemetry only: child servers are built without observability
+        # because several MetricsCollectors binding one registry would fight
+        # over the same counters.  Per-server obs belongs to single-server
+        # drivers.
+        obs = resolve(observability)
+        self._tracer = obs.tracer
+        self._obs_splits = obs.registry.counter(
+            "react_region_splits_total", "Region splits performed by the coordinator"
+        )
+        self._obs_regions = obs.registry.gauge(
+            "react_regions", "Regions (= servers) currently managed"
+        )
         self._entries: List[RegionEntry] = []
         self._splits = 0
         for i, region in enumerate(regions):
             self._entries.append(
                 RegionEntry(region=region, server=self._make_server(i))
             )
+        self._obs_regions.set(len(self._entries))
 
     def _make_server(self, index: int) -> REACTServer:
         server = REACTServer(
@@ -154,6 +170,16 @@ class Coordinator:
         )
         for task in migrated:
             new_server.adopt_task(task)
+
+        self._obs_splits.inc()
+        self._obs_regions.set(len(self._entries))
+        self._tracer.instant(
+            "region.split",
+            cat="coordinator",
+            tid=PLATFORM_TRACK,
+            regions=len(self._entries),
+            migrated_tasks=len(migrated),
+        )
 
     # -------------------------------------------------------------- summary
     def aggregate_summary(self) -> Dict[str, float]:

@@ -22,6 +22,8 @@ import numpy as np
 
 from ..core.deadline import DeadlineEstimator
 from ..model.task import Task
+from ..obs.runtime import ObservabilityLike, resolve
+from ..obs.trace import MONITOR_TRACK
 from ..sim.engine import Engine
 from ..sim.events import EventKind
 from ..sim.process import PeriodicProcess
@@ -52,6 +54,7 @@ class DynamicAssignmentComponent:
         profiling: ProfilingComponent,
         estimator: DeadlineEstimator,
         on_withdraw: Callable[[Task], None],
+        observability: Optional[ObservabilityLike] = None,
     ) -> None:
         self._engine = engine
         self._policy = policy
@@ -60,6 +63,17 @@ class DynamicAssignmentComponent:
         self._estimator = estimator
         self._on_withdraw = on_withdraw
         self._process: Optional[PeriodicProcess] = None
+        obs = resolve(observability)
+        self._tracer = obs.tracer
+        self._obs_sweeps = obs.registry.counter(
+            "react_sweeps_total", "Eq. 2 monitor sweeps that evaluated >= 1 task"
+        )
+        self._obs_evaluations = obs.registry.counter(
+            "react_sweep_evaluations_total", "Assigned tasks evaluated against Eq. 2"
+        )
+        self._obs_withdrawals = obs.registry.counter(
+            "react_sweep_withdrawals_total", "Tasks withdrawn by the Eq. 2 rule"
+        )
         self.withdrawals: List[Withdrawal] = []
         #: Chaos switch (:class:`repro.chaos.SweepOutageFault` / blackout):
         #: while True the periodic sweep fires but evaluates nothing, so no
@@ -158,7 +172,27 @@ class DynamicAssignmentComponent:
                     probability=probability,
                 )
             )
+            self._tracer.instant(
+                "task.withdrawn",
+                cat="task",
+                tid=MONITOR_TRACK,
+                task_id=task.task_id,
+                worker_id=worker_id,
+                reason="eq2",
+                probability=round(probability, 6),
+                elapsed=round(float(elapsed[idx]), 3),
+            )
             withdrawn_workers.add(worker_id)
             pulled += 1
             self._on_withdraw(task)
+        self._obs_sweeps.inc()
+        self._obs_evaluations.inc(len(tasks))
+        self._obs_withdrawals.inc(pulled)
+        self._tracer.instant(
+            "sweep",
+            cat="monitor",
+            tid=MONITOR_TRACK,
+            evaluated=len(tasks),
+            withdrawn=pulled,
+        )
         return pulled

@@ -31,6 +31,8 @@ from typing import TYPE_CHECKING, Optional
 
 from ..core.matching.base import Matcher
 from ..core.matching.registry import create_matcher
+from ..obs.runtime import ObservabilityLike, resolve
+from ..obs.trace import SCHEDULER_TRACK
 from ..sim.engine import Engine
 from ..stats.metrics import MetricsCollector
 
@@ -100,6 +102,7 @@ class DegradedModeController:
         scheduling: "SchedulingComponent",
         config: ResilienceConfig,
         metrics: MetricsCollector,
+        observability: Optional[ObservabilityLike] = None,
     ) -> None:
         if config.latency_budget is None:
             raise ValueError("DegradedModeController needs a latency_budget")
@@ -107,6 +110,11 @@ class DegradedModeController:
         self._scheduling = scheduling
         self._config = config
         self._metrics = metrics
+        obs = resolve(observability)
+        self._tracer = obs.tracer
+        self._obs_state = obs.registry.gauge(
+            "react_degraded_mode", "1 while the fallback matcher is engaged"
+        )
         self._primary: Matcher = scheduling.matcher
         self._fallback: Matcher = create_matcher(config.fallback_matcher)
         self._over = 0
@@ -132,13 +140,29 @@ class DegradedModeController:
         self._engaged_at = self._engine.now
         self._scheduling.set_matcher(self._fallback)
         self._metrics.degraded_mode_switches += 1
+        self._obs_state.set(1)
+        self._tracer.instant(
+            "degraded.engage",
+            cat="resilience",
+            tid=SCHEDULER_TRACK,
+            fallback=self._fallback.name,
+        )
 
     def _disengage(self) -> None:
         self.degraded = False
         self._scheduling.set_matcher(self._primary)
+        self._obs_state.set(0)
+        duration = 0.0
         if self._engaged_at is not None:
-            self._metrics.degraded_mode_seconds += self._engine.now - self._engaged_at
+            duration = self._engine.now - self._engaged_at
+            self._metrics.degraded_mode_seconds += duration
             self._engaged_at = None
+        self._tracer.instant(
+            "degraded.disengage",
+            cat="resilience",
+            tid=SCHEDULER_TRACK,
+            degraded_seconds=round(duration, 3),
+        )
 
     def finalize(self) -> None:
         """End-of-run accounting: close an open degraded interval."""

@@ -24,6 +24,8 @@ from ..core.matching.base import Matcher, MatchingResult
 from ..graph.builders import AssignmentGraphBuilder, GraphBuildReport
 from ..model.task import Task
 from ..model.worker import WorkerProfile
+from ..obs.runtime import ObservabilityLike, resolve
+from ..obs.trace import SCHEDULER_TRACK
 from ..sim.engine import Engine
 from ..sim.events import Event, EventKind
 from .cost import BatchShape, CostModel, MeasuredCost
@@ -63,6 +65,7 @@ class SchedulingComponent:
         on_assign: Callable[[Task, WorkerProfile], None],
         on_retired: Callable[[List[Task]], None],
         on_batch: Optional[Callable[[BatchRecord], None]] = None,
+        observability: Optional[ObservabilityLike] = None,
     ) -> None:
         self._engine = engine
         self._policy = policy
@@ -75,6 +78,22 @@ class SchedulingComponent:
         self._on_assign = on_assign
         self._on_retired = on_retired
         self._on_batch = on_batch
+        obs = resolve(observability)
+        self._tracer = obs.tracer
+        self._obs_latency = obs.registry.histogram(
+            "react_batch_latency_seconds",
+            "Simulated matcher latency charged per published batch",
+            buckets=(0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0),
+        )
+        self._obs_aborted = obs.registry.counter(
+            "react_batches_aborted_total", "Batches dropped by a blackout suspension"
+        )
+        self._obs_queue_depth = obs.registry.gauge(
+            "react_unassigned_tasks", "Unassigned-task queue depth after last batch"
+        )
+        self._obs_in_flight = obs.registry.gauge(
+            "react_assigned_tasks", "Tasks out with a worker after last batch"
+        )
         self._busy = False
         self.batches: List[BatchRecord] = []
         #: Chaos hook (:class:`repro.chaos.MatcherStallFault`): maps the cost
@@ -191,6 +210,8 @@ class SchedulingComponent:
             report=report,
             retired=len(retired),
             latency=latency,
+            matcher_name=self._matcher.name,
+            cycles=int(shape.cycles),
         )
         self._engine.schedule(
             latency, EventKind.BATCH_COMPLETE, self._publish, payload=payload
@@ -206,6 +227,13 @@ class SchedulingComponent:
             for task in pending.batch:
                 self._tasks.return_unmatched(task)
             self.aborted_batches += 1
+            self._obs_aborted.inc()
+            self._tracer.instant(
+                "batch.aborted",
+                cat="scheduler",
+                tid=SCHEDULER_TRACK,
+                n_tasks=len(pending.batch),
+            )
             self._busy = False
             return
         assignment = pending.result.task_assignment()
@@ -243,6 +271,24 @@ class SchedulingComponent:
             build_report=pending.report,
         )
         self.batches.append(record)
+        self._obs_latency.observe(pending.latency)
+        self._obs_queue_depth.set(self._tasks.unassigned_count)
+        self._obs_in_flight.set(self._tasks.assigned_count)
+        self._tracer.complete(
+            "batch",
+            start=pending.started_at,
+            end=now,
+            cat="scheduler",
+            tid=SCHEDULER_TRACK,
+            matcher=pending.matcher_name,
+            cycles=pending.cycles,
+            n_workers=len(pending.workers),
+            n_tasks=len(pending.batch),
+            n_edges=pending.result.graph.n_edges,
+            matched=matched,
+            fitness=round(pending.result.total_weight, 6),
+            latency=pending.latency,
+        )
         if self._on_batch is not None:
             self._on_batch(record)
         self._busy = False
@@ -265,3 +311,7 @@ class _PendingBatch:
     report: GraphBuildReport
     retired: int
     latency: float
+    #: Matcher identity captured at batch start: a degraded-mode hot-swap
+    #: mid-flight must not relabel the batch its original matcher produced.
+    matcher_name: str = "?"
+    cycles: int = 0

@@ -24,6 +24,8 @@ from ..graph.builders import AssignmentGraphBuilder, RewardRange
 from ..model.feedback import FeedbackModel
 from ..model.task import Task, TaskPhase
 from ..model.worker import WorkerBehavior, WorkerProfile
+from ..obs.runtime import ObservabilityLike, resolve
+from ..obs.trace import worker_track
 from ..sim.engine import Engine
 from ..sim.events import Event, EventKind
 from ..sim.process import PeriodicProcess
@@ -65,11 +67,16 @@ class REACTServer:
         metrics: Optional[MetricsCollector] = None,
         reward_ranges: Optional[Dict[int, RewardRange]] = None,
         resilience: Optional[ResilienceConfig] = None,
+        observability: Optional[ObservabilityLike] = None,
     ) -> None:
         self.engine = engine
         self.policy = policy
         self.resilience = resilience
+        self.obs = resolve(observability)
+        self.obs.bind_engine(engine)
+        self._tracer = self.obs.tracer
         self.metrics = metrics if metrics is not None else MetricsCollector()
+        self.metrics.bind_registry(self.obs.registry)
         cost_model = cost_model if cost_model is not None else PaperCalibratedCost()
 
         self.profiling = ProfilingComponent()
@@ -81,6 +88,19 @@ class REACTServer:
         # A departing worker's fit must not linger in the estimator cache
         # (unbounded growth under churn; stale entry if his id is reused).
         self.profiling.add_deregister_hook(self.estimator.evict)
+        # Estimator fit-cache effectiveness, pulled at snapshot time (the
+        # estimator itself keeps plain int counters; see docs/OBSERVABILITY.md).
+        registry = self.obs.registry
+        hits = registry.gauge(
+            "react_fit_cache_hits", "DeadlineEstimator fit-cache hits"
+        )
+        misses = registry.gauge(
+            "react_fit_cache_misses", "DeadlineEstimator fit-cache misses"
+        )
+        estimator = self.estimator
+        registry.add_collect_hook(
+            lambda: (hits.set(estimator.cache_hits), misses.set(estimator.cache_misses))
+        )
 
         # With the probabilistic model off (traditional), edges are never
         # pruned: bound 0 keeps every candidate edge.
@@ -103,6 +123,7 @@ class REACTServer:
             on_assign=self._on_assign,
             on_retired=self._on_retired,
             on_batch=self._on_batch,
+            observability=self.obs,
         )
         self.degraded_mode: Optional[DegradedModeController] = None
         if resilience is not None and resilience.latency_budget is not None:
@@ -111,6 +132,7 @@ class REACTServer:
                 scheduling=self.scheduling,
                 config=resilience,
                 metrics=self.metrics,
+                observability=self.obs,
             )
         self.dynamic_assignment = DynamicAssignmentComponent(
             engine=engine,
@@ -119,6 +141,7 @@ class REACTServer:
             profiling=self.profiling,
             estimator=self.estimator,
             on_withdraw=self._on_withdraw,
+            observability=self.obs,
         )
         self._behaviors: Dict[int, WorkerBehavior] = {}
         self._behavior_rng = rng.stream(STREAM_WORKER_BEHAVIOR)
@@ -178,6 +201,13 @@ class REACTServer:
             if task.phase is TaskPhase.ASSIGNED and task.assigned_worker == worker_id:
                 self.task_management.withdraw(task)
                 profile.detach_task()
+                self._tracer.instant(
+                    "task.withdrawn",
+                    cat="task",
+                    task_id=task.task_id,
+                    worker_id=worker_id,
+                    reason="worker_departed",
+                )
                 self._requeue_after_withdrawal(task)
                 self.scheduling.maybe_trigger()
         self.profiling.deregister(worker_id)
@@ -188,6 +218,9 @@ class REACTServer:
         """Requester entry point: register the task and poke the scheduler."""
         task.submitted_at = self.engine.now if task.submitted_at == 0.0 else task.submitted_at
         self.metrics.record_received()
+        self._tracer.instant(
+            "task.submitted", cat="task", task_id=task.task_id, deadline=task.deadline
+        )
         self.task_management.add_task(task)
         self.scheduling.maybe_trigger()
 
@@ -197,6 +230,7 @@ class REACTServer:
         Unlike :meth:`submit_task`, the task was already counted as
         received by its original server, so only the queueing happens here.
         """
+        self._tracer.instant("task.adopted", cat="task", task_id=task.task_id)
         self.task_management.add_task(task)
         self.scheduling.maybe_trigger()
 
@@ -204,6 +238,13 @@ class REACTServer:
     def _on_assign(self, task: Task, worker: WorkerProfile) -> None:
         """Assignment published: draw the true outcome, schedule its events."""
         self.metrics.record_assignment(first=task.assignments == 1)
+        self._tracer.instant(
+            "task.assigned",
+            cat="task",
+            task_id=task.task_id,
+            worker_id=worker.worker_id,
+            generation=task.assignments,
+        )
         behavior = self._behaviors[worker.worker_id]
         draw = behavior.sample_outcome(self._behavior_rng)
         execution = _Execution(
@@ -254,15 +295,37 @@ class REACTServer:
             # The task was withdrawn (or the worker deregistered) while the
             # human dawdled; his sampled duration just elapsed — free him.
             self.profiling.release_after_dawdle(execution.worker_id)
+            self._tracer.instant(
+                "worker.dawdle_end",
+                cat="task",
+                task_id=execution.task_id,
+                worker_id=execution.worker_id,
+            )
             return
         if execution.abandoned:
             # The worker walks away without informing the platform (§IV-B):
             # he becomes available for other tasks, but the task stays
             # "assigned" until Eq. 2 or the deadline-expiry pulls it back.
             self.profiling.get(execution.worker_id).release()
+            self._tracer.instant(
+                "task.abandoned",
+                cat="task",
+                task_id=execution.task_id,
+                worker_id=execution.worker_id,
+            )
             return
 
         self.task_management.complete(task, now)
+        self._tracer.complete(
+            "task.execution",
+            start=now - execution.duration,
+            end=now,
+            cat="task",
+            tid=worker_track(execution.worker_id),
+            task_id=task.task_id,
+            worker_id=execution.worker_id,
+            on_time=task.met_deadline,
+        )
         on_time = task.met_deadline
         behavior = self._behaviors[execution.worker_id]
         outcome_fb = self._feedback.judge(behavior, on_time)
@@ -311,6 +374,12 @@ class REACTServer:
         elapsed = self.engine.now - assigned_at
         self.task_management.withdraw(task)
         self.metrics.expiry_returns += 1
+        self._tracer.instant(
+            "task.expiry_return",
+            cat="task",
+            task_id=task.task_id,
+            worker_id=execution.worker_id,
+        )
         profile = self.profiling.get(execution.worker_id)
         if profile.current_task == execution.task_id:
             # Still nominally on it: record the censored hold time and
@@ -353,6 +422,13 @@ class REACTServer:
         ):
             self.task_management.retire_unassigned(task)
             self.metrics.reassignment_budget_exhausted += 1
+            self._tracer.instant(
+                "task.retired",
+                cat="resilience",
+                task_id=task.task_id,
+                reason="reassignment_budget",
+                assignments=task.assignments,
+            )
             self.metrics.record_expired_unassigned(
                 TaskOutcome(
                     task_id=task.task_id,
@@ -373,6 +449,13 @@ class REACTServer:
             if delay > 0:
                 self.task_management.defer(task)
                 self.metrics.deferred_retries += 1
+                self._tracer.instant(
+                    "task.deferred",
+                    cat="resilience",
+                    task_id=task.task_id,
+                    delay=delay,
+                    assignments=task.assignments,
+                )
                 self.engine.schedule(
                     delay,
                     EventKind.CALLBACK,
@@ -446,6 +529,9 @@ class REACTServer:
 
     def _on_retired(self, retired: list[Task]) -> None:
         for task in retired:
+            self._tracer.instant(
+                "task.expired", cat="task", task_id=task.task_id
+            )
             self.metrics.record_expired_unassigned(
                 TaskOutcome(
                     task_id=task.task_id,

@@ -11,7 +11,8 @@ visibly starve the task queue exactly as on the paper's testbed.
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Iterable, Optional
+from collections import deque
+from typing import Any, Callable, Deque, Iterable, Optional
 
 from .events import Event, EventKind, EventRecord
 
@@ -28,6 +29,18 @@ class Engine:
     trace:
         When true, every dispatched event is appended to :attr:`records`,
         which integration tests use to assert ordering invariants.
+    max_records:
+        Ring-buffer cap on :attr:`records`.  ``None`` (the default) keeps
+        every record — fine for tests, unbounded for long traced runs; with
+        a cap the oldest records are evicted and counted in
+        :attr:`dropped_records`.  For structured, exportable run telemetry
+        prefer the observability tracer (:mod:`repro.obs`) over this raw
+        record list.
+    trace_sink:
+        Optional callback invoked with every dispatched event's
+        :class:`EventRecord` (independently of ``trace``); this is how the
+        observability layer taps the dispatch stream without growing any
+        buffer here.
 
     Notes
     -----
@@ -35,14 +48,25 @@ class Engine:
     of ``schedule`` calls it dispatches the same events in the same order.
     """
 
-    def __init__(self, trace: bool = False) -> None:
+    def __init__(
+        self,
+        trace: bool = False,
+        max_records: Optional[int] = None,
+        trace_sink: Optional[Callable[[EventRecord], None]] = None,
+    ) -> None:
+        if max_records is not None and max_records < 1:
+            raise ValueError(f"max_records must be >= 1 or None, got {max_records}")
         self._heap: list[Event] = []
         self._now: float = 0.0
         self._running = False
         self._stopped = False
         self._dispatched = 0
         self._trace = trace
-        self.records: list[EventRecord] = []
+        self._max_records = max_records
+        self.records: Deque[EventRecord] = deque(maxlen=max_records)
+        #: Records evicted by the ``max_records`` ring buffer.
+        self.dropped_records = 0
+        self.trace_sink = trace_sink
 
     # ------------------------------------------------------------------ time
     @property
@@ -133,15 +157,22 @@ class Engine:
                 self._now = event.time
                 self._dispatched += 1
                 fired += 1
-                if self._trace:
-                    self.records.append(
-                        EventRecord(
-                            time=event.time,
-                            kind=event.kind,
-                            seq=event.seq,
-                            payload_repr=None if event.payload is None else repr(event.payload)[:80],
-                        )
+                if self._trace or self.trace_sink is not None:
+                    record = EventRecord(
+                        time=event.time,
+                        kind=event.kind,
+                        seq=event.seq,
+                        payload_repr=None if event.payload is None else repr(event.payload)[:80],
                     )
+                    if self._trace:
+                        if (
+                            self._max_records is not None
+                            and len(self.records) == self._max_records
+                        ):
+                            self.dropped_records += 1
+                        self.records.append(record)
+                    if self.trace_sink is not None:
+                        self.trace_sink(record)
                 event.callback(event)
             else:
                 # Heap drained; if a horizon was given, advance to it.

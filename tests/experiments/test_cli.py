@@ -9,9 +9,13 @@ class TestDispatch:
     def test_all_figures_registered(self):
         expected = {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "case-study", "ablations", "voting", "chaos", "bench",
+            "case-study", "ablations", "voting", "endtoend", "chaos", "bench",
         }
         assert set(COMMANDS) == expected
+
+    def test_trace_flag_rejected_for_untraceable_command(self):
+        with pytest.raises(SystemExit):
+            main(["fig3", "--quick", "--trace-out", "/tmp/x"])
 
     def test_case_study_quick(self, capsys):
         assert main(["case-study", "--quick"]) == 0

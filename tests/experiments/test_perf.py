@@ -52,6 +52,7 @@ class TestDriver:
             "graph_build_prune",
             "eq3_matrix",
             "eq2_sweep",
+            "endtoend_obs_overhead",
         }
 
     def test_format_report_handles_missing_backend(self):

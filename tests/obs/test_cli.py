@@ -1,0 +1,41 @@
+"""Tests for the ``obs`` subcommand and the --trace-out/--metrics-out flags."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main as experiments_main
+from repro.obs.cli import main as obs_main
+from repro.obs.exporters import write_trace_jsonl
+from repro.obs.trace import Tracer
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.instant("task.submitted", cat="task", task_id=1)
+    tracer.complete("batch", start=0.5, end=1.5, cat="scheduler", matched=2)
+    return write_trace_jsonl(tracer.events, tmp_path / "run.trace.jsonl")
+
+
+class TestObsSubcommand:
+    def test_summarize(self, trace_file, capsys):
+        assert obs_main(["summarize", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "trace summary" in out and "batch" in out
+
+    def test_convert_to_chrome(self, trace_file, tmp_path, capsys):
+        out_path = tmp_path / "run.trace.json"
+        assert obs_main(
+            ["convert", str(trace_file), "--to", "chrome", "--out", str(out_path)]
+        ) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["traceEvents"]
+
+    def test_missing_file_exits_nonzero(self, tmp_path):
+        with pytest.raises(SystemExit):
+            obs_main(["summarize", str(tmp_path / "missing.jsonl")])
+
+    def test_dispatch_through_experiments_cli(self, trace_file, capsys):
+        assert experiments_main(["obs", "summarize", str(trace_file)]) == 0
+        assert "trace summary" in capsys.readouterr().out

@@ -1,0 +1,125 @@
+"""Exporter format tests: JSONL, Chrome trace, Prometheus, CSV."""
+
+import json
+
+import pytest
+
+from repro.obs.exporters import (
+    TRACE_PID,
+    chrome_trace_dict,
+    metrics_csv,
+    parse_prometheus_text,
+    prometheus_text,
+    read_trace_jsonl,
+    summarize_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import Tracer, worker_track
+
+
+def _sample_tracer():
+    tracer = Tracer(clock=lambda: 0.0)
+    tracer.instant("task.submitted", cat="task", task_id=1)
+    tracer.complete(
+        "task.execution", start=1.25, end=3.75, cat="task",
+        tid=worker_track(4), task_id=1, worker_id=4,
+    )
+    return tracer
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_trace_jsonl(tracer.events, tmp_path / "run.trace.jsonl")
+        assert read_trace_jsonl(path) == list(tracer.events)
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"name": "ok", "ts": 1.0}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            read_trace_jsonl(path)
+
+
+class TestChromeTrace:
+    def test_loadable_json_with_required_keys(self, tmp_path):
+        path = write_chrome_trace(
+            _sample_tracer().events, tmp_path / "run.trace.json"
+        )
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events, "trace must not be empty"
+        for entry in events:
+            assert {"name", "ph", "pid", "tid"} <= set(entry)
+            assert entry["pid"] == TRACE_PID
+            if entry["ph"] != "M":
+                assert isinstance(entry["ts"], int)
+
+    def test_sim_seconds_mapped_to_microseconds(self):
+        payload = chrome_trace_dict(_sample_tracer().events)
+        span = next(e for e in payload["traceEvents"] if e["ph"] == "X")
+        assert span["ts"] == 1_250_000
+        assert span["dur"] == 2_500_000
+
+    def test_instants_carry_thread_scope(self):
+        payload = chrome_trace_dict(_sample_tracer().events)
+        instant = next(e for e in payload["traceEvents"] if e["ph"] == "i")
+        assert instant["s"] == "t"
+
+    def test_worker_track_labeled(self):
+        payload = chrome_trace_dict(_sample_tracer().events)
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        names = {e["args"]["name"] for e in metadata}
+        assert "worker-4" in names and "platform" in names
+
+
+class TestPrometheus:
+    def _registry(self):
+        registry = MetricsRegistry()
+        registry.counter("react_tasks_received_total", "tasks in").inc(42)
+        gauge = registry.gauge("react_unassigned_tasks")
+        gauge.set(3)
+        hist = registry.histogram("react_batch_latency_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        faults = registry.counter("react_faults_total", labelnames=("kind",))
+        faults.labels(kind="stall").inc()
+        return registry
+
+    def test_every_line_parses(self):
+        text = prometheus_text(self._registry())
+        parsed = parse_prometheus_text(text)
+        assert parsed["react_tasks_received_total"] == 42
+        assert parsed["react_unassigned_tasks"] == 3
+        assert parsed['react_batch_latency_seconds_bucket{le="1"}'] == 1
+        assert parsed['react_batch_latency_seconds_bucket{le="+Inf"}'] == 2
+        assert parsed["react_batch_latency_seconds_count"] == 2
+        assert parsed['react_faults_total{kind="stall"}'] == 1
+
+    def test_help_and_type_comments_present(self):
+        text = prometheus_text(self._registry())
+        assert "# HELP react_tasks_received_total tasks in" in text
+        assert "# TYPE react_batch_latency_seconds histogram" in text
+
+    def test_deterministic(self):
+        assert prometheus_text(self._registry()) == prometheus_text(self._registry())
+
+
+class TestCsv:
+    def test_header_and_rows(self):
+        registry = MetricsRegistry()
+        registry.counter("a_total").inc(2)
+        lines = metrics_csv(registry).splitlines()
+        assert lines[0] == "metric,labels,value"
+        assert "a_total,,2" in lines
+
+
+class TestSummarize:
+    def test_digest_mentions_counts_and_durations(self):
+        text = summarize_trace(list(_sample_tracer().events))
+        assert "events:            2" in text
+        assert "task.execution" in text
+
+    def test_empty_trace(self):
+        assert summarize_trace([]) == "# empty trace"

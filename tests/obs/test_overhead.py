@@ -1,0 +1,40 @@
+"""The disabled-instrumentation overhead guard (ISSUE acceptance: <= 2%).
+
+Rather than diffing two noisy wall-clock measurements, the bench counts
+every obs touchpoint the seeded run makes (call sites are unconditional, so
+the count is identical with instrumentation on or off), micro-benchmarks
+one no-op call, and bounds the disabled overhead as
+``calls * cost_per_call / disabled_wall``.
+"""
+
+import pytest
+
+from repro.experiments.perf import run_overhead_benchmark
+
+#: The ISSUE's acceptance ceiling for disabled-instrumentation overhead.
+MAX_OVERHEAD_FRACTION = 0.02
+
+
+@pytest.fixture(scope="module")
+def bench_result():
+    return run_overhead_benchmark(quick=True)
+
+
+class TestDisabledOverhead:
+    def test_overhead_within_budget(self, bench_result):
+        fraction = bench_result.params["overhead_fraction"]
+        assert bench_result.params["obs_calls"] > 0
+        assert fraction <= MAX_OVERHEAD_FRACTION, (
+            f"disabled obs overhead {fraction:.2%} exceeds "
+            f"{MAX_OVERHEAD_FRACTION:.0%} "
+            f"({bench_result.params['obs_calls']} calls at "
+            f"{bench_result.params['null_call_ns']:.0f} ns over "
+            f"{bench_result.wall_seconds:.3f} s)"
+        )
+
+    def test_bench_record_schema(self, bench_result):
+        record = bench_result.to_dict()
+        assert record["bench"] == "endtoend_obs_overhead"
+        assert {"obs_calls", "null_call_ns", "overhead_fraction"} <= set(
+            record["params"]
+        )

@@ -1,0 +1,49 @@
+"""Tests for the Observability facade and the null context."""
+
+from repro.obs.runtime import NULL_OBS, Observability, resolve
+from repro.sim.engine import Engine
+from repro.sim.events import EventKind
+
+
+class TestObservability:
+    def test_bind_engine_drives_tracer_clock(self):
+        obs = Observability()
+        engine = Engine()
+        obs.bind_engine(engine)
+        engine.schedule(5.0, EventKind.CALLBACK, lambda e: obs.tracer.instant("tick"))
+        engine.run()
+        assert obs.tracer.events[0].ts == 5.0
+
+    def test_export_writes_all_formats(self, tmp_path):
+        obs = Observability()
+        obs.registry.counter("a_total").inc()
+        obs.tracer.instant("x", cat="test")
+        written = obs.export(
+            "run", trace_dir=tmp_path / "t", metrics_dir=tmp_path / "m"
+        )
+        names = sorted(p.name for p in written)
+        assert names == [
+            "run.metrics.csv", "run.prom", "run.trace.json", "run.trace.jsonl"
+        ]
+        assert all(p.exists() for p in written)
+
+    def test_export_halves_skippable(self, tmp_path):
+        obs = Observability()
+        written = obs.export("run", trace_dir=tmp_path)
+        assert sorted(p.suffix for p in written) == [".json", ".jsonl"]
+        assert obs.export("run") == []
+
+
+class TestNullObservability:
+    def test_resolve_none_gives_null(self):
+        assert resolve(None) is NULL_OBS
+        obs = Observability()
+        assert resolve(obs) is obs
+
+    def test_null_context_is_inert(self, tmp_path):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.bind_engine(Engine()) is NULL_OBS
+        assert NULL_OBS.export("run", trace_dir=tmp_path) == []
+        NULL_OBS.registry.counter("x").inc()
+        NULL_OBS.tracer.instant("x")
+        assert NULL_OBS.registry.snapshot() == []

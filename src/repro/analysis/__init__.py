@@ -1,0 +1,46 @@
+"""reprolint — AST-based determinism & invariant linter for the reproduction.
+
+The paper's claims are only checkable because every run is seed-deterministic
+and every numeric contract (Eq. 2/3 deadline probabilities, kernel
+bit-equivalence) is exact.  ``repro.analysis`` makes those project invariants
+*machine-checkable* instead of folklore: a rule-plugin framework walks the
+``src/repro`` AST and reports violations with stable fingerprints, inline
+``# reprolint: disable=RULE`` suppressions, and a committed baseline so
+legacy findings never block CI while new ones do.
+
+Rule catalogue (see :mod:`repro.analysis.rules` and docs/STATIC_ANALYSIS.md):
+
+========  ==============================================================
+DET001    no wall-clock / unseeded RNG inside ``sim``/``core``/``platform``
+DET002    RNG objects threaded from ``sim.rng`` streams, never global state
+NUM001    no ``==``/``!=`` against float literals in ``core``/``stats``
+OBS001    observability goes through the null-object facade, not ``if obs``
+KER001    layering: ``core/kernels`` (and ``core``/``stats``/``graph``)
+          must not import upward (``platform``/``sim``/...)
+API001    public functions in ``core``/``stats``/``platform`` fully annotated
+========  ==============================================================
+
+Entry points: ``python -m repro.analysis`` (or the ``lint`` subcommand of
+``python -m repro.experiments``) and the programmatic :func:`lint_paths` /
+:func:`lint_source` API used by the test-suite fixtures.
+"""
+
+from __future__ import annotations
+
+from .baseline import Baseline, load_baseline, write_baseline
+from .engine import LintResult, lint_file, lint_paths, lint_source
+from .findings import Finding
+from .rules import all_rules, get_rule
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintResult",
+    "all_rules",
+    "get_rule",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,15 @@
+"""Entry point for ``python -m repro.analysis``."""
+
+import os
+import sys
+
+from .cli import main
+
+try:
+    code = main()
+except BrokenPipeError:
+    # Downstream pager/head closed the pipe mid-report; exit quietly
+    # (devnull dup stops the interpreter's own flush-on-exit complaint).
+    os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+    code = 0
+sys.exit(code)

@@ -1,0 +1,106 @@
+"""Baseline file: accepted legacy findings that must not gate CI.
+
+The baseline (``reprolint-baseline.json`` at the repo root) is a committed
+list of finding fingerprints.  ``reprolint`` subtracts it from a run's
+findings: anything in the baseline is reported as *baselined* (informational)
+and anything new fails the run.  Shrinking the baseline is always safe;
+growing it is a reviewed change (the file is committed, so the diff shows
+exactly which violation was accepted and why the PR description must say).
+
+Fingerprints hash rule + path + line *text* (not number), so a baseline
+survives code moving around a file but is invalidated when the offending
+line itself changes — at which point the author either fixes the violation
+or consciously re-accepts it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename looked up at the repo root.
+DEFAULT_BASELINE_NAME = "reprolint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """A set of accepted finding fingerprints with display metadata."""
+
+    fingerprints: Set[str] = field(default_factory=set)
+    #: fingerprint → summary entry kept for human-readable baseline diffs.
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.fingerprints
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (new, baselined)."""
+        new: List[Finding] = []
+        baselined: List[Finding] = []
+        for finding in findings:
+            (baselined if finding in self else new).append(finding)
+        return new, baselined
+
+    def stale_fingerprints(self, findings: Sequence[Finding]) -> Set[str]:
+        """Baseline entries that no longer match any finding (fixed or
+        edited).  Reported so the baseline can be garbage-collected."""
+        current = {f.fingerprint for f in findings}
+        return self.fingerprints - current
+
+
+def load_baseline(path: Path) -> Baseline:
+    """Read a baseline file (raises ValueError on schema mismatch)."""
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: unsupported baseline format "
+            f"(expected version {BASELINE_VERSION})"
+        )
+    baseline = Baseline()
+    for entry in data.get("findings", []):
+        fingerprint = str(entry["fingerprint"])
+        baseline.fingerprints.add(fingerprint)
+        baseline.entries[fingerprint] = dict(entry)
+    return baseline
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> Baseline:
+    """Write ``findings`` as the new accepted baseline and return it."""
+    ordered = sorted(findings, key=lambda f: (f.path, f.line, f.rule))
+    payload = {
+        "version": BASELINE_VERSION,
+        "comment": (
+            "Accepted legacy reprolint findings. New findings gate CI; "
+            "shrink this file whenever one is fixed. See docs/STATIC_ANALYSIS.md."
+        ),
+        "findings": [
+            {
+                "fingerprint": f.fingerprint,
+                "rule": f.rule,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in ordered
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return load_baseline(path)
+
+
+def find_default_baseline(start: Path) -> Path | None:
+    """Locate ``reprolint-baseline.json`` at or above ``start``."""
+    start = start.resolve()
+    for candidate in [start, *start.parents]:
+        path = candidate / DEFAULT_BASELINE_NAME
+        if path.exists():
+            return path
+    return None

@@ -1,0 +1,258 @@
+"""``python -m repro.analysis`` — the reprolint command line.
+
+Usage (also reachable as ``python -m repro.experiments lint ...``)::
+
+    python -m repro.analysis [paths ...]         # lint src/repro by default
+    python -m repro.analysis --format json       # machine-readable output
+    python -m repro.analysis --list-rules        # rule catalogue
+    python -m repro.analysis --explain NUM001    # one rule's docs
+    python -m repro.analysis --write-baseline    # accept current findings
+    python -m repro.analysis --no-baseline       # gate on *all* findings
+
+Exit status: 0 clean (new findings only — baselined/suppressed don't gate),
+1 when new findings or parse errors exist, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .baseline import (
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    find_default_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import LintResult, lint_paths
+from .findings import Finding
+from .rules import all_rules, get_rule
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="reprolint: determinism & invariant linter for the REACT reproduction",
+        epilog="Rules and workflow: docs/STATIC_ANALYSIS.md. Suppress one site "
+        "inline with `# reprolint: disable=RULE`.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help=f"baseline file (default: nearest {DEFAULT_BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore any baseline; every finding gates",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also list inline-suppressed and baselined findings",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        metavar="ID",
+        default=None,
+        help="run only these rule IDs (repeatable)",
+    )
+    parser.add_argument("--list-rules", action="store_true", help="print the rule catalogue")
+    parser.add_argument(
+        "--explain", metavar="ID", default=None, help="print one rule's documentation"
+    )
+    return parser
+
+
+def _rule_catalogue() -> str:
+    lines = []
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "(layering table)"
+        lines.append(f"{rule.id}  {rule.title}")
+        lines.append(f"        scope: {scope}")
+    return "\n".join(lines)
+
+
+def _explain(rule_id: str) -> str:
+    rule = get_rule(rule_id)
+    scope = ", ".join(rule.scope) if rule.scope else "see repro.analysis.rules.layering"
+    exempt = ", ".join(rule.exempt) if rule.exempt else "none"
+    return "\n".join(
+        [
+            f"{rule.id}: {rule.title}",
+            "",
+            rule.rationale,
+            "",
+            f"scope:  {scope}",
+            f"exempt: {exempt}",
+            f"suppress one site: # reprolint: disable={rule.id}",
+        ]
+    )
+
+
+def _render_text(
+    result: LintResult,
+    new: List[Finding],
+    baselined: List[Finding],
+    stale: int,
+    show_suppressed: bool,
+) -> str:
+    lines: List[str] = []
+    for finding in [*result.errors, *new]:
+        lines.append(finding.render())
+    if show_suppressed:
+        for finding in baselined:
+            lines.append(f"{finding.render()} (baselined)")
+        for finding in result.suppressed:
+            lines.append(f"{finding.render()} (suppressed inline)")
+    per_rule: Dict[str, int] = {}
+    for finding in new:
+        per_rule[finding.rule] = per_rule.get(finding.rule, 0) + 1
+    breakdown = (
+        " [" + ", ".join(f"{k}:{v}" for k, v in sorted(per_rule.items())) + "]"
+        if per_rule
+        else ""
+    )
+    lines.append(
+        f"reprolint: {result.files_scanned} files, {len(new)} new finding(s)"
+        f"{breakdown}, {len(baselined)} baselined, "
+        f"{len(result.suppressed)} suppressed inline, {len(result.errors)} parse error(s)"
+    )
+    if stale:
+        lines.append(
+            f"reprolint: {stale} stale baseline entr{'y' if stale == 1 else 'ies'} "
+            "(fixed findings) — regenerate with --write-baseline to shrink"
+        )
+    return "\n".join(lines)
+
+
+def _render_json(
+    result: LintResult,
+    new: List[Finding],
+    baselined: List[Finding],
+    stale: int,
+) -> str:
+    payload = {
+        "files_scanned": result.files_scanned,
+        "findings": [f.as_dict() for f in new],
+        "errors": [f.as_dict() for f in result.errors],
+        "baselined": [f.as_dict() for f in baselined],
+        "suppressed": [f.as_dict() for f in result.suppressed],
+        "stale_baseline_entries": stale,
+        "rules": {
+            rule.id: {"title": rule.title, "scope": list(rule.scope)}
+            for rule in all_rules()
+        },
+    }
+    return json.dumps(payload, indent=2)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+
+    if args.list_rules:
+        print(_rule_catalogue())
+        return EXIT_CLEAN
+    if args.explain is not None:
+        try:
+            print(_explain(args.explain))
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_USAGE
+        return EXIT_CLEAN
+
+    paths = [Path(p) for p in args.paths] if args.paths else [Path("src/repro")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            "reprolint: no such path(s): " + ", ".join(str(p) for p in missing),
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+
+    rules = None
+    if args.rule:
+        try:
+            rules = [get_rule(r) for r in args.rule]
+        except KeyError as exc:
+            print(exc.args[0], file=sys.stderr)
+            return EXIT_USAGE
+
+    result = lint_paths(paths, rules=rules)
+
+    # ------------------------------------------------------------ baseline
+    baseline_path: Optional[Path]
+    if args.no_baseline:
+        baseline_path = None
+    elif args.baseline is not None:
+        baseline_path = Path(args.baseline)
+    else:
+        baseline_path = find_default_baseline(paths[0] if paths else Path.cwd())
+
+    if args.write_baseline:
+        target = baseline_path or Path(DEFAULT_BASELINE_NAME)
+        write_baseline(target, result.findings)
+        print(
+            f"reprolint: wrote {len(result.findings)} finding(s) to {target}",
+            file=sys.stderr,
+        )
+        return EXIT_CLEAN
+
+    baseline = Baseline()
+    if baseline_path is not None and baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except (ValueError, KeyError, json.JSONDecodeError) as exc:
+            print(f"reprolint: bad baseline: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+    new, baselined = baseline.partition(result.findings)
+    stale = len(baseline.stale_fingerprints(result.findings))
+
+    if args.format == "json":
+        report = _render_json(result, new, baselined, stale)
+    else:
+        report = _render_text(result, new, baselined, stale, args.show_suppressed)
+
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+    return EXIT_FINDINGS if (new or result.errors) else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

@@ -1,0 +1,180 @@
+"""The lint engine: file discovery, rule dispatch, suppression accounting.
+
+The engine is deliberately boring: discover files, parse each once, hand the
+:class:`~repro.analysis.modinfo.ModuleInfo` to every in-scope rule, split the
+resulting findings into active / inline-suppressed, and fingerprint them for
+the baseline.  All policy lives in the rules and the baseline module.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from .findings import Finding, fingerprint_findings
+from .modinfo import ModuleInfo, load_module_source
+from .rules import all_rules
+from .rules.base import Rule
+
+#: Directory names never descended into.
+SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "build", "dist"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    #: Active findings (not inline-suppressed; baseline not yet applied).
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline ``# reprolint: disable=`` comment.
+    suppressed: List[Finding] = field(default_factory=list)
+    #: Files that failed to parse, as PARSE-rule findings.
+    errors: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    def extend(self, other: "LintResult") -> None:
+        self.findings.extend(other.findings)
+        self.suppressed.extend(other.suppressed)
+        self.errors.extend(other.errors)
+        self.files_scanned += other.files_scanned
+
+    @property
+    def all_active(self) -> List[Finding]:
+        """Findings plus parse errors — everything that should gate."""
+        return [*self.errors, *self.findings]
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Yield .py files under ``paths`` (files pass through, dirs recurse)."""
+    for path in paths:
+        if path.is_file():
+            if path.suffix == ".py":
+                yield path
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in SKIP_DIRS for part in candidate.parts):
+                yield candidate
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name by walking up ``__init__.py`` parents.
+
+    ``src/repro/core/deadline.py`` → ``repro.core.deadline``.  Files outside
+    any package lint under their stem so unscoped rules still apply.
+    """
+    path = path.resolve()
+    parts = [path.stem] if path.name != "__init__.py" else []
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts)) if parts else path.stem
+
+
+def repo_relative(path: Path, repo_root: Optional[Path] = None) -> str:
+    """POSIX path relative to the repo root (pyproject/git marker search)."""
+    path = path.resolve()
+    root = repo_root
+    if root is None:
+        for candidate in [path.parent, *path.parents]:
+            if (candidate / "pyproject.toml").exists() or (candidate / ".git").exists():
+                root = candidate
+                break
+    if root is not None:
+        try:
+            return path.relative_to(root.resolve()).as_posix()
+        except ValueError:  # pragma: no cover - path outside root
+            pass
+    return path.as_posix()
+
+
+def _split_suppressed(
+    module: ModuleInfo, findings: Iterable[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    active: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        target = suppressed if module.is_suppressed(finding.rule, finding.line) else active
+        target.append(finding)
+    return active, suppressed
+
+
+def lint_module(module: ModuleInfo, rules: Optional[Sequence[Rule]] = None) -> LintResult:
+    """Apply every in-scope rule to one parsed module."""
+    result = LintResult(files_scanned=1)
+    raw: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if rule.applies_to(module.module):
+            raw.extend(rule.check(module))
+    active, suppressed = _split_suppressed(module, raw)
+    result.findings = fingerprint_findings(active, module.lines)
+    result.suppressed = fingerprint_findings(suppressed, module.lines)
+    return result
+
+
+def lint_source(
+    source: str,
+    module: str,
+    path: str = "<memory>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint in-memory source under an explicit module name.
+
+    This is the fixture entry point: tests lint a file as if it lived at
+    e.g. ``repro.core.fixture`` to exercise scope-sensitive rules.
+    """
+    info = load_module_source(source, rel_path=path, module=module)
+    return lint_module(info, rules=rules)
+
+
+def lint_file(
+    path: Path,
+    module: Optional[str] = None,
+    rules: Optional[Sequence[Rule]] = None,
+    repo_root: Optional[Path] = None,
+) -> LintResult:
+    """Lint one file from disk (module name inferred unless given)."""
+    rel = repo_relative(path, repo_root)
+    name = module if module is not None else module_name_for(path)
+    try:
+        source = path.read_text(encoding="utf-8")
+        info = load_module_source(source, rel_path=rel, module=name, path=path)
+    except SyntaxError as exc:
+        result = LintResult(files_scanned=1)
+        result.errors.append(
+            Finding(
+                rule="PARSE",
+                path=rel,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"syntax error: {exc.msg}",
+                fingerprint="",
+            )
+        )
+        return result
+    return lint_module(info, rules=rules)
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[Rule]] = None,
+    repo_root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``; the CLI's workhorse."""
+    total = LintResult()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        total.extend(lint_file(file_path, rules=rules, repo_root=repo_root))
+    total.findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    total.suppressed.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return total
+
+
+def parse_ok(source: str) -> bool:
+    """Convenience used by tests: does the fixture at least parse?"""
+    try:
+        ast.parse(source)
+    except SyntaxError:
+        return False
+    return True

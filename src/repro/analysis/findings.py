@@ -1,0 +1,105 @@
+"""Finding container and stable fingerprints.
+
+A finding pins a rule violation to a file/line, plus a *fingerprint* that is
+stable under unrelated edits: it hashes the rule ID, the file path, the
+stripped source line text, and an occurrence counter — **not** the line
+number.  Moving a function ten lines down therefore keeps its baseline entry
+valid, while editing the offending line (or adding a second identical one)
+surfaces the finding again.  This is the same scheme gitlab/code-quality and
+sqlite's lint baselines use, chosen so the committed baseline file survives
+mechanical refactors.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Any, Dict, List, Sequence
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific site.
+
+    Attributes
+    ----------
+    rule:
+        Rule ID, e.g. ``"DET001"``.
+    path:
+        Repo-relative POSIX path of the offending file.
+    line, col:
+        1-based line and 0-based column of the flagged node.
+    message:
+        Human-readable description with the suggested fix.
+    symbol:
+        Enclosing ``class.function`` context, if any (display only).
+    fingerprint:
+        Stable identity used by the baseline; filled by the engine.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    symbol: str = ""
+    fingerprint: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "symbol": self.symbol,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        where = f"{self.path}:{self.line}:{self.col}"
+        ctx = f" [{self.symbol}]" if self.symbol else ""
+        return f"{where}: {self.rule} {self.message}{ctx}"
+
+
+def compute_fingerprint(rule: str, path: str, line_text: str, occurrence: int) -> str:
+    """Hash of (rule, path, normalized line text, occurrence index)."""
+    normalized = " ".join(line_text.split())
+    digest = hashlib.sha1(
+        f"{rule}|{path}|{normalized}|{occurrence}".encode("utf-8")
+    ).hexdigest()
+    return digest[:16]
+
+
+def fingerprint_findings(
+    findings: Sequence[Finding], source_lines: Sequence[str]
+) -> List[Finding]:
+    """Return ``findings`` with fingerprints filled in.
+
+    Occurrence indices disambiguate several identical violations of the same
+    rule on textually identical lines within one file.
+    """
+
+    seen: Dict[str, int] = {}
+    out: List[Finding] = []
+    for f in sorted(findings, key=lambda f: (f.line, f.col, f.rule)):
+        if 1 <= f.line <= len(source_lines):
+            text = source_lines[f.line - 1]
+        else:  # pragma: no cover - defensive (synthetic nodes)
+            text = ""
+        normalized = " ".join(text.split())
+        key = f"{f.rule}|{f.path}|{normalized}"
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(
+            Finding(
+                rule=f.rule,
+                path=f.path,
+                line=f.line,
+                col=f.col,
+                message=f.message,
+                symbol=f.symbol,
+                fingerprint=compute_fingerprint(f.rule, f.path, normalized, occurrence),
+            )
+        )
+    return out

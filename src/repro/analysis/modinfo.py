@@ -1,0 +1,225 @@
+"""Parsed-module model shared by the lint engine and the rule plugins.
+
+A :class:`ModuleInfo` bundles everything a rule needs to reason about one
+file: the AST, the dotted module name (so rules can scope themselves to
+``repro.core`` etc.), the raw source lines, an import-alias map for resolving
+``np.random.default_rng`` → ``numpy.random.default_rng``, and the parsed
+``# reprolint: disable=...`` suppression comments.
+
+Import resolution is intentionally purely syntactic — no modules are ever
+imported, so linting cannot execute project code (important for CI and for
+the chaos-injection modules whose import side effects register hooks).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Matches an inline suppression: ``# reprolint: disable=DET001``
+#: or several rules at once: ``# reprolint: disable=DET001,NUM001``.
+#: ``disable=all`` silences every rule on that line.
+SUPPRESSION_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: Sentinel rule name meaning "every rule" in a suppression comment.
+SUPPRESS_ALL = "ALL"
+
+
+def parse_suppressions(lines: List[str]) -> Dict[int, Set[str]]:
+    """Map 1-based line number → set of suppressed rule IDs (or ``ALL``)."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        if "reprolint" not in text:  # cheap pre-filter
+            continue
+        match = SUPPRESSION_RE.search(text)
+        if match is None:
+            continue
+        rules = {part.strip().upper() for part in match.group(1).split(",")}
+        out[lineno] = {SUPPRESS_ALL if r == "ALL" else r for r in rules}
+    return out
+
+
+@dataclass(frozen=True)
+class ImportedName:
+    """One imported symbol, absolute-resolved.
+
+    ``type_only`` marks imports guarded by ``if TYPE_CHECKING:`` — they
+    exist purely for annotations and cannot create runtime import cycles,
+    so the layering rule ignores them.
+    """
+
+    name: str
+    lineno: int
+    type_only: bool = False
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source module plus the metadata rules need."""
+
+    path: Path
+    #: Repo-relative POSIX path used in findings and fingerprints.
+    rel_path: str
+    #: Dotted module name, e.g. ``repro.core.matching.base``.
+    module: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+    suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    #: local alias → fully qualified name (``np`` → ``numpy``).
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: absolute dotted names of every imported module/symbol.
+    imported_names: List[ImportedName] = field(default_factory=list)
+
+    @property
+    def package(self) -> str:
+        """The package containing this module (the module itself for
+        ``__init__`` files)."""
+        if self.path.name == "__init__.py":
+            return self.module
+        return self.module.rpartition(".")[0]
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        if not rules:
+            return False
+        return rule.upper() in rules or SUPPRESS_ALL in rules
+
+    # --------------------------------------------------------- name lookup
+    def qualified_name(self, node: ast.AST) -> Optional[str]:
+        """Resolve an attribute/name chain to a fully qualified dotted name.
+
+        ``np.random.default_rng`` resolves through the import map to
+        ``numpy.random.default_rng``; a bare ``perf_counter`` imported via
+        ``from time import perf_counter`` resolves to ``time.perf_counter``.
+        Returns None for anything that is not a static name chain (calls,
+        subscripts, locals that shadow no import).
+        """
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        parts.append(cur.id)
+        parts.reverse()
+        head = parts[0]
+        resolved = self.imports.get(head, head)
+        return ".".join([resolved] + parts[1:])
+
+
+def _resolve_relative(module: str, is_package: bool, level: int, target: Optional[str]) -> str:
+    """Absolute dotted name for a ``from ...x import y`` relative import."""
+    parts = module.split(".")
+    if not is_package:
+        parts = parts[:-1]
+    # level=1 → current package, level=2 → parent, ...
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)]
+    base = ".".join(parts)
+    if target:
+        return f"{base}.{target}" if base else target
+    return base
+
+
+def _is_type_checking_guard(node: ast.AST) -> bool:
+    """True for ``if TYPE_CHECKING:`` / ``if typing.TYPE_CHECKING:``."""
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+def build_import_map(
+    tree: ast.Module, module: str, is_package: bool
+) -> Tuple[Dict[str, str], List[ImportedName]]:
+    """Collect (alias → qualified name) plus the flat list of imported names.
+
+    The flat list feeds the layering rule (KER001); the alias map feeds the
+    call-site rules (DET001/DET002).
+    """
+    aliases: Dict[str, str] = {}
+    names: List[ImportedName] = []
+
+    def visit(node: ast.AST, type_only: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.Import):
+                for item in child.names:
+                    qualified = item.name
+                    # ``import a.b`` binds ``a``; ``import a.b as c`` binds
+                    # ``c`` to the full dotted path.
+                    if item.asname:
+                        aliases[item.asname] = qualified
+                    else:
+                        aliases[qualified.split(".")[0]] = qualified.split(".")[0]
+                    names.append(ImportedName(qualified, child.lineno, type_only))
+            elif isinstance(child, ast.ImportFrom):
+                if child.level:
+                    base = _resolve_relative(module, is_package, child.level, child.module)
+                else:
+                    base = child.module or ""
+                for item in child.names:
+                    qualified = f"{base}.{item.name}" if base else item.name
+                    aliases[item.asname or item.name] = qualified
+                    names.append(ImportedName(qualified, child.lineno, type_only))
+            else:
+                visit(child, type_only or _is_type_checking_guard(child))
+
+    visit(tree, False)
+    return aliases, names
+
+
+def load_module(path: Path, rel_path: str, module: str) -> ModuleInfo:
+    """Parse ``path`` into a :class:`ModuleInfo` (raises SyntaxError)."""
+    source = path.read_text(encoding="utf-8")
+    return load_module_source(source, rel_path=rel_path, module=module, path=path)
+
+
+def load_module_source(
+    source: str, rel_path: str, module: str, path: Optional[Path] = None
+) -> ModuleInfo:
+    """Parse in-memory source (the test fixtures go through this)."""
+    tree = ast.parse(source, filename=rel_path)
+    lines = source.splitlines()
+    is_package = (path is not None and path.name == "__init__.py") or rel_path.endswith(
+        "__init__.py"
+    )
+    imports, imported_names = build_import_map(tree, module, is_package)
+    return ModuleInfo(
+        path=path if path is not None else Path(rel_path),
+        rel_path=rel_path,
+        module=module,
+        source=source,
+        tree=tree,
+        lines=lines,
+        suppressions=parse_suppressions(lines),
+        imports=imports,
+        imported_names=imported_names,
+    )
+
+
+def walk_with_symbols(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield (node, enclosing symbol) pairs, symbol like ``Class.method``."""
+
+    def visit(node: ast.AST, symbol: str) -> Iterator[Tuple[ast.AST, str]]:
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                child_symbol = f"{symbol}.{child.name}" if symbol else child.name
+            yield child, child_symbol
+            yield from visit(child, child_symbol)
+
+    yield from visit(tree, "")
+
+
+def enclosing_symbols(tree: ast.Module) -> Dict[int, str]:
+    """Best-effort map of node id → symbol, via :func:`walk_with_symbols`."""
+    return {id(node): symbol for node, symbol in walk_with_symbols(tree)}

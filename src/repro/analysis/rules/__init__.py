@@ -1,0 +1,48 @@
+"""Rule registry.
+
+Adding a rule: subclass :class:`~repro.analysis.rules.base.Rule` in a module
+here, then append an instance to :data:`RULES`.  IDs are namespaced by
+concern — DET (determinism), NUM (numerics), OBS (observability), KER
+(kernels/layering), API (typing surface) — with three digits for ordering
+within a concern.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .base import Rule
+from .determinism import ThreadedRngRule, WallClockRule
+from .layering import LayeringRule
+from .numerics import FloatEqualityRule
+from .observability import NullObjectFacadeRule
+from .typing_api import PublicApiAnnotationsRule
+
+#: Every registered rule, in report order.
+RULES: List[Rule] = [
+    WallClockRule(),
+    ThreadedRngRule(),
+    FloatEqualityRule(),
+    NullObjectFacadeRule(),
+    LayeringRule(),
+    PublicApiAnnotationsRule(),
+]
+
+_BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
+
+
+def all_rules() -> List[Rule]:
+    """The registered rules (copy; mutating it does not unregister)."""
+    return list(RULES)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up a rule by ID (raises KeyError with the known IDs)."""
+    try:
+        return _BY_ID[rule_id.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_BY_ID))
+        raise KeyError(f"unknown rule {rule_id!r}; known rules: {known}") from None
+
+
+__all__ = ["RULES", "Rule", "all_rules", "get_rule"]

@@ -1,0 +1,68 @@
+"""Rule plugin base class.
+
+A rule is a stateless object with an ID, human docs, a module-name scope,
+and a ``check`` method producing findings from a :class:`ModuleInfo`.  New
+rules subclass :class:`Rule`, set the class attributes, and register in
+:data:`repro.analysis.rules.RULES` — nothing else in the engine changes
+(docs/STATIC_ANALYSIS.md walks through adding one).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, Tuple
+
+from ..findings import Finding
+from ..modinfo import ModuleInfo
+
+
+def in_scope(module: str, prefixes: Tuple[str, ...]) -> bool:
+    """True when ``module`` is one of ``prefixes`` or nested under one."""
+    return any(module == p or module.startswith(p + ".") for p in prefixes)
+
+
+class Rule(abc.ABC):
+    """One invariant, e.g. "no wall-clock in simulation code"."""
+
+    #: Stable identifier used in findings, suppressions and the baseline.
+    id: str = "RULE000"
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: Why the invariant matters for the reproduction (shown by --explain).
+    rationale: str = ""
+    #: Module-name prefixes the rule applies to ("" in subclass = everywhere).
+    scope: Tuple[str, ...] = ()
+    #: Module names exempted even inside scope (e.g. the RNG factory itself).
+    exempt: Tuple[str, ...] = ()
+
+    def applies_to(self, module: str) -> bool:
+        if in_scope(module, self.exempt):
+            return False
+        if not self.scope:
+            return True
+        return in_scope(module, self.scope)
+
+    @abc.abstractmethod
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        """Yield findings for every violation in ``module``."""
+
+    # ------------------------------------------------------------- helpers
+    def finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        col: int,
+        message: str,
+        symbol: str = "",
+    ) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=module.rel_path,
+            line=line,
+            col=col,
+            message=message,
+            symbol=symbol,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(id={self.id!r})"

@@ -1,0 +1,201 @@
+"""DET001/DET002 — seed-determinism rules.
+
+The paper's figures are reproduced by *bit-identical* reruns (ROADMAP tier-1
+gate; ``sim.rng`` named streams).  Two classes of regressions break that:
+
+* **DET001** — wall-clock reads or unseeded RNG construction inside the
+  deterministic packages (``repro.sim``, ``repro.core``, ``repro.platform``).
+  ``time.time()``/``perf_counter()`` values leak host timing into sim
+  state; an argless ``np.random.default_rng()`` draws OS entropy.
+* **DET002** — RNG state that bypasses the named-stream registry: calls to
+  the legacy global ``np.random.*`` distribution API (hidden process-wide
+  state) or generators constructed at module/class scope (shared across
+  experiments, so one run perturbs the next).
+
+Profiling code that *reports* wall time without feeding it back into
+simulation decisions may suppress DET001 inline with a justification, e.g.
+``# reprolint: disable=DET001`` on the measuring line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Tuple
+
+from ..findings import Finding
+from ..modinfo import ModuleInfo, enclosing_symbols
+from .base import Rule
+
+#: Deterministic packages: everything that runs inside a simulation.
+DETERMINISTIC_SCOPE: Tuple[str, ...] = ("repro.sim", "repro.core", "repro.platform")
+
+#: Wall-clock sources.  Resolved through the import-alias map, so
+#: ``from time import perf_counter as pc; pc()`` is still caught.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Global-state seeding — forbidden outright (named streams make it useless).
+GLOBAL_SEED_CALLS = frozenset({"numpy.random.seed", "random.seed"})
+
+#: RNG constructors that must receive an explicit seed / SeedSequence.
+RNG_CONSTRUCTORS = frozenset(
+    {"numpy.random.default_rng", "random.Random", "numpy.random.RandomState"}
+)
+
+#: Legacy global-state numpy distribution API (``np.random.rand`` & co.).
+LEGACY_NP_RANDOM = frozenset(
+    {
+        "beta",
+        "binomial",
+        "choice",
+        "exponential",
+        "gamma",
+        "geometric",
+        "lognormal",
+        "normal",
+        "pareto",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+        "zipf",
+    }
+)
+
+
+def _call_name(module: ModuleInfo, node: ast.Call) -> Optional[str]:
+    return module.qualified_name(node.func)
+
+
+class WallClockRule(Rule):
+    """DET001: no wall-clock time or unseeded RNG in deterministic code."""
+
+    id = "DET001"
+    title = "no wall-clock / unseeded RNG in sim, core, or platform code"
+    rationale = (
+        "Simulated time comes from the event engine and randomness from the "
+        "seeded sim.rng streams; a wall-clock read or OS-entropy generator "
+        "makes reruns diverge and the paper's figures unreproducible."
+    )
+    scope = DETERMINISTIC_SCOPE
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(module, node)
+            if name is None:
+                continue
+            symbol = symbols.get(id(node), "")
+            if name in WALL_CLOCK_CALLS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock call `{name}()` in deterministic code; use the "
+                    "sim engine's `now` (sim time) instead",
+                    symbol,
+                )
+            elif name in GLOBAL_SEED_CALLS:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"global RNG seeding `{name}()` is forbidden; draw from a "
+                    "named sim.rng stream",
+                    symbol,
+                )
+            elif name in RNG_CONSTRUCTORS and not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"argless `{name}()` draws OS entropy; pass an explicit "
+                    "seed/SeedSequence or thread a sim.rng stream",
+                    symbol,
+                )
+
+
+class ThreadedRngRule(Rule):
+    """DET002: RNG objects are threaded from sim.rng, never global/module state."""
+
+    id = "DET002"
+    title = "RNG must be threaded from sim.rng streams, not global state"
+    rationale = (
+        "The legacy np.random.* API and module-level generators are hidden "
+        "shared state: one component's draws perturb another's, destroying "
+        "the variance isolation the algorithm comparisons (Figs. 5-10) need."
+    )
+    scope = DETERMINISTIC_SCOPE
+    #: The stream factory is the one sanctioned Generator constructor.
+    exempt = ("repro.sim.rng",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(module.tree)
+        # (a) legacy global-state distribution calls anywhere in the module
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(module, node)
+            if name is None or not name.startswith("numpy.random."):
+                continue
+            tail = name.rpartition(".")[2]
+            if tail in LEGACY_NP_RANDOM:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    node.col_offset,
+                    f"legacy global-state RNG `{name}()`; draw from an "
+                    "explicitly threaded np.random.Generator (sim.rng stream)",
+                    symbols.get(id(node), ""),
+                )
+        # (b) generators constructed at module or class scope
+        yield from self._module_scope_generators(module, module.tree, symbol="")
+
+    def _module_scope_generators(
+        self, module: ModuleInfo, body_owner: ast.AST, symbol: str
+    ) -> Iterator[Finding]:
+        body = getattr(body_owner, "body", [])
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                child = f"{symbol}.{stmt.name}" if symbol else stmt.name
+                yield from self._module_scope_generators(module, stmt, child)
+                continue
+            value: Optional[ast.expr] = None
+            if isinstance(stmt, ast.Assign):
+                value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                value = stmt.value
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            name = _call_name(module, value)
+            if name in RNG_CONSTRUCTORS or name == "numpy.random.Generator":
+                yield self.finding(
+                    module,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"RNG constructed at {'class' if symbol else 'module'} scope "
+                    f"(`{name}`); generators must be created per-run and "
+                    "threaded from sim.rng",
+                    symbol,
+                )

@@ -1,0 +1,108 @@
+"""OBS001 — observability goes through the null-object facade.
+
+PR 3 made every obs call site unconditional: components resolve their
+optional ``observability`` argument through :func:`repro.obs.runtime.resolve`
+once, then call instruments/tracer unconditionally (NULL_OBS no-ops cost
+~140 ns).  Conditional ``if obs is not None: obs.tracer...`` branching
+reintroduces the two problems the facade removed: hot-path branches the perf
+guard cannot budget, and half-instrumented code paths where the branch is
+forgotten.  This rule flags ``is None`` / ``is not None`` tests and bare
+truthiness guards on observability-ish names (``obs``, ``observability``,
+``tracer``, and ``_``-prefixed variants) inside the instrumented packages.
+
+The facade's own ``resolve()`` lives in ``repro.obs`` which is out of scope
+by construction (it is the one place allowed to look at None).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from ..findings import Finding
+from ..modinfo import ModuleInfo, enclosing_symbols
+from .base import Rule
+
+#: Base names treated as observability handles after stripping underscores.
+OBS_NAMES = frozenset({"obs", "observability", "tracer", "metrics_registry"})
+
+
+def _obs_basename(node: ast.expr) -> Optional[str]:
+    """The trailing identifier if ``node`` names an obs-ish handle."""
+    if isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Name):
+        name = node.id
+    else:
+        return None
+    stripped = name.lstrip("_")
+    return name if stripped in OBS_NAMES else None
+
+
+class NullObjectFacadeRule(Rule):
+    """OBS001: no `if obs is not None` branching around telemetry calls."""
+
+    id = "OBS001"
+    title = "obs/metrics call sites use the null-object facade, not None checks"
+    rationale = (
+        "resolve(observability) hands back NULL_OBS so every call site is "
+        "unconditional; None-guards reintroduce unbudgeted hot-path branches "
+        "and forgotten-instrumentation bugs."
+    )
+    scope = ("repro.platform", "repro.core", "repro.sim", "repro.chaos", "repro.stats")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            test: Optional[ast.expr] = None
+            if isinstance(node, (ast.If, ast.IfExp, ast.While)):
+                test = node.test
+            elif isinstance(node, ast.Assert):
+                test = node.test
+            if test is None:
+                continue
+            for finding in self._scan_test(module, test, symbols.get(id(node), "")):
+                yield finding
+
+    def _scan_test(
+        self, module: ModuleInfo, test: ast.expr, symbol: str
+    ) -> Iterator[Finding]:
+        # Recurse through boolean operators and negation.
+        if isinstance(test, ast.BoolOp):
+            for value in test.values:
+                yield from self._scan_test(module, value, symbol)
+            return
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            yield from self._scan_test(module, test.operand, symbol)
+            return
+        if isinstance(test, ast.Compare):
+            if not any(isinstance(op, (ast.Is, ast.IsNot)) for op in test.ops):
+                return
+            operands = [test.left, *test.comparators]
+            if not any(
+                isinstance(o, ast.Constant) and o.value is None for o in operands
+            ):
+                return
+            name = next(
+                (n for o in operands if (n := _obs_basename(o)) is not None), None
+            )
+            if name is not None:
+                yield self.finding(
+                    module,
+                    test.lineno,
+                    test.col_offset,
+                    f"None-check on observability handle `{name}`; resolve() it "
+                    "once to NULL_OBS and call unconditionally",
+                    symbol,
+                )
+            return
+        name = _obs_basename(test)
+        if name is not None:
+            yield self.finding(
+                module,
+                test.lineno,
+                test.col_offset,
+                f"truthiness guard on observability handle `{name}`; the "
+                "null-object facade makes the guard unnecessary",
+                symbol,
+            )

@@ -1,0 +1,109 @@
+"""API001 — complete type annotations on public API surfaces.
+
+``repro.core``, ``repro.stats`` and ``repro.platform`` are the packages other
+layers build on; mypy's strict gate (pyproject ``[tool.mypy]``) only delivers
+its guarantees when the public surface is fully annotated, otherwise every
+caller type-checks against ``Any``.  CI runs mypy, but mypy is not importable
+in every dev environment — this rule keeps the *annotation completeness*
+contract locally checkable with zero dependencies.
+
+Public means: module- or class-level ``def`` whose name does not start with
+``_`` (dunders count as public — they are the API of the object protocol),
+inside a class chain that is itself public.  ``self``/``cls`` are exempt, as
+are ``@overload`` stubs (the implementation signature is checked).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from ..findings import Finding
+from ..modinfo import ModuleInfo
+from .base import Rule
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def _is_public_name(name: str) -> bool:
+    if name.startswith("__") and name.endswith("__"):
+        return True
+    return not name.startswith("_")
+
+
+def _decorator_names(node: FunctionNode) -> List[str]:
+    names = []
+    for dec in node.decorator_list:
+        cur = dec.func if isinstance(dec, ast.Call) else dec
+        while isinstance(cur, ast.Attribute):
+            cur = cur.value
+        if isinstance(cur, ast.Name):
+            names.append(cur.id)
+        elif isinstance(dec, ast.Attribute):  # pragma: no cover - rare
+            names.append(dec.attr)
+    return names
+
+
+def _missing_annotations(node: FunctionNode, is_method: bool) -> List[str]:
+    missing: List[str] = []
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    if is_method and positional and positional[0].arg in ("self", "cls"):
+        positional = positional[1:]
+    for arg in positional + list(args.kwonlyargs):
+        if arg.annotation is None:
+            missing.append(arg.arg)
+    if args.vararg is not None and args.vararg.annotation is None:
+        missing.append("*" + args.vararg.arg)
+    if args.kwarg is not None and args.kwarg.annotation is None:
+        missing.append("**" + args.kwarg.arg)
+    if node.returns is None:
+        missing.append("return")
+    return missing
+
+
+class PublicApiAnnotationsRule(Rule):
+    """API001: public core/stats/platform functions are fully annotated."""
+
+    id = "API001"
+    title = "public functions in core/stats/platform need complete annotations"
+    rationale = (
+        "The strict-mypy gate only protects callers when signatures are "
+        "complete; an unannotated public function downgrades every use to "
+        "Any and hides Eq. 2/3 unit/shape errors."
+    )
+    scope = ("repro.core", "repro.stats", "repro.platform")
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        yield from self._scan_body(module, module.tree.body, symbol="", in_class=False)
+
+    def _scan_body(
+        self,
+        module: ModuleInfo,
+        body: List[ast.stmt],
+        symbol: str,
+        in_class: bool,
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                if not _is_public_name(stmt.name):
+                    continue
+                child = f"{symbol}.{stmt.name}" if symbol else stmt.name
+                yield from self._scan_body(module, stmt.body, child, in_class=True)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not _is_public_name(stmt.name):
+                    continue
+                if "overload" in _decorator_names(stmt):
+                    continue
+                missing = _missing_annotations(stmt, is_method=in_class)
+                if not missing:
+                    continue
+                name = f"{symbol}.{stmt.name}" if symbol else stmt.name
+                yield self.finding(
+                    module,
+                    stmt.lineno,
+                    stmt.col_offset,
+                    f"public function `{name}` missing annotations: "
+                    + ", ".join(missing),
+                    name,
+                )

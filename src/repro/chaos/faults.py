@@ -30,7 +30,7 @@ Fault taxonomy (see docs/CHAOS.md for the full matrix):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Tuple
 
 

@@ -36,7 +36,7 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from ..model.worker import WorkerProfile
-from ..stats.duration_models import DurationModelFamily, PowerLawFamily
+from ..stats.duration_models import DurationModel, DurationModelFamily, PowerLawFamily
 from ..stats.powerlaw import FitMethod, PowerLawFit
 from .kernels.deadline import powerlaw_ccdf_grid, powerlaw_ccdf_values
 
@@ -82,7 +82,7 @@ class DeadlineEstimator:
         # Fit cache keyed by worker id; worker histories are append-only, so
         # a cached fit stays valid until the completed-task count changes.
         # This matters: graph construction re-fits every worker every batch.
-        self._fit_cache: dict[int, tuple[int, object]] = {}
+        self._fit_cache: dict[int, tuple[int, DurationModel]] = {}
         # Cache effectiveness tallies, exported by the observability layer
         # (plain ints here — core must not depend on repro.obs).  A miss is
         # any trained fit_worker call that had to run the MLE.
@@ -90,7 +90,7 @@ class DeadlineEstimator:
         self.cache_misses = 0
 
     # ------------------------------------------------------------- fitting
-    def fit_worker(self, worker: WorkerProfile):
+    def fit_worker(self, worker: WorkerProfile) -> Optional[DurationModel]:
         """Fitted duration model for the worker, or None while untrained."""
         if worker.completed_tasks < self.min_history or worker.completed_tasks == 0:
             return None

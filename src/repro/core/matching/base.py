@@ -122,13 +122,23 @@ class Matcher(abc.ABC):
     ) -> MatchingResult:
         """Compute a matching of ``graph``.
 
-        Deterministic matchers ignore ``rng``; randomized ones require it
-        (a fresh default generator is created when omitted, but platform
-        code always passes the named matcher stream for reproducibility).
+        Deterministic matchers ignore ``rng``; randomized ones require it —
+        the platform threads the named matcher stream (``sim.rng``), and
+        standalone callers must pass ``np.random.default_rng(seed)``.
+        Omitting it raises :class:`MatchingError` rather than silently
+        falling back to OS entropy, which would make reruns diverge.
         """
 
     def _rng(self, rng: Optional[np.random.Generator]) -> np.random.Generator:
-        return np.random.default_rng() if rng is None else rng
+        if rng is None:
+            raise MatchingError(
+                f"{type(self).__name__} is randomized and requires an explicit "
+                "rng: thread the platform's matcher stream "
+                "(RngRegistry.stream(STREAM_MATCHER)) or pass "
+                "np.random.default_rng(seed). An implicit unseeded generator "
+                "would break run-to-run reproducibility (reprolint DET001)."
+            )
+        return rng
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(name={self.name!r})"

@@ -281,12 +281,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         from ..obs.cli import main as obs_main
 
         return obs_main(list(argv[1:]))
+    if argv and argv[0] == "lint":
+        # reprolint (docs/STATIC_ANALYSIS.md) also answers to
+        # ``python -m repro.analysis``; this alias keeps every project
+        # tool reachable from the one experiments entry point.
+        from ..analysis.cli import main as lint_main
+
+        return lint_main(list(argv[1:]))
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments",
         description="Regenerate the figures of 'Crowdsourcing under Real-Time Constraints'.",
         epilog="'obs' (python -m repro.experiments obs --help) summarizes "
-        "or converts recorded trace files.",
+        "or converts recorded trace files; 'lint' (python -m repro.experiments "
+        "lint --help) runs the reprolint static-analysis gate.",
     )
     parser.add_argument("figure", choices=sorted(COMMANDS) + ["all"])
     parser.add_argument(

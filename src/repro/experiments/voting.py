@@ -24,16 +24,16 @@ overhead).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..model.task import Task, reset_task_ids
-from ..platform.cost import PaperCalibratedCost, ZeroCost
+from ..platform.cost import ZeroCost
 from ..platform.policies import SchedulingPolicy, react_policy, traditional_policy
 from ..platform.server import REACTServer
 from ..sim.engine import Engine
 from ..sim.events import EventKind
 from ..sim.process import GeneratorProcess
-from ..sim.rng import STREAM_ARRIVALS, STREAM_TASKS, STREAM_WORKER_POPULATION, RngRegistry
+from ..sim.rng import STREAM_TASKS, STREAM_WORKER_POPULATION, RngRegistry
 from ..workload.arrivals import deterministic_gaps
 from ..workload.generators import TaskGeneratorConfig, TrafficMonitoringGenerator
 from ..workload.population import PopulationConfig, generate_population

@@ -25,7 +25,7 @@ import json
 import math
 from collections import Counter as _TallyCounter
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Sequence, Union
 
 from .registry import MetricsRegistry, Sample
 from .trace import TRACK_NAMES, TraceEvent, WORKER_TRACK_BASE

@@ -24,8 +24,8 @@ manager — the disabled cost of a traced region is two no-op calls.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 #: Default ring-buffer capacity: generous for any quick/CI run, bounded for
 #: the paper-scale ones (~35 MB of events at most).

@@ -14,8 +14,8 @@ protocol is out of the paper's scope).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from ..model.region import Region
 from ..model.task import Task

@@ -35,7 +35,7 @@ I7  Metric/pool agreement: received = finished + in-flight (only on
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..model.task import TaskPhase
 from ..sim.engine import Engine

@@ -16,7 +16,7 @@ experiment harnesses can swap techniques declaratively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Any
 
 from ..core.matching.base import Matcher
 from ..core.matching.registry import create_matcher
@@ -107,7 +107,7 @@ class SchedulingPolicy:
     def build_weight_function(self) -> WeightFunction:
         return make_weight_function(self.weight_function_name)
 
-    def with_overrides(self, **kwargs) -> "SchedulingPolicy":
+    def with_overrides(self, **kwargs: Any) -> "SchedulingPolicy":
         """Derived policy with some fields replaced (ablation helper)."""
         return replace(self, **kwargs)
 
@@ -116,7 +116,7 @@ def react_policy(
     cycles: int = 1000,
     reassign_threshold: float = 0.1,
     min_history: int = 3,
-    **overrides,
+    **overrides: Any,
 ) -> SchedulingPolicy:
     """The REACT technique exactly as configured in §V-C."""
     return SchedulingPolicy(
@@ -129,7 +129,7 @@ def react_policy(
     )
 
 
-def greedy_policy(**overrides) -> SchedulingPolicy:
+def greedy_policy(**overrides: Any) -> SchedulingPolicy:
     """Greedy matching + the probabilistic reassignment model (§V-C).
 
     Per the paper's §V-B Discussion, Greedy does not need to gather a batch:
@@ -147,7 +147,7 @@ def greedy_policy(**overrides) -> SchedulingPolicy:
     )
 
 
-def traditional_policy(**overrides) -> SchedulingPolicy:
+def traditional_policy(**overrides: Any) -> SchedulingPolicy:
     """AMT-like baseline: uniform assignment, no probabilistic model.
 
     "It does not react when the user delays a task" (§V-C): once handed to
@@ -167,7 +167,7 @@ def traditional_policy(**overrides) -> SchedulingPolicy:
     )
 
 
-def metropolis_policy(cycles: int = 1000, **overrides) -> SchedulingPolicy:
+def metropolis_policy(cycles: int = 1000, **overrides: Any) -> SchedulingPolicy:
     """Metropolis matching with the probabilistic model (for ablations)."""
     return SchedulingPolicy(
         name="metropolis",

@@ -9,7 +9,7 @@ transitions between them.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List
 
 from ..model.task import Task, TaskPhase
 
@@ -188,7 +188,7 @@ class TaskManagementComponent:
         task.mark_expired()
         self._finished[task.task_id] = task
 
-    def extract_unassigned(self, predicate) -> List[Task]:
+    def extract_unassigned(self, predicate: Callable[[Task], bool]) -> List[Task]:
         """Remove and return queued tasks matching ``predicate``.
 
         Used by the multi-region coordinator when a region splits: queued

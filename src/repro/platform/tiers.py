@@ -20,10 +20,10 @@ it composes safely with the scheduling machinery.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..model.region import Region, RegionGrid
+from ..model.region import RegionGrid
 from ..model.task import Task
 from ..model.worker import WorkerBehavior, WorkerProfile
 from ..sim.engine import Engine

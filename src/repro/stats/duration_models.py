@@ -26,19 +26,24 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Protocol, Sequence
 
 import numpy as np
 
-from .powerlaw import FitMethod, fit_power_law
+from .powerlaw import FitMethod, PowerLawFit, fit_power_law
 
 
-class DurationModel(abc.ABC):
-    """A fitted model of one worker's task-duration distribution."""
+class DurationModel(Protocol):
+    """A fitted model of one worker's task-duration distribution.
 
-    @abc.abstractmethod
+    Structural: :class:`~repro.stats.powerlaw.PowerLawFit` satisfies it
+    without inheriting (it predates this protocol), while the alternative
+    families below subclass it explicitly and inherit the scalar helper.
+    """
+
     def ccdf(self, k: np.ndarray) -> np.ndarray:
         """``Pr(Duration >= k)`` for an array of horizons."""
+        ...  # pragma: no cover - protocol signature
 
     def ccdf_scalar(self, k: float) -> float:
         return float(self.ccdf(np.asarray([k], dtype=np.float64))[0])
@@ -68,7 +73,7 @@ class PowerLawFamily(DurationModelFamily):
     def __init__(self, method: FitMethod = FitMethod.PAPER_DISCRETE) -> None:
         self.method = method
 
-    def fit(self, samples: Sequence[float]):
+    def fit(self, samples: Sequence[float]) -> PowerLawFit:
         return fit_power_law(samples, method=self.method)
 
 
@@ -147,7 +152,7 @@ class LogNormalFamily(DurationModelFamily):
         return LogNormalModel(mu=float(logs.mean()), sigma=max(sigma, self.min_sigma))
 
 
-def make_family(name: str, **kwargs) -> DurationModelFamily:
+def make_family(name: str, **kwargs: Any) -> DurationModelFamily:
     """Factory: power-law | empirical | lognormal."""
     families = {
         "power-law": PowerLawFamily,

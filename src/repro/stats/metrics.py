@@ -17,11 +17,14 @@ expired counters) whose conservation laws the integration tests assert.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 import numpy as np
 
 from ..obs.registry import NULL_INSTRUMENT
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -120,7 +123,7 @@ class MetricsCollector:
         "degraded_mode_seconds",
     )
 
-    def bind_registry(self, registry) -> None:
+    def bind_registry(self, registry: "MetricsRegistry") -> None:
         """Mirror this collector's bookkeeping into a live metrics registry.
 
         Counter values are fast-forwarded to the collector's current state,

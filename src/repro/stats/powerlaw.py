@@ -27,11 +27,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Optional, Sequence, Union
 
 import numpy as np
+import numpy.typing as npt
 
 ArrayLike = Union[np.ndarray, Sequence[float], float]
+#: Every probability/quantile accessor returns a float64 array.
+FloatArray = npt.NDArray[np.float64]
 
 
 class FitMethod(enum.Enum):
@@ -69,7 +72,7 @@ class PowerLawFit:
             )
 
     # ------------------------------------------------------------- P(k)
-    def ccdf(self, k: ArrayLike) -> np.ndarray:
+    def ccdf(self, k: ArrayLike) -> FloatArray:
         """``P(k) = Pr(K >= k) = (k/k_min)^(1-α)``, clamped to [0, 1].
 
         Values below ``k_min`` are in the non-power-law head where the model
@@ -84,11 +87,16 @@ class PowerLawFit:
         out = np.where(k_arr <= self.k_min, 1.0, out)
         return np.clip(out, 0.0, 1.0)
 
-    def cdf(self, k: ArrayLike) -> np.ndarray:
-        """``Pr(K < k) = 1 - P(k)``."""
-        return 1.0 - self.ccdf(k)
+    def ccdf_scalar(self, k: float) -> float:
+        """Scalar ``P(k)`` (the :class:`~repro.stats.duration_models.
+        DurationModel` protocol's convenience accessor)."""
+        return float(self.ccdf(np.asarray([k], dtype=np.float64))[0])
 
-    def pdf(self, k: ArrayLike) -> np.ndarray:
+    def cdf(self, k: ArrayLike) -> FloatArray:
+        """``Pr(K < k) = 1 - P(k)``."""
+        return np.asarray(1.0 - self.ccdf(k), dtype=np.float64)
+
+    def pdf(self, k: ArrayLike) -> FloatArray:
         """Normalized density ``(α-1)/k_min (k/k_min)^(-α)`` for k >= k_min."""
         k_arr = np.asarray(k, dtype=np.float64)
         with np.errstate(divide="ignore", invalid="ignore"):
@@ -96,7 +104,7 @@ class PowerLawFit:
         return np.where(k_arr < self.k_min, 0.0, dens)
 
     # --------------------------------------------------------- quantiles
-    def quantile(self, q: ArrayLike) -> np.ndarray:
+    def quantile(self, q: ArrayLike) -> FloatArray:
         """Inverse CDF: the k with ``Pr(K < k) = q``."""
         q_arr = np.asarray(q, dtype=np.float64)
         if np.any((q_arr < 0) | (q_arr >= 1)):
@@ -113,7 +121,7 @@ class PowerLawFit:
         return self.k_min * (self.alpha - 1.0) / (self.alpha - 2.0)
 
     # ----------------------------------------------------------- sampling
-    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+    def sample(self, rng: np.random.Generator, size: int = 1) -> FloatArray:
         """Inverse-transform sampling: ``k_min (1-U)^(-1/(α-1))``."""
         u = rng.random(size)
         return self.k_min * np.power(1.0 - u, -1.0 / (self.alpha - 1.0))
@@ -121,7 +129,7 @@ class PowerLawFit:
 
 def fit_power_law(
     samples: ArrayLike,
-    k_min: float | None = None,
+    k_min: Optional[float] = None,
     method: FitMethod = FitMethod.PAPER_DISCRETE,
 ) -> PowerLawFit:
     """Fit a power law to positive samples.
@@ -149,34 +157,38 @@ def fit_power_law(
         raise ValueError("cannot fit a power law to an empty sample")
     if np.any(arr <= 0):
         raise ValueError("power-law samples must be strictly positive")
+    # Narrow the Optional once; everything below works with a plain float
+    # (mypy --strict rejects the old reassign-the-parameter pattern, which
+    # left `k_min` typed Optional[float] through the arithmetic below).
     if k_min is None:
-        k_min = float(arr.min())
+        cutoff = float(arr.min())
     elif k_min <= 0:
         raise ValueError(f"k_min must be positive, got {k_min}")
-    tail = arr[arr >= k_min]
+    else:
+        cutoff = float(k_min)
+    tail = arr[arr >= cutoff]
     if tail.size == 0:
-        raise ValueError(f"no samples at or above k_min={k_min}")
+        raise ValueError(f"no samples at or above k_min={cutoff}")
 
     if method is FitMethod.PAPER_DISCRETE:
-        shift = k_min - 0.5
+        shift = cutoff - 0.5
         if shift <= 0:
             # The paper's discrete shift breaks down for sub-unit k_min
             # (log of a non-positive ratio); fall back to the exact form,
             # which the CSN paper itself recommends for continuous data.
-            denom = np.log(tail / k_min).sum()
+            denom = float(np.log(tail / cutoff).sum())
         else:
-            denom = np.log(tail / shift).sum()
+            denom = float(np.log(tail / shift).sum())
     elif method is FitMethod.CONTINUOUS:
-        denom = np.log(tail / k_min).sum()
+        denom = float(np.log(tail / cutoff).sum())
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown method {method}")
 
     if denom <= 0:
         alpha = ALPHA_CAP
     else:
-        alpha = 1.0 + tail.size / denom
-        alpha = min(alpha, ALPHA_CAP)
-    return PowerLawFit(alpha=alpha, k_min=k_min, n_samples=int(tail.size), method=method)
+        alpha = min(1.0 + tail.size / denom, ALPHA_CAP)
+    return PowerLawFit(alpha=alpha, k_min=cutoff, n_samples=int(tail.size), method=method)
 
 
 #: Cap on the fitted exponent.  A worker whose history is a single repeated

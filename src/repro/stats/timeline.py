@@ -12,7 +12,7 @@ mechanism visible (see ``examples/queue_dynamics.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Sequence
+from typing import TYPE_CHECKING, Dict, List
 
 from ..sim.engine import Engine
 from ..sim.events import EventKind

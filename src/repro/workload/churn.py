@@ -16,8 +16,8 @@ the same profile (history intact, as a returning worker would have).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict
 
 import numpy as np
 

@@ -21,9 +21,8 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterator, List, Optional, Union
+from typing import Callable, Iterator, List, Union
 
-import numpy as np
 
 from ..model.task import Task, TaskCategory
 from ..sim.engine import Engine

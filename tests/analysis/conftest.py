@@ -1,0 +1,25 @@
+"""Shared helpers for the reprolint suite: fixture loading + rule running."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_source
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def lint_fixture(filename: str, module: str, rule_ids=None):
+    """Lint one fixture file under an explicit (scoped) module name."""
+    source = (FIXTURES / filename).read_text(encoding="utf-8")
+    rules = None
+    if rule_ids is not None:
+        from repro.analysis import get_rule
+
+        rules = [get_rule(r) for r in rule_ids]
+    return lint_source(source, module=module, path=f"tests/analysis/fixtures/{filename}", rules=rules)
+
+
+@pytest.fixture
+def run_fixture():
+    return lint_fixture

@@ -1,0 +1,46 @@
+"""API001 fixture: public-surface annotation completeness.
+
+Linted as ``repro.core.fixture_api001``.
+"""
+
+from typing import Any, overload
+
+
+def positive_hit(samples, k_min: float = 1.0):  # HIT: samples + return untyped
+    return samples
+
+
+class PublicEstimator:
+    def fit(self, history) -> None:  # HIT: history untyped
+        self.history = history
+
+    def evaluate(self, *args, **kwargs) -> float:  # HIT: *args/**kwargs untyped
+        return 0.0
+
+
+def suppressed_hit(samples):  # reprolint: disable=API001
+    return samples
+
+
+def _private_helper(samples):  # clean: private functions are out of scope
+    return samples
+
+
+class _PrivateClass:
+    def method(self, x):  # clean: private enclosing class
+        return x
+
+
+@overload
+def sig(x: int) -> int: ...
+@overload
+def sig(x: str) -> str: ...
+def sig(x: Any) -> Any:  # clean: implementation fully annotated
+    return x
+
+
+def clean(samples: list, k_min: float = 1.0) -> list:
+    def inner(x):  # clean: nested functions are implementation detail
+        return x
+
+    return inner(samples)

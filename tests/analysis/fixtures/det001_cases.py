@@ -1,0 +1,30 @@
+"""DET001 fixture: wall-clock / unseeded RNG in deterministic code.
+
+Linted under the module name ``repro.core.fixture_det001`` (in DET001's
+scope).  Three cases: positive hit, suppressed hit, clean.
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter as pc
+
+import numpy as np
+
+
+def positive_hit() -> float:
+    stamp = time.time()  # HIT: wall clock
+    stamp += datetime.now().timestamp()  # HIT: wall clock via from-import
+    stamp += pc()  # HIT: aliased from-import of perf_counter
+    rng = np.random.default_rng()  # HIT: argless → OS entropy
+    np.random.seed(0)  # HIT: global seeding
+    return stamp + rng.random()
+
+
+def suppressed_hit() -> float:
+    # Justified: profiling-only measurement, never fed into sim state.
+    return time.perf_counter()  # reprolint: disable=DET001
+
+
+def clean(rng: np.random.Generator, now: float) -> float:
+    seeded = np.random.default_rng(123)  # seeded construction is fine
+    return now + rng.random() + seeded.random()

@@ -1,0 +1,29 @@
+"""DET002 fixture: RNG threading violations.
+
+Linted as ``repro.platform.fixture_det002``.
+"""
+
+import numpy as np
+
+MODULE_RNG = np.random.default_rng(7)  # HIT: module-scope generator
+
+
+class Component:
+    class_rng = np.random.default_rng(11)  # HIT: class-scope generator
+
+    def draw_legacy(self) -> float:
+        return float(np.random.rand())  # HIT: legacy global-state API
+
+    def shuffle_legacy(self, items: list) -> None:
+        np.random.shuffle(items)  # HIT: legacy global-state API
+
+
+def suppressed_hit() -> float:
+    # Justified: fixture demonstrating the suppression syntax only.
+    return float(np.random.uniform())  # reprolint: disable=DET002
+
+
+def clean(rng: np.random.Generator) -> float:
+    # Threaded generator: created per-run by sim.rng, passed explicitly.
+    local = np.random.default_rng(rng.integers(1 << 31))
+    return float(local.normal())

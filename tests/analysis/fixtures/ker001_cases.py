@@ -1,0 +1,21 @@
+"""KER001 fixture: kernels importing upward.
+
+Linted as ``repro.core.kernels.fixture_ker001``.  The imports reference
+project-internal layers by absolute name; nothing here is ever executed (the
+linter never imports fixtures), so missing modules are irrelevant.
+"""
+
+from typing import TYPE_CHECKING
+
+import numpy as np  # clean: third-party numeric dep is the kernels' contract
+
+from repro.platform.scheduling import SchedulingComponent  # HIT: upward import
+from repro.sim.engine import Engine  # reprolint: disable=KER001
+
+if TYPE_CHECKING:
+    # clean: annotation-only imports cannot create runtime cycles
+    from repro.obs.runtime import Observability
+
+
+def kernel(weights: np.ndarray) -> np.ndarray:
+    return weights * 2.0

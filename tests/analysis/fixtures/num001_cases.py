@@ -1,0 +1,26 @@
+"""NUM001 fixture: float-literal equality in numeric code.
+
+Linted as ``repro.stats.fixture_num001``.
+"""
+
+import math
+
+
+def positive_hit(p: float, alpha: float) -> bool:
+    exact = p == 1.0  # HIT: float-literal ==
+    diverged = alpha != 2.0  # HIT: float-literal !=
+    negated = p == -0.5  # HIT: negated float literal
+    return exact or diverged or negated
+
+
+def suppressed_hit(p: float) -> bool:
+    # Exactness holds: ccdf() clamps to exactly 1.0 below k_min (np.where
+    # writes the literal), so the bit pattern is contractual here.
+    return p == 1.0  # reprolint: disable=NUM001
+
+
+def clean(p: float, deadline: float, horizon: int) -> bool:
+    close = math.isclose(p, 1.0, rel_tol=1e-9)
+    integral = horizon == 1  # integer comparisons are fine
+    ordered = deadline <= 0.5  # ordering against literals is fine
+    return close or integral or ordered

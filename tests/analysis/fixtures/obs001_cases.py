@@ -1,0 +1,27 @@
+"""OBS001 fixture: None-guards around observability handles.
+
+Linted as ``repro.platform.fixture_obs001``.
+"""
+
+from typing import Optional
+
+
+class Instrumented:
+    def __init__(self, observability: Optional[object] = None) -> None:
+        if observability is not None:  # HIT: None-check on obs handle
+            self._obs = observability
+        self.obs = observability
+
+    def record(self, value: float) -> None:
+        if self.obs:  # HIT: truthiness guard on obs handle
+            pass
+        if self._obs is None:  # reprolint: disable=OBS001
+            # Suppressed: demonstrating the escape hatch only.
+            pass
+
+    def clean(self, value: float, tracer: object) -> None:
+        # The facade pattern: resolve once, call unconditionally.
+        tracer_span = getattr(tracer, "span", None)
+        if value > 0:  # plain numeric guard, not an obs handle
+            pass
+        del tracer_span

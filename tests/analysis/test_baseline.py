@@ -1,0 +1,99 @@
+"""Baseline lifecycle: write/load roundtrip, partition, stale detection,
+and the gating semantics (baselined findings never gate, new ones do)."""
+
+import json
+
+import pytest
+
+from repro.analysis import lint_source, load_baseline, write_baseline
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    DEFAULT_BASELINE_NAME,
+    Baseline,
+    find_default_baseline,
+)
+
+DIRTY = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+
+
+def dirty_findings():
+    return lint_source(DIRTY, module="repro.sim.m", path="src/repro/sim/m.py").findings
+
+
+class TestRoundtrip:
+    def test_write_then_load(self, tmp_path):
+        findings = dirty_findings()
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        baseline = write_baseline(path, findings)
+        assert findings[0] in baseline
+        data = json.loads(path.read_text())
+        assert data["version"] == BASELINE_VERSION
+        assert data["findings"][0]["rule"] == "DET001"
+        reloaded = load_baseline(path)
+        assert reloaded.fingerprints == baseline.fingerprints
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(ValueError, match="unsupported baseline format"):
+            load_baseline(path)
+
+    def test_load_rejects_non_dict(self, tmp_path):
+        path = tmp_path / DEFAULT_BASELINE_NAME
+        path.write_text("[]")
+        with pytest.raises(ValueError):
+            load_baseline(path)
+
+
+class TestPartition:
+    def test_baselined_findings_split_from_new(self, tmp_path):
+        findings = dirty_findings()
+        baseline = write_baseline(tmp_path / DEFAULT_BASELINE_NAME, findings)
+        new, baselined = baseline.partition(findings)
+        assert new == []
+        assert baselined == findings
+
+    def test_new_finding_still_gates(self, tmp_path):
+        baseline = write_baseline(tmp_path / DEFAULT_BASELINE_NAME, dirty_findings())
+        grown = DIRTY + "\n\ndef g() -> float:\n    return time.monotonic()\n"
+        findings = lint_source(grown, module="repro.sim.m", path="src/repro/sim/m.py").findings
+        new, baselined = baseline.partition(findings)
+        assert len(baselined) == 1  # the original time.time() site
+        assert len(new) == 1
+        assert "time.monotonic" in new[0].message
+
+    def test_edited_line_invalidates_entry(self, tmp_path):
+        baseline = write_baseline(tmp_path / DEFAULT_BASELINE_NAME, dirty_findings())
+        edited = DIRTY.replace("return time.time()", "return time.time() * 2.0")
+        findings = lint_source(edited, module="repro.sim.m", path="src/repro/sim/m.py").findings
+        new, baselined = baseline.partition(findings)
+        assert baselined == []
+        assert len(new) == 1
+        assert baseline.stale_fingerprints(findings) == baseline.fingerprints
+
+    def test_stale_entries_after_fix(self, tmp_path):
+        baseline = write_baseline(tmp_path / DEFAULT_BASELINE_NAME, dirty_findings())
+        clean = lint_source("x = 1\n", module="repro.sim.m", path="src/repro/sim/m.py").findings
+        assert baseline.stale_fingerprints(clean) == baseline.fingerprints
+
+    def test_empty_baseline_gates_everything(self):
+        new, baselined = Baseline().partition(dirty_findings())
+        assert baselined == []
+        assert len(new) == 1
+
+
+class TestDiscovery:
+    def test_find_default_walks_up(self, tmp_path):
+        (tmp_path / DEFAULT_BASELINE_NAME).write_text("{}")
+        nested = tmp_path / "src" / "repro"
+        nested.mkdir(parents=True)
+        assert find_default_baseline(nested) == tmp_path / DEFAULT_BASELINE_NAME
+
+    def test_find_default_missing(self, tmp_path):
+        nested = tmp_path / "deeply" / "nested"
+        nested.mkdir(parents=True)
+        found = find_default_baseline(nested)
+        # Only acceptable non-None hit is a baseline above tmp_path (e.g. the
+        # repo's own, if tmp_path lives under it) — never inside tmp_path.
+        if found is not None:
+            assert not str(found).startswith(str(tmp_path))

@@ -1,0 +1,157 @@
+"""CLI contract: exit codes, text/json output, baseline flags, rule
+selection, --list-rules/--explain, and the `repro.experiments lint` alias."""
+
+import json
+
+from repro.analysis.baseline import DEFAULT_BASELINE_NAME
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+DIRTY = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+CLEAN = "def f(x: int) -> int:\n    return x + 1\n"
+
+
+def make_pkg(tmp_path, source, name="clockish.py"):
+    """A tiny repro.sim package so scope-sensitive rules fire."""
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / name).write_text(source)
+    return pkg / name
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        make_pkg(tmp_path, CLEAN)
+        assert main([str(tmp_path), "--no-baseline"]) == EXIT_CLEAN
+        assert "0 new finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        make_pkg(tmp_path, DIRTY)
+        assert main([str(tmp_path), "--no-baseline"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "1 new finding(s) [DET001:1]" in out
+
+    def test_missing_path_usage_error(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == EXIT_USAGE
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_usage_error(self, tmp_path, capsys):
+        make_pkg(tmp_path, CLEAN)
+        assert main([str(tmp_path), "--rule", "NOPE999"]) == EXIT_USAGE
+
+    def test_parse_error_exits_one(self, tmp_path, capsys):
+        make_pkg(tmp_path, "def broken(:\n")
+        assert main([str(tmp_path), "--no-baseline"]) == EXIT_FINDINGS
+        assert "PARSE" in capsys.readouterr().out
+
+
+class TestFormats:
+    def test_json_payload_shape(self, tmp_path, capsys):
+        make_pkg(tmp_path, DIRTY)
+        code = main([str(tmp_path), "--no-baseline", "--format", "json"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_scanned"] == 3
+        assert payload["findings"][0]["rule"] == "DET001"
+        assert payload["findings"][0]["fingerprint"]
+        assert "DET001" in payload["rules"]
+        assert payload["stale_baseline_entries"] == 0
+
+    def test_output_file(self, tmp_path, capsys):
+        make_pkg(tmp_path, DIRTY)
+        report = tmp_path / "report.json"
+        main([str(tmp_path), "--no-baseline", "--format", "json", "--output", str(report)])
+        assert json.loads(report.read_text())["findings"]
+        assert capsys.readouterr().out == ""
+
+    def test_show_suppressed(self, tmp_path, capsys):
+        src = "import time\n\n\ndef f() -> float:\n    return time.time()  # reprolint: disable=DET001\n"
+        make_pkg(tmp_path, src)
+        assert main([str(tmp_path), "--no-baseline", "--show-suppressed"]) == EXIT_CLEAN
+        assert "(suppressed inline)" in capsys.readouterr().out
+
+
+class TestBaselineFlow:
+    def test_write_then_gate_then_new_finding(self, tmp_path, capsys):
+        target = make_pkg(tmp_path, DIRTY)
+        baseline = tmp_path / DEFAULT_BASELINE_NAME
+
+        assert main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"]) == EXIT_CLEAN
+        assert baseline.exists()
+        capsys.readouterr()
+
+        # Baselined finding no longer gates...
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == EXIT_CLEAN
+        assert "1 baselined" in capsys.readouterr().out
+
+        # ...but a brand-new violation still does.
+        target.write_text(DIRTY + "\n\ndef g() -> float:\n    return time.monotonic()\n")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "time.monotonic" in out
+        assert "1 baselined" in out
+
+    def test_stale_entries_reported(self, tmp_path, capsys):
+        target = make_pkg(tmp_path, DIRTY)
+        baseline = tmp_path / DEFAULT_BASELINE_NAME
+        main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        capsys.readouterr()
+        target.write_text(CLEAN)
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == EXIT_CLEAN
+        assert "stale baseline entr" in capsys.readouterr().out
+
+    def test_bad_baseline_is_usage_error(self, tmp_path, capsys):
+        make_pkg(tmp_path, CLEAN)
+        baseline = tmp_path / DEFAULT_BASELINE_NAME
+        baseline.write_text("not json at all")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == EXIT_USAGE
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_default_baseline_discovered_from_path(self, tmp_path, capsys):
+        make_pkg(tmp_path, DIRTY)
+        baseline = tmp_path / DEFAULT_BASELINE_NAME
+        main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"])
+        capsys.readouterr()
+        # No --baseline flag: found by walking up from the linted path.
+        assert main([str(tmp_path)]) == EXIT_CLEAN
+
+
+class TestRuleSelection:
+    def test_single_rule_filter(self, tmp_path, capsys):
+        src = "import time\n\n\ndef f(p: float) -> bool:\n    time.time()\n    return p == 1.0\n"
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "m.py").write_text(src)
+        assert main([str(tmp_path), "--no-baseline", "--rule", "NUM001"]) == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "NUM001" in out
+        assert "DET001" not in out
+
+
+class TestDocsCommands:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "DET002", "NUM001", "OBS001", "KER001", "API001"):
+            assert rule_id in out
+
+    def test_explain(self, capsys):
+        assert main(["--explain", "DET001"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "DET001" in out
+        assert "reprolint: disable=DET001" in out
+
+    def test_explain_unknown(self, capsys):
+        assert main(["--explain", "NOPE999"]) == EXIT_USAGE
+
+
+class TestExperimentsAlias:
+    def test_lint_subcommand_dispatches(self, capsys):
+        from repro.experiments.cli import main as experiments_main
+
+        assert experiments_main(["lint", "--list-rules"]) == EXIT_CLEAN
+        assert "DET001" in capsys.readouterr().out

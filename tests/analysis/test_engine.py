@@ -1,0 +1,174 @@
+"""Engine mechanics: discovery, module-name inference, suppression parsing,
+fingerprint stability, TYPE_CHECKING import tagging, parse-error handling."""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_file, lint_paths, lint_source
+from repro.analysis.engine import iter_python_files, module_name_for, parse_ok
+from repro.analysis.findings import Finding, compute_fingerprint, fingerprint_findings
+from repro.analysis.modinfo import load_module_source, parse_suppressions
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestDiscovery:
+    def test_iter_python_files_skips_pycache(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        cache = tmp_path / "__pycache__"
+        cache.mkdir()
+        (cache / "a.cpython-312.py").write_text("x = 1\n")
+        (tmp_path / "notes.txt").write_text("not python\n")
+        found = list(iter_python_files([tmp_path]))
+        assert found == [tmp_path / "a.py"]
+
+    def test_direct_file_passes_through(self, tmp_path):
+        target = tmp_path / "b.py"
+        target.write_text("y = 2\n")
+        assert list(iter_python_files([target])) == [target]
+
+    def test_module_name_inference(self):
+        path = REPO_ROOT / "src" / "repro" / "core" / "deadline.py"
+        assert module_name_for(path) == "repro.core.deadline"
+
+    def test_module_name_for_package_init(self):
+        path = REPO_ROOT / "src" / "repro" / "core" / "__init__.py"
+        assert module_name_for(path) == "repro.core"
+
+    def test_module_name_outside_any_package(self, tmp_path):
+        loose = tmp_path / "script.py"
+        loose.write_text("pass\n")
+        assert module_name_for(loose) == "script"
+
+
+class TestSuppressions:
+    def test_parse_single_and_multi(self):
+        lines = [
+            "x = 1  # reprolint: disable=DET001",
+            "y = 2",
+            "z = 3  # reprolint: disable=NUM001, OBS001",
+            "w = 4  # reprolint: disable=all",
+        ]
+        supp = parse_suppressions(lines)
+        assert supp[1] == {"DET001"}
+        assert 2 not in supp
+        assert supp[3] == {"NUM001", "OBS001"}
+        assert supp[4] == {"ALL"}
+
+    def test_disable_all_suppresses_every_rule(self):
+        src = "import time\n\n\ndef f() -> float:\n    return time.time()  # reprolint: disable=all\n"
+        result = lint_source(src, module="repro.sim.clockish")
+        assert result.findings == []
+        assert len(result.suppressed) == 1
+
+    def test_unrelated_rule_id_does_not_suppress(self):
+        src = "import time\n\n\ndef f() -> float:\n    return time.time()  # reprolint: disable=NUM001\n"
+        result = lint_source(src, module="repro.sim.clockish")
+        assert [f.rule for f in result.findings] == ["DET001"]
+
+
+class TestFingerprints:
+    def test_stable_under_line_moves(self):
+        base = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+        shifted = "import time\n\n# a comment pushing things down\n\n\ndef f() -> float:\n    return time.time()\n"
+        fp1 = lint_source(base, module="repro.sim.m").findings[0].fingerprint
+        fp2 = lint_source(shifted, module="repro.sim.m").findings[0].fingerprint
+        assert fp1 == fp2
+
+    def test_changes_when_line_text_changes(self):
+        a = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+        b = "import time\n\n\ndef f() -> float:\n    return time.time() + 1.0\n"
+        fp_a = lint_source(a, module="repro.sim.m").findings[0].fingerprint
+        fp_b = lint_source(b, module="repro.sim.m").findings[0].fingerprint
+        assert fp_a != fp_b
+
+    def test_identical_lines_get_distinct_occurrences(self):
+        src = (
+            "import time\n\n\ndef f() -> float:\n    return time.time()\n\n\n"
+            "def g() -> float:\n    return time.time()\n"
+        )
+        result = lint_source(src, module="repro.sim.m")
+        fps = [f.fingerprint for f in result.findings]
+        assert len(fps) == 2
+        assert len(set(fps)) == 2
+
+    def test_compute_fingerprint_normalizes_whitespace(self):
+        a = compute_fingerprint("DET001", "p.py", "x  =   time.time()", 0)
+        b = compute_fingerprint("DET001", "p.py", "x = time.time()", 0)
+        assert a == b
+
+    def test_fingerprint_findings_sorts_by_position(self):
+        findings = [
+            Finding(rule="NUM001", path="p.py", line=5, col=0, message="later"),
+            Finding(rule="NUM001", path="p.py", line=2, col=0, message="earlier"),
+        ]
+        out = fingerprint_findings(findings, ["l1", "a == 1.0", "l3", "l4", "b == 2.0"])
+        assert [f.line for f in out] == [2, 5]
+        assert all(f.fingerprint for f in out)
+
+
+class TestTypeCheckingImports:
+    def test_type_checking_import_tagged(self):
+        src = textwrap.dedent(
+            """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.platform.server import REACTServer
+
+            from repro.core.task import Task
+            """
+        )
+        info = load_module_source(src, rel_path="m.py", module="repro.stats.m")
+        by_name = {imp.name: imp.type_only for imp in info.imported_names}
+        assert by_name["repro.platform.server.REACTServer"] is True
+        assert by_name["repro.core.task.Task"] is False
+
+    def test_alias_resolution_through_from_import(self):
+        src = "from time import perf_counter as pc\n"
+        info = load_module_source(src, rel_path="m.py", module="repro.sim.m")
+        assert info.imports["pc"] == "time.perf_counter"
+
+    def test_relative_import_resolution(self):
+        src = "from ..core.task import Task\nfrom .engine import Engine\n"
+        info = load_module_source(src, rel_path="src/repro/sim/clock.py", module="repro.sim.clock")
+        names = {imp.name for imp in info.imported_names}
+        assert "repro.core.task.Task" in names
+        assert "repro.sim.engine.Engine" in names
+
+
+class TestErrorsAndFiles:
+    def test_syntax_error_becomes_parse_finding(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_file(bad)
+        assert result.findings == []
+        assert len(result.errors) == 1
+        assert result.errors[0].rule == "PARSE"
+        assert result.all_active == result.errors
+
+    def test_parse_ok_helper(self):
+        assert parse_ok("x = 1\n")
+        assert not parse_ok("def broken(:\n")
+
+    def test_lint_file_infers_module_from_disk_layout(self, tmp_path):
+        pkg = tmp_path / "repro" / "sim"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        mod = pkg / "clockish.py"
+        mod.write_text("import time\n\n\ndef f() -> float:\n    return time.time()\n")
+        result = lint_file(mod)
+        assert [f.rule for f in result.findings] == ["DET001"]
+
+    def test_lint_paths_aggregates_and_sorts(self, tmp_path):
+        pkg = tmp_path / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (tmp_path / "repro" / "__init__.py").write_text("")
+        (pkg / "__init__.py").write_text("")
+        (pkg / "b.py").write_text("def f(p: float) -> bool:\n    return p == 1.0\n")
+        (pkg / "a.py").write_text("import time\n\n\ndef g() -> float:\n    return time.time()\n")
+        result = lint_paths([tmp_path])
+        # 4 files scanned (2 inits + 2 modules), findings sorted by path.
+        assert result.files_scanned == 4
+        assert [f.rule for f in result.findings] == ["DET001", "NUM001"]

@@ -1,0 +1,168 @@
+"""Per-rule contract tests: each rule fires on its fixture's positive cases,
+honours inline suppression, stays quiet on the clean cases, and respects its
+module-name scope."""
+
+from repro.analysis import all_rules
+
+from .conftest import lint_fixture
+
+
+def rules_of(result, rule_id):
+    return [f for f in result.findings if f.rule == rule_id]
+
+
+class TestDET001:
+    def test_positive_hits(self):
+        result = lint_fixture("det001_cases.py", "repro.core.fixture_det001")
+        hits = rules_of(result, "DET001")
+        assert len(hits) == 5
+        messages = " ".join(f.message for f in hits)
+        assert "time.time" in messages
+        assert "datetime.datetime.now" in messages
+        assert "time.perf_counter" in messages  # aliased from-import resolved
+        assert "numpy.random.default_rng" in messages
+        assert "numpy.random.seed" in messages
+
+    def test_suppressed_hit_does_not_gate(self):
+        result = lint_fixture("det001_cases.py", "repro.core.fixture_det001")
+        suppressed = [f for f in result.suppressed if f.rule == "DET001"]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "suppressed_hit"
+
+    def test_clean_function_not_flagged(self):
+        result = lint_fixture("det001_cases.py", "repro.core.fixture_det001")
+        assert not any(f.symbol == "clean" for f in result.findings)
+
+    def test_out_of_scope_module_ignored(self):
+        # experiments/ may measure wall time (benchmark harness).
+        result = lint_fixture("det001_cases.py", "repro.experiments.fixture")
+        assert rules_of(result, "DET001") == []
+
+
+class TestDET002:
+    def test_positive_hits(self):
+        result = lint_fixture("det002_cases.py", "repro.platform.fixture_det002")
+        hits = rules_of(result, "DET002")
+        assert len(hits) == 4
+        kinds = [f.message for f in hits]
+        assert sum("module scope" in m for m in kinds) == 1
+        assert sum("class scope" in m for m in kinds) == 1
+        assert sum("legacy global-state" in m for m in kinds) == 2
+
+    def test_suppression_and_clean(self):
+        result = lint_fixture("det002_cases.py", "repro.platform.fixture_det002")
+        assert any(f.rule == "DET002" for f in result.suppressed)
+        assert not any(f.symbol == "clean" for f in result.findings)
+
+    def test_rng_factory_module_exempt(self):
+        result = lint_fixture("det002_cases.py", "repro.sim.rng")
+        assert rules_of(result, "DET002") == []
+
+
+class TestNUM001:
+    def test_positive_hits(self):
+        result = lint_fixture("num001_cases.py", "repro.stats.fixture_num001")
+        hits = rules_of(result, "NUM001")
+        assert len(hits) == 3
+        assert all(f.symbol == "positive_hit" for f in hits)
+
+    def test_suppressed_and_clean(self):
+        result = lint_fixture("num001_cases.py", "repro.stats.fixture_num001")
+        assert len([f for f in result.suppressed if f.rule == "NUM001"]) == 1
+        assert not any(f.symbol == "clean" for f in result.findings)
+
+    def test_out_of_scope(self):
+        result = lint_fixture("num001_cases.py", "repro.platform.fixture")
+        assert rules_of(result, "NUM001") == []
+
+
+class TestOBS001:
+    def test_positive_hits(self):
+        result = lint_fixture("obs001_cases.py", "repro.platform.fixture_obs001")
+        hits = rules_of(result, "OBS001")
+        assert len(hits) == 2
+        assert any("None-check" in f.message for f in hits)
+        assert any("truthiness guard" in f.message for f in hits)
+
+    def test_suppressed_and_clean(self):
+        result = lint_fixture("obs001_cases.py", "repro.platform.fixture_obs001")
+        assert len([f for f in result.suppressed if f.rule == "OBS001"]) == 1
+        assert not any(f.symbol == "Instrumented.clean" for f in result.findings)
+
+    def test_obs_package_itself_out_of_scope(self):
+        # resolve() in repro.obs is the one place allowed to look at None.
+        result = lint_fixture("obs001_cases.py", "repro.obs.runtime")
+        assert rules_of(result, "OBS001") == []
+
+
+class TestKER001:
+    def test_positive_hit(self):
+        result = lint_fixture("ker001_cases.py", "repro.core.kernels.fixture_ker001")
+        hits = rules_of(result, "KER001")
+        assert len(hits) == 1
+        assert "repro.platform" in hits[0].message
+
+    def test_suppressed_hit(self):
+        result = lint_fixture("ker001_cases.py", "repro.core.kernels.fixture_ker001")
+        assert len([f for f in result.suppressed if f.rule == "KER001"]) == 1
+
+    def test_type_checking_imports_allowed(self):
+        result = lint_fixture("ker001_cases.py", "repro.core.kernels.fixture_ker001")
+        assert not any("repro.obs" in f.message for f in result.findings)
+
+    def test_unconstrained_module_ignored(self):
+        result = lint_fixture("ker001_cases.py", "repro.experiments.fixture")
+        assert rules_of(result, "KER001") == []
+
+
+class TestAPI001:
+    def test_positive_hits(self):
+        result = lint_fixture("api001_cases.py", "repro.core.fixture_api001")
+        hits = rules_of(result, "API001")
+        assert {f.symbol for f in hits} == {
+            "positive_hit",
+            "PublicEstimator.fit",
+            "PublicEstimator.evaluate",
+        }
+        by_symbol = {f.symbol: f.message for f in hits}
+        assert "samples" in by_symbol["positive_hit"]
+        assert "return" in by_symbol["positive_hit"]
+        assert "*args" in by_symbol["PublicEstimator.evaluate"]
+        assert "**kwargs" in by_symbol["PublicEstimator.evaluate"]
+
+    def test_private_nested_overload_clean(self):
+        result = lint_fixture("api001_cases.py", "repro.core.fixture_api001")
+        symbols = {f.symbol for f in result.findings}
+        assert "_private_helper" not in symbols
+        assert "_PrivateClass.method" not in symbols
+        assert "sig" not in symbols
+        assert "clean" not in symbols
+        assert "clean.inner" not in symbols
+
+    def test_suppressed(self):
+        result = lint_fixture("api001_cases.py", "repro.core.fixture_api001")
+        assert len([f for f in result.suppressed if f.rule == "API001"]) == 1
+
+
+class TestRuleRegistry:
+    def test_six_rules_registered_with_docs(self):
+        rules = all_rules()
+        ids = [r.id for r in rules]
+        assert ids == ["DET001", "DET002", "NUM001", "OBS001", "KER001", "API001"]
+        for rule in rules:
+            assert rule.title, rule.id
+            assert rule.rationale, rule.id
+
+    def test_every_rule_has_failing_fixture(self):
+        """Acceptance criterion: each rule demonstrably fires."""
+        cases = {
+            "DET001": ("det001_cases.py", "repro.core.fixture_det001"),
+            "DET002": ("det002_cases.py", "repro.platform.fixture_det002"),
+            "NUM001": ("num001_cases.py", "repro.stats.fixture_num001"),
+            "OBS001": ("obs001_cases.py", "repro.platform.fixture_obs001"),
+            "KER001": ("ker001_cases.py", "repro.core.kernels.fixture_ker001"),
+            "API001": ("api001_cases.py", "repro.core.fixture_api001"),
+        }
+        for rule_id, (filename, module) in cases.items():
+            result = lint_fixture(filename, module, rule_ids=[rule_id])
+            assert any(f.rule == rule_id for f in result.findings), rule_id

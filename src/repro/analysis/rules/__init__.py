@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, List
 
 from .base import Rule
-from .determinism import ThreadedRngRule, WallClockRule
+from .determinism import ArithmeticSeedRule, ThreadedRngRule, WallClockRule
 from .layering import LayeringRule
 from .numerics import FloatEqualityRule
 from .observability import NullObjectFacadeRule
@@ -22,6 +22,7 @@ from .typing_api import PublicApiAnnotationsRule
 RULES: List[Rule] = [
     WallClockRule(),
     ThreadedRngRule(),
+    ArithmeticSeedRule(),
     FloatEqualityRule(),
     NullObjectFacadeRule(),
     LayeringRule(),

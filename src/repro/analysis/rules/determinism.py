@@ -1,7 +1,7 @@
-"""DET001/DET002 — seed-determinism rules.
+"""DET001/DET002/DET003 — seed-determinism rules.
 
 The paper's figures are reproduced by *bit-identical* reruns (ROADMAP tier-1
-gate; ``sim.rng`` named streams).  Two classes of regressions break that:
+gate; ``sim.rng`` named streams).  Three classes of regressions break that:
 
 * **DET001** — wall-clock reads or unseeded RNG construction inside the
   deterministic packages (``repro.sim``, ``repro.core``, ``repro.platform``).
@@ -11,6 +11,11 @@ gate; ``sim.rng`` named streams).  Two classes of regressions break that:
   the legacy global ``np.random.*`` distribution API (hidden process-wide
   state) or generators constructed at module/class scope (shared across
   experiments, so one run perturbs the next).
+* **DET003** — arithmetic seed derivation (``seed * K + offset``) fed to a
+  seed-consuming constructor.  Affine maps are not injective across nesting
+  levels — ``fork(a).fork(b)`` landed on the same stream as
+  ``fork(a*K + b)`` until the lineage-keyed rewrite — so child seeds must
+  come from ``SeedSequence`` spawn keys (``sim.rng`` ``fork``/``spawn_seeds``).
 
 Profiling code that *reports* wall time without feeding it back into
 simulation decisions may suppress DET001 inline with a justification, e.g.
@@ -80,6 +85,20 @@ LEGACY_NP_RANDOM = frozenset(
         "zipf",
     }
 )
+
+
+#: Seed-consuming constructors whose seed/entropy argument DET003 inspects.
+SEED_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+#: Keyword names that carry seed material in the constructors above.
+SEED_KEYWORDS = frozenset({"seed", "entropy"})
 
 
 def _call_name(module: ModuleInfo, node: ast.Call) -> Optional[str]:
@@ -199,3 +218,71 @@ class ThreadedRngRule(Rule):
                     "threaded from sim.rng",
                     symbol,
                 )
+
+
+def _seed_arguments(node: ast.Call) -> Iterator[ast.expr]:
+    """The expressions that become seed material in a seed-consuming call."""
+    if node.args:
+        yield node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg in SEED_KEYWORDS:
+            yield keyword.value
+
+
+def _contains_arithmetic(expr: ast.expr) -> bool:
+    """True when ``expr`` combines values with a binary operator.
+
+    Descent stops at nested calls: in ``default_rng(stream.integers(1 << 31))``
+    the shift feeds a generator *draw*, not a seed derivation, whereas
+    ``default_rng(seed * K + offset)`` is the collision pattern DET003 exists
+    to catch.
+    """
+    if isinstance(expr, ast.BinOp):
+        return True
+    if isinstance(expr, ast.Call):
+        return False
+    return any(
+        _contains_arithmetic(child)
+        for child in ast.iter_child_nodes(expr)
+        if isinstance(child, ast.expr)
+    )
+
+
+class ArithmeticSeedRule(Rule):
+    """DET003: child seeds come from SeedSequence spawning, never arithmetic."""
+
+    id = "DET003"
+    title = "no arithmetic seed derivation; spawn child seeds via SeedSequence"
+    rationale = (
+        "Affine seed maps like `seed * K + offset` are not injective across "
+        "nesting levels: fork(a).fork(b) collides with fork(a*K + b), and "
+        "seed 0 collides with its own children, silently correlating streams "
+        "that the experiments treat as independent.  Child seeds must come "
+        "from SeedSequence spawn keys — sim.rng fork()/spawn_seeds()."
+    )
+    #: repro.dist fans seeds out to shard workers, so it is in scope too.
+    scope = DETERMINISTIC_SCOPE + ("repro.dist",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(module, node)
+            if name is None:
+                continue
+            is_registry = name.rpartition(".")[2] == "RngRegistry"
+            if name not in SEED_CONSTRUCTORS and not is_registry:
+                continue
+            for arg in _seed_arguments(node):
+                if _contains_arithmetic(arg):
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"arithmetic seed derivation in `{name}(...)`; derive "
+                        "child seeds with SeedSequence spawn keys "
+                        "(sim.rng fork()/spawn_seeds()) instead",
+                        symbols.get(id(node), ""),
+                    )
+                    break

@@ -2,7 +2,7 @@
 
 The package DAG the reproduction relies on (DESIGN.md):
 
-    model, graph, stats  →  core  →  platform  →  experiments
+    model, graph, stats  →  core  →  platform  →  experiments → dist
                  core/kernels (leaf: numpy-only numeric backends)
 
 ``core/kernels`` must stay importable without the event engine or the
@@ -32,17 +32,30 @@ LAYERING: Dict[str, Tuple[str, ...]] = {
         "repro.platform",
         "repro.sim",
         "repro.experiments",
+        "repro.dist",
         "repro.obs",
         "repro.chaos",
         "repro.graph",
         "repro.model",
         "repro.workload",
     ),
-    "repro.core": ("repro.platform", "repro.experiments", "repro.chaos", "repro.workload"),
-    "repro.stats": ("repro.platform", "repro.experiments", "repro.chaos"),
-    "repro.graph": ("repro.platform", "repro.experiments", "repro.chaos"),
-    "repro.model": ("repro.platform", "repro.experiments", "repro.core", "repro.sim"),
-    "repro.sim": ("repro.platform", "repro.experiments", "repro.core"),
+    "repro.core": (
+        "repro.platform",
+        "repro.experiments",
+        "repro.dist",
+        "repro.chaos",
+        "repro.workload",
+    ),
+    "repro.stats": ("repro.platform", "repro.experiments", "repro.dist", "repro.chaos"),
+    "repro.graph": ("repro.platform", "repro.experiments", "repro.dist", "repro.chaos"),
+    "repro.model": (
+        "repro.platform",
+        "repro.experiments",
+        "repro.dist",
+        "repro.core",
+        "repro.sim",
+    ),
+    "repro.sim": ("repro.platform", "repro.experiments", "repro.dist", "repro.core"),
 }
 
 

@@ -1,0 +1,140 @@
+"""Shard execution: runs one :class:`~repro.dist.shards.ShardSpec`.
+
+:func:`run_shard` is a module-level function so it pickles across the
+``spawn`` boundary of a :class:`concurrent.futures.ProcessPoolExecutor`.
+Each handler re-creates the same hermetic simulation the sequential driver
+would have run — fresh engine, fresh ``RngRegistry`` seeded from the
+shard's config, task-id counter reset inside the experiment entry point —
+so a shard's result is bit-identical whether it runs inline, in a pool, or
+on a different day.
+
+Telemetry is worker-owned: when the spec carries an enabled
+:class:`~repro.dist.shards.TelemetrySpec`, the worker builds its own
+``Observability``, binds it to the run, exports the trace/metrics files
+itself (the exporters are deterministic in the run), and ships the
+registry back as a plain-sample :class:`~repro.dist.shards.MetricsSnapshot`
+for the merge stage.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..experiments.chaos import run_chaos
+from ..experiments.endtoend import run_endtoend
+from ..experiments.scalability import evaluate_point
+from ..obs.runtime import Observability
+from .shards import MetricsSnapshot, ShardOutcome, ShardSpec, TelemetrySpec
+
+
+def _make_observability(
+    telemetry: Optional[TelemetrySpec],
+) -> Optional[Observability]:
+    if telemetry is None or not telemetry.enabled:
+        return None
+    return Observability()
+
+
+def _finish_telemetry(
+    obs: Optional[Observability],
+    telemetry: Optional[TelemetrySpec],
+    label: str,
+) -> Tuple[Optional[MetricsSnapshot], list]:
+    if obs is None or telemetry is None:
+        return None, []
+    written = obs.export(
+        f"{telemetry.prefix}_{label}",
+        trace_dir=telemetry.trace_dir,
+        metrics_dir=telemetry.metrics_dir,
+    )
+    snapshot = MetricsSnapshot(
+        label=label,
+        samples=obs.registry.snapshot(),
+        kinds={inst.name: inst.kind for inst in obs.registry.instruments()},
+    )
+    return snapshot, [str(path) for path in written]
+
+
+def _run_endtoend_shard(spec: ShardSpec) -> ShardOutcome:
+    payload = spec.payload
+    telemetry: Optional[TelemetrySpec] = payload.get("telemetry")
+    obs = _make_observability(telemetry)
+    result = run_endtoend(payload["policy"], payload["config"], observability=obs)
+    snapshot, written = _finish_telemetry(obs, telemetry, payload["label"])
+    return ShardOutcome(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        result=result,
+        snapshot=snapshot,
+        written=written,
+    )
+
+
+def _run_chaos_shard(spec: ShardSpec) -> ShardOutcome:
+    payload = spec.payload
+    telemetry: Optional[TelemetrySpec] = payload.get("telemetry")
+    obs = _make_observability(telemetry)
+    result = run_chaos(
+        payload["policy"],
+        payload["config"],
+        schedule=payload.get("schedule"),
+        observability=obs,
+    )
+    snapshot, written = _finish_telemetry(obs, telemetry, payload["label"])
+    return ShardOutcome(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        result=result,
+        snapshot=snapshot,
+        written=written,
+    )
+
+
+def _run_scalability_shard(spec: ShardSpec) -> ShardOutcome:
+    payload = spec.payload
+    point = evaluate_point(
+        payload["config"],
+        payload["workers"],
+        payload["rate"],
+        payload["n_tasks"],
+        payload["policy"],
+    )
+    return ShardOutcome(shard_id=spec.shard_id, kind=spec.kind, result=point)
+
+
+ShardHandler = Callable[[ShardSpec], ShardOutcome]
+
+#: kind → handler.  Registered at import time so spawn workers (which
+#: import this module fresh) see the same table as the parent process.
+HANDLERS: Dict[str, ShardHandler] = {
+    "endtoend": _run_endtoend_shard,
+    "chaos": _run_chaos_shard,
+    "scalability": _run_scalability_shard,
+}
+
+
+def register_handler(kind: str, handler: ShardHandler) -> None:
+    """Register a shard kind (tests and future drivers).
+
+    Note: a handler registered at runtime exists only in the registering
+    process; pool workers import this module fresh and will not see it.
+    Custom kinds therefore only run with ``parallel=1`` unless they are
+    registered at module import time.
+    """
+    HANDLERS[kind] = handler
+
+
+def run_shard(spec: ShardSpec) -> ShardOutcome:
+    """Execute one shard (the pool's entry point; must stay module-level)."""
+    handler = HANDLERS.get(spec.kind)
+    if handler is None:
+        raise ValueError(f"unknown shard kind {spec.kind!r}")
+    return handler(spec)
+
+
+__all__ = [
+    "HANDLERS",
+    "ShardHandler",
+    "register_handler",
+    "run_shard",
+]

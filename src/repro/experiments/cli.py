@@ -22,6 +22,13 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..dist import (
+    ShardedRun,
+    TelemetrySpec,
+    run_chaos_sharded,
+    run_comparison_sharded,
+    run_scalability_sharded,
+)
 from ..obs.runtime import Observability
 from ..workload.crowdflower import analyze_case_study, generate_case_study
 from .ablations import ablate_cycles, ablate_k_constant, ablate_threshold, ablate_training_z
@@ -34,6 +41,7 @@ from .matching_bench import run_matching_sweep
 from .perf import run_bench
 from .reporting import (
     report_ablation,
+    report_endtoend,
     report_fig3,
     report_fig4,
     report_fig5,
@@ -115,16 +123,55 @@ def _run_fig8(quick: bool, out: Optional[str] = None) -> str:
     return _endtoend_report(quick, out, report_fig8)
 
 
-def _run_fig9(quick: bool, out: Optional[str] = None) -> str:
-    result = run_scalability(_scalability_config(quick))
-    note = _maybe_export(out, export_scalability, result, f"{out}/fig9_10.csv" if out else "")
-    return report_fig9(result) + ("\n" + note if note else "")
+def _sharded_notes(run: ShardedRun) -> List[str]:
+    notes = [f"# wrote {path}" for path in run.written]
+    if run.resumed:
+        notes.append(
+            f"# resumed {run.resumed} shard(s) from checkpoint, "
+            f"computed {run.computed}"
+        )
+    return notes
 
 
-def _run_fig10(quick: bool, out: Optional[str] = None) -> str:
-    result = run_scalability(_scalability_config(quick))
+def _run_scalability_report(
+    quick: bool,
+    out: Optional[str],
+    report,
+    parallel: Optional[int],
+    resume: Optional[str],
+) -> str:
+    config = _scalability_config(quick)
+    if parallel is None and resume is None:
+        result = run_scalability(config)
+        notes: List[str] = []
+    else:
+        run = run_scalability_sharded(
+            config, parallel=parallel or 1, checkpoint_dir=resume
+        )
+        result = run.results
+        notes = _sharded_notes(run)
     note = _maybe_export(out, export_scalability, result, f"{out}/fig9_10.csv" if out else "")
-    return report_fig10(result) + ("\n" + note if note else "")
+    if note:
+        notes.insert(0, note)
+    return report(result) + ("\n" + "\n".join(notes) if notes else "")
+
+
+def _run_fig9(
+    quick: bool,
+    out: Optional[str] = None,
+    parallel: Optional[int] = None,
+    resume: Optional[str] = None,
+) -> str:
+    return _run_scalability_report(quick, out, report_fig9, parallel, resume)
+
+
+def _run_fig10(
+    quick: bool,
+    out: Optional[str] = None,
+    parallel: Optional[int] = None,
+    resume: Optional[str] = None,
+) -> str:
+    return _run_scalability_report(quick, out, report_fig10, parallel, resume)
 
 
 def _run_case_study(quick: bool, out: Optional[str] = None) -> str:
@@ -188,29 +235,30 @@ def _run_endtoend(
     out: Optional[str] = None,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    parallel: Optional[int] = None,
+    resume: Optional[str] = None,
 ) -> str:
-    factory, flush = _obs_factory("endtoend", trace_out, metrics_out)
-    results = run_comparison(_endtoend_config(quick), observability_factory=factory)
-    lines = [
-        "# End-to-end run (Figs. 5-8 source data)",
-        f"{'policy':<14}{'received':>9}{'completed':>10}{'on-time':>9}"
-        f"{'feedback':>9}{'reassign':>9}{'batches':>8}",
-    ]
-    for name, result in results.items():
-        summary = result.summary
-        lines.append(
-            f"{name:<14}"
-            f"{int(summary['received']):>9d}"
-            f"{int(summary['completed']):>10d}"
-            f"{summary['on_time_fraction']:>8.1%}"
-            f"{summary['positive_feedback_fraction']:>8.1%}"
-            f"{int(summary['reassignments']):>9d}"
-            f"{result.batches:>8d}"
+    if parallel is None and resume is None:
+        factory, flush = _obs_factory("endtoend", trace_out, metrics_out)
+        results = run_comparison(_endtoend_config(quick), observability_factory=factory)
+        notes = flush()
+    else:
+        telemetry = TelemetrySpec(
+            prefix="endtoend", trace_dir=trace_out, metrics_dir=metrics_out
         )
+        run = run_comparison_sharded(
+            _endtoend_config(quick),
+            parallel=parallel or 1,
+            checkpoint_dir=resume,
+            telemetry=telemetry if telemetry.enabled else None,
+        )
+        results = run.results
+        notes = _sharded_notes(run)
+    lines = [report_endtoend(results)]
     note = _maybe_export(out, export_endtoend, results, out or "")
     if note:
         lines.append(note)
-    lines.extend(flush())
+    lines.extend(notes)
     return "\n".join(lines)
 
 
@@ -219,6 +267,8 @@ def _run_chaos(
     out: Optional[str] = None,
     trace_out: Optional[str] = None,
     metrics_out: Optional[str] = None,
+    parallel: Optional[int] = None,
+    resume: Optional[str] = None,
 ) -> str:
     config = (
         ChaosConfig(n_workers=50, arrival_rate=0.8, n_tasks=240, drain_time=250.0)
@@ -226,11 +276,26 @@ def _run_chaos(
         else ChaosConfig()
     )
     schedule = standard_schedule(config)
-    factory, flush = _obs_factory("chaos", trace_out, metrics_out)
-    report = report_chaos(
-        run_chaos_comparison(config, schedule=schedule, observability_factory=factory)
-    )
-    notes = flush()
+    if parallel is None and resume is None:
+        factory, flush = _obs_factory("chaos", trace_out, metrics_out)
+        results = run_chaos_comparison(
+            config, schedule=schedule, observability_factory=factory
+        )
+        notes = flush()
+    else:
+        telemetry = TelemetrySpec(
+            prefix="chaos", trace_dir=trace_out, metrics_dir=metrics_out
+        )
+        run = run_chaos_sharded(
+            config,
+            schedule=schedule,
+            parallel=parallel or 1,
+            checkpoint_dir=resume,
+            telemetry=telemetry if telemetry.enabled else None,
+        )
+        results = run.results
+        notes = _sharded_notes(run)
+    report = report_chaos(results)
     return report + ("\n" + "\n".join(notes) if notes else "")
 
 
@@ -271,6 +336,10 @@ COMMANDS: Dict[str, Callable[..., str]] = {
 #: Commands that understand --trace-out / --metrics-out (the rest reject
 #: the flags so a typo doesn't silently record nothing).
 TRACEABLE = ("endtoend", "chaos")
+
+#: Commands with a sharded execution path (--parallel / --resume; see
+#: docs/SCALING.md).  fig9/fig10 are the scalability sweep.
+PARALLEL_COMMANDS = ("endtoend", "chaos", "fig9", "fig10")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -323,6 +392,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"(Prometheus text + CSV; {'/'.join(TRACEABLE)} only)",
     )
     parser.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="fan the run's shards over N worker processes "
+        f"(deterministic: merged results are bit-identical for any N; "
+        f"{'/'.join(PARALLEL_COMMANDS)} only)",
+    )
+    parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help="checkpoint finished shards into DIR and skip any shard "
+        "already checkpointed there from a previous (possibly killed) run",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=("debug", "info", "warning", "error"),
@@ -342,18 +427,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(
             f"--trace-out/--metrics-out only apply to: {', '.join(TRACEABLE)}"
         )
+    sharded = args.parallel is not None or args.resume is not None
+    if sharded and not any(t in PARALLEL_COMMANDS for t in targets):
+        parser.error(
+            f"--parallel/--resume only apply to: {', '.join(PARALLEL_COMMANDS)}"
+        )
+    if args.parallel is not None and args.parallel < 1:
+        parser.error("--parallel must be >= 1")
     for target in targets:
+        kwargs: Dict[str, object] = {}
         if target in TRACEABLE:
-            print(
-                COMMANDS[target](
-                    args.quick,
-                    args.out,
-                    trace_out=args.trace_out,
-                    metrics_out=args.metrics_out,
-                )
-            )
-        else:
-            print(COMMANDS[target](args.quick, args.out))
+            kwargs["trace_out"] = args.trace_out
+            kwargs["metrics_out"] = args.metrics_out
+        if target in PARALLEL_COMMANDS:
+            kwargs["parallel"] = args.parallel
+            kwargs["resume"] = args.resume
+        print(COMMANDS[target](args.quick, args.out, **kwargs))
         print()
     return 0
 

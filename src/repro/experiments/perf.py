@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import json
 import logging
+import os
 import statistics
 import subprocess
 import time
@@ -403,6 +404,69 @@ def run_overhead_benchmark(quick: bool = False) -> BenchResult:
     )
 
 
+# -------------------------------------------------------------- parallelism
+def run_parallel_benchmark(quick: bool = False, workers: Optional[int] = None) -> BenchResult:
+    """1-vs-N-worker wall-clock on the sharded scalability sweep.
+
+    Times :func:`repro.dist.run_scalability_sharded` at ``parallel=1`` and
+    ``parallel=workers`` on the same sweep and records the speedup.  The
+    speedup is hardware-bound — ``os.cpu_count`` is recorded in the params
+    because a 1-core runner cannot show one regardless of shard count
+    (shards then time-slice a single core and the pool only adds spawn and
+    pickling overhead).
+    """
+    from ..dist import run_scalability_sharded
+    from .config import ScalabilityConfig
+
+    if workers is None:
+        workers = 2 if quick else 4
+    config = (
+        ScalabilityConfig(
+            worker_sizes=(50, 100),
+            rates=(0.75, 1.5),
+            duration=200.0,
+            drain_time=200.0,
+        )
+        if quick
+        else ScalabilityConfig(
+            worker_sizes=(50, 100, 200),
+            rates=(0.75, 1.5, 3.0),
+            duration=300.0,
+            drain_time=300.0,
+        )
+    )
+
+    start = time.perf_counter()
+    serial = run_scalability_sharded(config, parallel=1)
+    serial_wall = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = run_scalability_sharded(config, parallel=workers)
+    parallel_wall = time.perf_counter() - start
+
+    if serial.results.points != sharded.results.points:
+        raise RuntimeError("parallel sweep diverged from serial sweep")
+
+    speedup = serial_wall / parallel_wall if parallel_wall > 0 else 0.0
+    logger.info(
+        "parallel bench: serial=%.2fs parallel(%d)=%.2fs speedup=%.2fx (cpus=%s)",
+        serial_wall, workers, parallel_wall, speedup, os.cpu_count(),
+    )
+    return BenchResult(
+        bench="scalability_parallel",
+        params={
+            "workers": workers,
+            "cpu_count": os.cpu_count(),
+            "shards": sharded.shard_count,
+            "serial_wall_seconds": serial_wall,
+            "speedup_vs_serial": speedup,
+        },
+        wall_seconds=parallel_wall,
+        throughput=sharded.shard_count / parallel_wall if parallel_wall > 0 else 0.0,
+        commit=git_commit(),
+    )
+
+
 # ------------------------------------------------------------------- driver
 def repo_root() -> Path:
     """Git toplevel if available, else the current directory."""
@@ -450,6 +514,8 @@ def run_bench(quick: bool = False, out_dir: Optional[Path] = None) -> str:
     logger.info("bench: platform suite")
     platform = run_platform_benchmarks(quick)
     platform.append(run_overhead_benchmark(quick))
+    logger.info("bench: parallel sweep")
+    platform.append(run_parallel_benchmark(quick))
     written = [
         write_bench_file(out_dir / "BENCH_matching.json", matching),
         write_bench_file(out_dir / "BENCH_platform.json", platform),

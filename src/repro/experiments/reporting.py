@@ -52,6 +52,31 @@ def _cumulative_rows(series: List[tuple[int, int]], points: int = 15):
     return [(x, y) for x, y in downsample(series, points)] if series else []
 
 
+def report_endtoend(results: Dict[str, EndToEndResult]) -> str:
+    """Headline table for the ``endtoend`` command (Figs. 5-8 source data).
+
+    Shared by the sequential and sharded (``--parallel``) paths, so both
+    render byte-identical reports for identical results.
+    """
+    lines = [
+        "# End-to-end run (Figs. 5-8 source data)",
+        f"{'policy':<14}{'received':>9}{'completed':>10}{'on-time':>9}"
+        f"{'feedback':>9}{'reassign':>9}{'batches':>8}",
+    ]
+    for name, result in results.items():
+        summary = result.summary
+        lines.append(
+            f"{name:<14}"
+            f"{int(summary['received']):>9d}"
+            f"{int(summary['completed']):>10d}"
+            f"{summary['on_time_fraction']:>8.1%}"
+            f"{summary['positive_feedback_fraction']:>8.1%}"
+            f"{int(summary['reassignments']):>9d}"
+            f"{result.batches:>8d}"
+        )
+    return "\n".join(lines)
+
+
 def report_fig5(results: Dict[str, EndToEndResult]) -> str:
     """Fig. 5: cumulative tasks finished before deadline."""
     blocks = ["# Fig. 5 — tasks finished before deadline vs. tasks received"]

@@ -50,6 +50,36 @@ class ScalabilityResult:
         return list(seen)
 
 
+def evaluate_point(
+    config: ScalabilityConfig,
+    workers: int,
+    rate: float,
+    n_tasks: int,
+    policy: SchedulingPolicy,
+) -> ScalabilityPoint:
+    """One (technique, size) cell of the sweep — hermetic, so shardable.
+
+    :mod:`repro.dist` fans these cells out across worker processes; keeping
+    the cell evaluation here guarantees the sharded sweep computes exactly
+    what the sequential one does.
+    """
+    point_config = config.endtoend_config(workers, rate, n_tasks)
+    run = run_endtoend(policy, point_config)
+    summary = run.summary
+    return ScalabilityPoint(
+        policy_name=policy.name,
+        n_workers=workers,
+        arrival_rate=rate,
+        n_tasks=n_tasks,
+        on_time_fraction=summary["on_time_fraction"],
+        positive_feedback_fraction=summary["positive_feedback_fraction"],
+        avg_worker_time=run.avg_worker_time,
+        avg_total_time=run.avg_total_time,
+        reassignments=int(summary["reassignments"]),
+        expired_unassigned=int(summary["expired_unassigned"]),
+    )
+
+
 def run_scalability(
     config: Optional[ScalabilityConfig] = None,
     policies: Optional[Sequence[SchedulingPolicy]] = None,
@@ -61,22 +91,8 @@ def run_scalability(
         logger.info(
             "scalability: point workers=%d rate=%.2f tasks=%d", workers, rate, n_tasks
         )
-        point_config = config.endtoend_config(workers, rate, n_tasks)
         for policy in policies if policies is not None else default_policies():
-            run = run_endtoend(policy, point_config)
-            summary = run.summary
             result.points.append(
-                ScalabilityPoint(
-                    policy_name=policy.name,
-                    n_workers=workers,
-                    arrival_rate=rate,
-                    n_tasks=n_tasks,
-                    on_time_fraction=summary["on_time_fraction"],
-                    positive_feedback_fraction=summary["positive_feedback_fraction"],
-                    avg_worker_time=run.avg_worker_time,
-                    avg_total_time=run.avg_total_time,
-                    reassignments=int(summary["reassignments"]),
-                    expired_unassigned=int(summary["expired_unassigned"]),
-                )
+                evaluate_point(config, workers, rate, n_tasks, policy)
             )
     return result

@@ -106,7 +106,17 @@ class Task:
         return now - self.assigned_at
 
     def is_expired(self, now: float) -> bool:
-        return now > self.absolute_deadline
+        """Whether the task's deadline has passed at sim time ``now``.
+
+        Boundary convention (pinned by tests): a task whose deadline equals
+        the current sim time is *expired*.  This matches Eq. 2/3, which
+        close the assignment window at ``time_to_deadline <= elapsed`` and
+        return zero completion probability at ``TTD <= 0`` — so the Eq. 2
+        sweep and ``retire_expired`` classify the boundary identically.
+        (Completion exactly *at* the deadline still counts as on time; see
+        :meth:`met_deadline`.)
+        """
+        return now >= self.absolute_deadline
 
     # ---------------------------------------------------------- lifecycle
     def mark_assigned(self, worker_id: int, now: float) -> None:

@@ -33,6 +33,11 @@ from .server import REACTServer
 class RegionEntry:
     region: Region
     server: REACTServer
+    #: Monotonically unique id; also the RNG fork offset for this server, so
+    #: no two servers — including ones created by later splits — ever share
+    #: a stream derivation.
+    server_id: int
+    rng: RngRegistry
 
 
 class Coordinator:
@@ -71,21 +76,33 @@ class Coordinator:
         )
         self._entries: List[RegionEntry] = []
         self._splits = 0
-        for i, region in enumerate(regions):
-            self._entries.append(
-                RegionEntry(region=region, server=self._make_server(i))
-            )
+        self._next_server_id = 0
+        for region in regions:
+            self._entries.append(self._make_entry(region))
         self._obs_regions.set(len(self._entries))
 
-    def _make_server(self, index: int) -> REACTServer:
+    def _make_entry(self, region: Region) -> RegionEntry:
+        """Build a server for ``region`` under a monotonically unique id.
+
+        Servers used to be numbered by list position, so a server created by
+        a later split could reuse an earlier server's index-derived RNG
+        streams (correlating e.g. their matcher edge-flip draws).  A single
+        counter that only ever increments makes every fork offset — and with
+        it every stream spawn key — unique for the coordinator's lifetime.
+        """
+        server_id = self._next_server_id
+        self._next_server_id += 1
+        rng = self._rng.fork(server_id)
         server = REACTServer(
             engine=self._engine,
             policy=self._policy,
-            rng=self._rng.fork(index),
+            rng=rng,
             cost_model=self._cost_model,
         )
         server.start()
-        return server
+        return RegionEntry(
+            region=region, server=server, server_id=server_id, rng=rng
+        )
 
     # ------------------------------------------------------------- routing
     @property
@@ -95,6 +112,10 @@ class Coordinator:
     @property
     def regions(self) -> List[Region]:
         return [entry.region for entry in self._entries]
+
+    @property
+    def server_ids(self) -> List[int]:
+        return [entry.server_id for entry in self._entries]
 
     @property
     def splits_performed(self) -> int:
@@ -141,10 +162,16 @@ class Coordinator:
         half_keep, half_new = entry.region.split()
         idx = self._entries.index(entry)
         old = entry.server
-        new_server = self._make_server(1000 + self._splits)
+        new_entry = self._make_entry(half_new)
+        new_server = new_entry.server
         self._entries[idx : idx + 1] = [
-            RegionEntry(region=half_keep, server=old),
-            RegionEntry(region=half_new, server=new_server),
+            RegionEntry(
+                region=half_keep,
+                server=old,
+                server_id=entry.server_id,
+                rng=entry.rng,
+            ),
+            new_entry,
         ]
         self._splits += 1
 

@@ -1,0 +1,34 @@
+"""DET003 fixture: arithmetic seed derivation.
+
+Linted as ``repro.dist.fixture_det003`` — the shard-fanout package is in
+scope precisely because it hands seeds to spawned workers.
+"""
+
+import random
+
+import numpy as np
+from numpy.random import SeedSequence
+
+from repro.sim.rng import RngRegistry
+
+
+def positive_hit(seed: int, offset: int) -> None:
+    np.random.default_rng(seed * 1_000_003 + offset)  # HIT: the fork bug
+    SeedSequence(entropy=seed + offset)  # HIT: keyword seed material
+    np.random.RandomState(seed=seed ^ offset)  # HIT: xor mixing collides too
+    random.Random(seed << 1)  # HIT: stdlib constructor
+    RngRegistry(seed=seed * 31 + offset)  # HIT: registry constructor by name
+
+
+def suppressed_hit(seed: int) -> np.random.Generator:
+    # Justified: fixture demonstrating the suppression syntax only.
+    return np.random.default_rng(seed + 1)  # reprolint: disable=DET003
+
+
+def clean(seed: int, offset: int) -> RngRegistry:
+    # Lineage-threaded spawning: collision-free by construction.
+    registry = RngRegistry(seed=seed).fork(offset)
+    np.random.default_rng(SeedSequence(entropy=seed, spawn_key=(offset,)))
+    # Arithmetic behind a call boundary feeds a draw, not a seed derivation.
+    np.random.default_rng(registry.stream("matcher").integers(1 << 31))
+    return registry

@@ -136,7 +136,15 @@ class TestDocsCommands:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == EXIT_CLEAN
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "DET002", "NUM001", "OBS001", "KER001", "API001"):
+        for rule_id in (
+            "DET001",
+            "DET002",
+            "DET003",
+            "NUM001",
+            "OBS001",
+            "KER001",
+            "API001",
+        ):
             assert rule_id in out
 
     def test_explain(self, capsys):

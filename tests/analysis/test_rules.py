@@ -59,6 +59,35 @@ class TestDET002:
         assert rules_of(result, "DET002") == []
 
 
+class TestDET003:
+    def test_positive_hits(self):
+        result = lint_fixture("det003_cases.py", "repro.dist.fixture_det003")
+        hits = rules_of(result, "DET003")
+        assert len(hits) == 5
+        assert all(f.symbol == "positive_hit" for f in hits)
+        messages = " ".join(f.message for f in hits)
+        assert "numpy.random.default_rng" in messages
+        assert "numpy.random.SeedSequence" in messages
+        assert "RngRegistry" in messages
+        assert "random.Random" in messages
+
+    def test_suppressed_and_clean(self):
+        result = lint_fixture("det003_cases.py", "repro.dist.fixture_det003")
+        assert len([f for f in result.suppressed if f.rule == "DET003"]) == 1
+        # Spawn-key construction and arithmetic behind a call boundary
+        # (a generator draw used as a seed) are both allowed.
+        assert not any(f.symbol == "clean" for f in result.findings)
+
+    def test_sim_scope_also_covered(self):
+        result = lint_fixture("det003_cases.py", "repro.sim.fixture_det003")
+        assert len(rules_of(result, "DET003")) == 5
+
+    def test_out_of_scope(self):
+        # experiments/ and analysis/ never hand seeds to sim code directly.
+        result = lint_fixture("det003_cases.py", "repro.experiments.fixture")
+        assert rules_of(result, "DET003") == []
+
+
 class TestNUM001:
     def test_positive_hits(self):
         result = lint_fixture("num001_cases.py", "repro.stats.fixture_num001")
@@ -145,10 +174,18 @@ class TestAPI001:
 
 
 class TestRuleRegistry:
-    def test_six_rules_registered_with_docs(self):
+    def test_seven_rules_registered_with_docs(self):
         rules = all_rules()
         ids = [r.id for r in rules]
-        assert ids == ["DET001", "DET002", "NUM001", "OBS001", "KER001", "API001"]
+        assert ids == [
+            "DET001",
+            "DET002",
+            "DET003",
+            "NUM001",
+            "OBS001",
+            "KER001",
+            "API001",
+        ]
         for rule in rules:
             assert rule.title, rule.id
             assert rule.rationale, rule.id
@@ -158,6 +195,7 @@ class TestRuleRegistry:
         cases = {
             "DET001": ("det001_cases.py", "repro.core.fixture_det001"),
             "DET002": ("det002_cases.py", "repro.platform.fixture_det002"),
+            "DET003": ("det003_cases.py", "repro.dist.fixture_det003"),
             "NUM001": ("num001_cases.py", "repro.stats.fixture_num001"),
             "OBS001": ("obs001_cases.py", "repro.platform.fixture_obs001"),
             "KER001": ("ker001_cases.py", "repro.core.kernels.fixture_ker001"),

@@ -1,0 +1,103 @@
+"""Sharded drivers produce exactly what the sequential drivers produce.
+
+Every assertion here is exact equality, not statistical closeness: shards
+are hermetic re-runs of the same seeded simulations, so the merged results
+must match the sequential drivers field for field.
+"""
+
+import pytest
+
+from repro.dist import (
+    run_chaos_sharded,
+    run_comparison_sharded,
+    run_endtoend_repetitions,
+    run_scalability_sharded,
+)
+from repro.experiments.chaos import ChaosConfig, run_chaos_comparison, standard_schedule
+from repro.experiments.config import EndToEndConfig, ScalabilityConfig
+from repro.experiments.endtoend import run_comparison
+from repro.experiments.scalability import run_scalability
+from repro.platform.policies import greedy_policy, traditional_policy
+
+POLICIES = (greedy_policy(), traditional_policy())
+
+ENDTOEND = EndToEndConfig(
+    n_workers=25, arrival_rate=0.5, n_tasks=30, drain_time=120.0
+)
+
+CHAOS = ChaosConfig(
+    n_workers=20, arrival_rate=0.5, n_tasks=25, drain_time=100.0
+)
+
+SCALABILITY = ScalabilityConfig(
+    worker_sizes=(20, 40),
+    rates=(0.4, 0.8),
+    duration=60.0,
+    drain_time=100.0,
+)
+
+
+class TestEndToEnd:
+    def test_matches_sequential_comparison(self):
+        sequential = run_comparison(ENDTOEND, policies=POLICIES)
+        sharded = run_comparison_sharded(ENDTOEND, policies=POLICIES)
+        assert list(sharded.results) == list(sequential)
+        for name in sequential:
+            seq, sh = sequential[name], sharded.results[name]
+            assert sh.summary == seq.summary
+            assert sh.deadline_series == seq.deadline_series
+            assert sh.feedback_series == seq.feedback_series
+            assert sh.withdrawals == seq.withdrawals
+            assert sh.batches == seq.batches
+
+    def test_duplicate_policies_rejected(self):
+        with pytest.raises(ValueError, match="duplicate policy"):
+            run_comparison_sharded(
+                ENDTOEND, policies=(greedy_policy(), greedy_policy())
+            )
+
+
+class TestChaos:
+    def test_matches_sequential_comparison(self):
+        schedule = standard_schedule(CHAOS)
+        sequential = run_chaos_comparison(
+            CHAOS, schedule=schedule, policies=POLICIES
+        )
+        sharded = run_chaos_sharded(CHAOS, schedule=schedule, policies=POLICIES)
+        assert list(sharded.results) == list(sequential)
+        for name in sequential:
+            for variant in ("clean", "faulted"):
+                seq = sequential[name][variant]
+                sh = sharded.results[name][variant]
+                assert sh.summary == seq.summary
+                assert sh.on_time_fraction == seq.on_time_fraction
+                assert sh.fault_log == seq.fault_log
+                assert sh.outcomes == seq.outcomes
+
+
+class TestScalability:
+    def test_matches_sequential_sweep(self):
+        sequential = run_scalability(SCALABILITY, policies=POLICIES)
+        sharded = run_scalability_sharded(SCALABILITY, policies=POLICIES)
+        assert sharded.results.points == sequential.points
+        assert sharded.results.policies() == sequential.policies()
+
+
+class TestRepetitions:
+    def test_spawn_seeded_and_prefix_stable(self):
+        policy = POLICIES[0]
+        three = run_endtoend_repetitions(policy, ENDTOEND, repetitions=3)
+        assert len(three.results) == 3
+        seeds = [r.config.seed for r in three.results]
+        assert len(set(seeds)) == 3
+        assert ENDTOEND.seed not in seeds  # children, not the root seed
+
+        two = run_endtoend_repetitions(policy, ENDTOEND, repetitions=2)
+        assert [r.config.seed for r in two.results] == seeds[:2]
+        assert [r.summary for r in two.results] == [
+            r.summary for r in three.results[:2]
+        ]
+
+    def test_repetitions_validated(self):
+        with pytest.raises(ValueError, match="repetitions"):
+            run_endtoend_repetitions(POLICIES[0], ENDTOEND, repetitions=0)

@@ -1,0 +1,103 @@
+"""The determinism contract: ``--parallel N`` never changes the bytes.
+
+Runs the same seeded workload inline (``parallel=1``) and across a real
+``spawn`` process pool (``parallel=4``), then compares the *bytes* of the
+exported result JSON/CSV and per-shard telemetry files, plus the merged
+metrics snapshots — not just approximate statistics.  Also exercises the
+kill-and-resume path end to end: a resumed run restores finished shards
+from checkpoints and still produces identical bytes.
+"""
+
+from pathlib import Path
+
+from repro.dist import TelemetrySpec, run_comparison_sharded
+from repro.experiments.config import EndToEndConfig
+from repro.experiments.export import export_endtoend
+from repro.platform.policies import greedy_policy, traditional_policy
+
+POLICIES = (greedy_policy(), traditional_policy())
+
+CONFIG = EndToEndConfig(
+    n_workers=25, arrival_rate=0.5, n_tasks=30, drain_time=120.0
+)
+
+
+def _run(tmp_path: Path, tag: str, parallel: int, checkpoint_dir=None, telemetry_dir=None):
+    out_dir = tmp_path / tag
+    telemetry_root = Path(telemetry_dir) if telemetry_dir is not None else out_dir
+    telemetry = TelemetrySpec(
+        prefix="endtoend",
+        trace_dir=str(telemetry_root / "trace"),
+        metrics_dir=str(telemetry_root / "metrics"),
+    )
+    run = run_comparison_sharded(
+        CONFIG,
+        policies=POLICIES,
+        parallel=parallel,
+        checkpoint_dir=checkpoint_dir,
+        telemetry=telemetry,
+    )
+    export_dir = out_dir / "export"
+    export_dir.mkdir(parents=True)
+    export_endtoend(run.results, str(export_dir))
+    return run, out_dir
+
+
+def _file_map(root: Path):
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _assert_identical_outputs(dir_a: Path, dir_b: Path):
+    files_a, files_b = _file_map(dir_a), _file_map(dir_b)
+    assert set(files_a) == set(files_b)
+    for name in files_a:
+        assert files_a[name] == files_b[name], f"{name} differs between runs"
+
+
+class TestParallelEquivalence:
+    def test_parallel_4_is_byte_identical_to_parallel_1(self, tmp_path):
+        serial, serial_dir = _run(tmp_path, "serial", parallel=1)
+        pooled, pooled_dir = _run(tmp_path, "pooled", parallel=4)
+
+        # result objects merge identically...
+        assert list(serial.results) == list(pooled.results)
+        for name in serial.results:
+            assert serial.results[name].summary == pooled.results[name].summary
+
+        # ...the merged metrics snapshots match sample for sample...
+        assert serial.snapshot is not None and pooled.snapshot is not None
+        assert serial.snapshot.samples == pooled.snapshot.samples
+        assert serial.snapshot.kinds == pooled.snapshot.kinds
+
+        # ...and every exported file (result JSON/CSV, per-shard telemetry)
+        # is byte-identical.
+        _assert_identical_outputs(serial_dir, pooled_dir)
+
+    def test_resumed_run_is_byte_identical(self, tmp_path):
+        # Resume mirrors CLI usage: same flags (telemetry dirs included)
+        # across the original and the resumed invocation — only then do the
+        # shard fingerprints match the checkpoints.
+        ckpt = tmp_path / "ckpt"
+        telemetry_dir = tmp_path / "telemetry"
+        fresh, fresh_dir = _run(
+            tmp_path, "fresh", parallel=2,
+            checkpoint_dir=ckpt, telemetry_dir=telemetry_dir,
+        )
+        assert fresh.computed == len(POLICIES) and fresh.resumed == 0
+
+        resumed, resumed_dir = _run(
+            tmp_path, "resumed", parallel=2,
+            checkpoint_dir=ckpt, telemetry_dir=telemetry_dir,
+        )
+        assert resumed.computed == 0
+        assert resumed.resumed == len(POLICIES)
+        for name in fresh.results:
+            assert fresh.results[name].summary == resumed.results[name].summary
+        assert fresh.snapshot.samples == resumed.snapshot.samples
+
+        # the resumed run exports the same result bytes without recomputing
+        _assert_identical_outputs(fresh_dir / "export", resumed_dir / "export")

@@ -1,0 +1,143 @@
+"""Executor tests: ordering, checkpoint/resume, staleness, failure recovery.
+
+These use a test-only shard kind so they exercise the executor machinery
+without paying for real simulations.  Custom kinds registered at test time
+exist only in this process, so every test here runs with ``parallel=1``
+(the spawn-pool path is covered by the equivalence suite, whose shards use
+the built-in kinds).
+"""
+
+import pickle
+
+import pytest
+
+from repro.dist import ShardOutcome, ShardSpec, execute_shards, fingerprint
+from repro.dist.executor import load_checkpoint, write_checkpoint
+from repro.dist.worker import HANDLERS, register_handler
+
+
+@pytest.fixture(autouse=True)
+def _echo_kind():
+    """A shard kind that returns its payload, with optional failure."""
+
+    def run(spec: ShardSpec) -> ShardOutcome:
+        if spec.payload.get("fail"):
+            raise RuntimeError(f"shard {spec.shard_id} told to fail")
+        return ShardOutcome(
+            shard_id=spec.shard_id, kind=spec.kind, result=spec.payload["value"]
+        )
+
+    register_handler("echo", run)
+    yield
+    HANDLERS.pop("echo", None)
+
+
+def _specs(*values, fail=()):
+    return [
+        ShardSpec(
+            shard_id=f"echo-{i}",
+            kind="echo",
+            payload={"value": v, "fail": f"echo-{i}" in fail},
+        )
+        for i, v in enumerate(values)
+    ]
+
+
+class TestExecution:
+    def test_outcomes_follow_spec_order(self):
+        report = execute_shards(_specs("a", "b", "c"))
+        assert [o.result for o in report.outcomes] == ["a", "b", "c"]
+        assert report.computed == 3 and report.resumed == 0
+
+    def test_duplicate_ids_rejected(self):
+        spec = ShardSpec("same", "echo", {"value": 1})
+        with pytest.raises(ValueError, match="duplicate"):
+            execute_shards([spec, spec])
+
+    def test_parallel_must_be_positive(self):
+        with pytest.raises(ValueError, match="parallel"):
+            execute_shards(_specs("a"), parallel=0)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError, match="unknown shard kind"):
+            execute_shards([ShardSpec("x", "no-such-kind", {})])
+
+
+class TestCheckpointing:
+    def test_roundtrip(self, tmp_path):
+        spec = _specs("a")[0]
+        outcome = ShardOutcome(shard_id=spec.shard_id, kind=spec.kind, result="a")
+        write_checkpoint(tmp_path, spec, outcome)
+        loaded = load_checkpoint(tmp_path, spec)
+        assert loaded is not None
+        assert loaded.result == "a"
+        assert loaded.from_checkpoint
+
+    def test_missing_checkpoint_returns_none(self, tmp_path):
+        assert load_checkpoint(tmp_path, _specs("a")[0]) is None
+
+    def test_stale_fingerprint_ignored(self, tmp_path):
+        old = _specs("a")[0]
+        outcome = ShardOutcome(shard_id=old.shard_id, kind=old.kind, result="a")
+        write_checkpoint(tmp_path, old, outcome)
+        # Same shard id, different payload: the old result must not be reused.
+        changed = ShardSpec(old.shard_id, old.kind, {"value": "b", "fail": False})
+        assert fingerprint(changed) != fingerprint(old)
+        assert load_checkpoint(tmp_path, changed) is None
+
+    def test_corrupt_checkpoint_ignored(self, tmp_path):
+        spec = _specs("a")[0]
+        (tmp_path / f"{spec.shard_id}.pkl").write_bytes(b"not a pickle")
+        assert load_checkpoint(tmp_path, spec) is None
+
+    def test_truncated_checkpoint_ignored(self, tmp_path):
+        spec = _specs("a")[0]
+        outcome = ShardOutcome(shard_id=spec.shard_id, kind=spec.kind, result="a")
+        write_checkpoint(tmp_path, spec, outcome)
+        path = tmp_path / f"{spec.shard_id}.pkl"
+        path.write_bytes(path.read_bytes()[:10])
+        assert load_checkpoint(tmp_path, spec) is None
+
+    def test_wrong_version_ignored(self, tmp_path):
+        spec = _specs("a")[0]
+        payload = {
+            "version": -1,
+            "fingerprint": fingerprint(spec),
+            "outcome": ShardOutcome(spec.shard_id, spec.kind, "a"),
+        }
+        (tmp_path / f"{spec.shard_id}.pkl").write_bytes(pickle.dumps(payload))
+        assert load_checkpoint(tmp_path, spec) is None
+
+
+class TestResume:
+    def test_resume_skips_finished_shards(self, tmp_path):
+        specs = _specs("a", "b", "c")
+        first = execute_shards(specs, checkpoint_dir=tmp_path)
+        assert first.computed == 3
+        second = execute_shards(specs, checkpoint_dir=tmp_path)
+        assert second.computed == 0 and second.resumed == 3
+        assert [o.result for o in second.outcomes] == ["a", "b", "c"]
+        assert all(o.from_checkpoint for o in second.outcomes)
+
+    def test_killed_run_resumes_without_recompute(self, tmp_path):
+        """Shard 1 fails mid-run; finished shard 0 must survive the 'kill'
+        and be restored — not recomputed — on the resumed run."""
+        failing = _specs("a", "b", "c", fail=("echo-1",))
+        with pytest.raises(RuntimeError, match="echo-1"):
+            execute_shards(failing, checkpoint_dir=tmp_path)
+        # the shard that completed before the crash left its checkpoint
+        assert (tmp_path / "echo-0.pkl").exists()
+        assert not (tmp_path / "echo-1.pkl").exists()
+
+        healthy = _specs("a", "b", "c")
+        resumed = execute_shards(healthy, checkpoint_dir=tmp_path)
+        assert resumed.resumed == 1 and resumed.computed == 2
+        assert [o.from_checkpoint for o in resumed.outcomes] == [True, False, False]
+        assert [o.result for o in resumed.outcomes] == ["a", "b", "c"]
+
+    def test_resume_with_changed_config_recomputes(self, tmp_path):
+        execute_shards(_specs("a"), checkpoint_dir=tmp_path)
+        changed = [ShardSpec("echo-0", "echo", {"value": "A", "fail": False})]
+        report = execute_shards(changed, checkpoint_dir=tmp_path)
+        assert report.resumed == 0 and report.computed == 1
+        assert report.outcomes[0].result == "A"

@@ -1,0 +1,54 @@
+"""Unit tests for shard specs, fingerprints, and id hygiene."""
+
+import pytest
+
+from repro.dist import ShardSpec, TelemetrySpec, fingerprint, safe_id
+from repro.dist.shards import check_unique_ids
+from repro.experiments.config import EndToEndConfig
+from repro.platform.policies import greedy_policy
+
+
+def _spec(**payload):
+    return ShardSpec(shard_id="s1", kind="endtoend", payload=payload)
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = _spec(config=EndToEndConfig(seed=1), policy=greedy_policy())
+        b = _spec(config=EndToEndConfig(seed=1), policy=greedy_policy())
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_payload_change_changes_fingerprint(self):
+        a = _spec(config=EndToEndConfig(seed=1))
+        b = _spec(config=EndToEndConfig(seed=2))
+        assert fingerprint(a) != fingerprint(b)
+
+    def test_dict_order_insensitive(self):
+        a = ShardSpec("s1", "k", {"x": 1, "y": 2})
+        b = ShardSpec("s1", "k", {"y": 2, "x": 1})
+        assert fingerprint(a) == fingerprint(b)
+
+    def test_kind_and_id_participate(self):
+        assert fingerprint(ShardSpec("s1", "a", {})) != fingerprint(
+            ShardSpec("s1", "b", {})
+        )
+        assert fingerprint(ShardSpec("s1", "a", {})) != fingerprint(
+            ShardSpec("s2", "a", {})
+        )
+
+
+class TestIds:
+    def test_safe_id_sanitizes(self):
+        assert safe_id("scal", 100, 1.5, "react/fast") == "scal-100-1.5-react_fast"
+
+    def test_duplicate_ids_rejected(self):
+        specs = [ShardSpec("dup", "k", {}), ShardSpec("dup", "k", {})]
+        with pytest.raises(ValueError, match="duplicate shard id"):
+            check_unique_ids(specs)
+
+
+class TestTelemetrySpec:
+    def test_enabled_flag(self):
+        assert not TelemetrySpec(prefix="x").enabled
+        assert TelemetrySpec(prefix="x", metrics_dir="/tmp/m").enabled
+        assert TelemetrySpec(prefix="x", trace_dir="/tmp/t").enabled

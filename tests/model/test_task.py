@@ -43,8 +43,21 @@ class TestTiming:
 
     def test_is_expired(self, make_task):
         task = make_task(deadline=90, submitted_at=0)
-        assert not task.is_expired(90.0)
+        assert not task.is_expired(89.99)
         assert task.is_expired(90.01)
+
+    def test_is_expired_boundary_matches_eq2(self, make_task):
+        """Pinned convention: TTD == now is expired, matching the Eq. 2
+        sweep (``ttd <= elapsed`` closes the window) and Eq. 3
+        (``ttd <= 0`` gives zero completion probability)."""
+        task = make_task(deadline=90, submitted_at=0)
+        assert task.is_expired(90.0)
+
+    def test_completing_exactly_at_deadline_is_on_time(self, make_task):
+        task = make_task(deadline=90, submitted_at=0)
+        task.mark_assigned(3, now=10.0)
+        task.mark_completed(now=90.0)
+        assert task.met_deadline
 
     def test_elapsed_requires_assignment(self, make_task):
         task = make_task()

@@ -9,7 +9,7 @@ from repro.platform.coordinator import Coordinator
 from repro.platform.cost import ZeroCost
 from repro.platform.policies import react_policy
 from repro.sim.engine import Engine
-from repro.sim.rng import RngRegistry
+from repro.sim.rng import STREAM_MATCHER, RngRegistry
 
 from .helpers import reliable_behavior
 
@@ -97,6 +97,28 @@ class TestSplitOnOverload:
         # both halves can still serve their areas
         total_workers = sum(len(s.profiling) for s in coordinator.servers)
         assert total_workers >= 0  # idle workers moved; busy ones drain on old server
+
+    def test_double_split_assigns_disjoint_rng_streams(self):
+        """Regression: position-derived server ids let a post-split server
+        reuse an earlier server's RNG fork, correlating their matcher
+        streams.  Ids must stay unique — and fork lineages disjoint — no
+        matter how many splits happen."""
+        engine, coordinator = _coordinator(
+            regions=[Region(0, 10, 0, 10)], overload_limit=2
+        )
+        for _ in range(4):
+            coordinator.submit_task(_task(2.0, 2.0, deadline=600.0))
+        for _ in range(4):
+            coordinator.submit_task(_task(8.0, 8.0, deadline=600.0))
+        assert coordinator.splits_performed >= 2
+
+        ids = coordinator.server_ids
+        assert len(ids) == len(set(ids)), ids
+
+        lineages = [entry.rng.lineage for entry in coordinator._entries]
+        assert len(lineages) == len(set(lineages)), lineages
+        keys = [entry.rng.spawn_key(STREAM_MATCHER) for entry in coordinator._entries]
+        assert len(keys) == len(set(keys)), keys
 
     def test_aggregate_summary_sums_servers(self):
         engine, coordinator = _coordinator()

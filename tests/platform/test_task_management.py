@@ -55,6 +55,24 @@ class TestBatchCheckout:
         assert retired == [stale]
         assert component.finished_count == 1
 
+    def test_checkout_retires_at_exact_deadline(self, component, make_task):
+        """Boundary convention: TTD == now is expired (same as the Eq. 2
+        sweep closing the window at ``ttd <= elapsed``)."""
+        boundary = make_task(deadline=50.0, submitted_at=0.0)
+        component.add_task(boundary)
+        batch, retired = component.checkout_batch(now=50.0, assign_expired=False)
+        assert batch == []
+        assert retired == [boundary]
+
+    def test_retire_expired_at_exact_deadline(self, component, make_task):
+        boundary = make_task(deadline=50.0, submitted_at=0.0)
+        fresh = make_task(deadline=50.001, submitted_at=0.0)
+        component.add_task(boundary)
+        component.add_task(fresh)
+        retired = component.retire_expired(now=50.0)
+        assert retired == [boundary]
+        assert component.unassigned_count == 1
+
     def test_checkout_keeps_expired_when_assigning_expired(self, component, make_task):
         stale = make_task(deadline=10.0)
         component.add_task(stale)

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.sim.rng import STREAM_ARRIVALS, STREAM_MATCHER, RngRegistry
+from repro.sim.rng import (
+    SPAWN_SENTINEL,
+    STREAM_ARRIVALS,
+    STREAM_MATCHER,
+    RngRegistry,
+    spawn_seeds,
+)
 
 
 class TestReproducibility:
@@ -58,6 +64,74 @@ class TestForking:
             parent.fork(0).stream("x").random(5),
             parent.fork(1).stream("x").random(5),
         )
+
+    def test_fork_zero_differs_from_root(self):
+        """Regression: the arithmetic derivation mapped seed-0 fork(0) onto
+        the root registry itself (0 * M + 0 == 0)."""
+        root = RngRegistry(seed=0)
+        child = root.fork(0)
+        assert not np.array_equal(
+            root.stream("x").random(8), child.stream("x").random(8)
+        )
+
+    def test_nested_forks_do_not_collide_with_flat_forks(self):
+        """Regression: old derivation had fork(a).fork(b) == fork(a*M + b)."""
+        m = 1_000_003
+        root = RngRegistry(seed=0)
+        nested = root.fork(2).fork(3)
+        flat = root.fork(2 * m + 3)
+        assert nested.lineage != flat.lineage
+        assert not np.array_equal(
+            nested.stream("x").random(8), flat.stream("x").random(8)
+        )
+
+    def test_lineage_is_threaded(self):
+        reg = RngRegistry(seed=5)
+        assert reg.lineage == ()
+        assert reg.fork(2).lineage == (2,)
+        assert reg.fork(2).fork(7).lineage == (2, 7)
+        assert reg.fork(2).fork(7).seed == 5
+
+    def test_root_spawn_key_unchanged(self):
+        """Root registries must keep the historical name-bytes keying so
+        single-process experiment baselines stay bit-identical."""
+        reg = RngRegistry(seed=5)
+        assert reg.spawn_key("ab") == (97, 98)
+        seq = np.random.SeedSequence(entropy=5, spawn_key=(97, 98))
+        expected = np.random.default_rng(seq).random(8)
+        assert np.array_equal(reg.stream("ab").random(8), expected)
+
+    def test_forked_spawn_keys_are_prefix_free(self):
+        reg = RngRegistry(seed=5).fork(4)
+        assert reg.spawn_key("ab") == (4, SPAWN_SENTINEL, 97, 98)
+
+    def test_fork_offset_validation(self):
+        reg = RngRegistry(seed=5)
+        with pytest.raises(ValueError):
+            reg.fork(-1)
+        with pytest.raises(ValueError):
+            reg.fork(SPAWN_SENTINEL)
+        with pytest.raises(TypeError):
+            reg.fork("zero")
+
+
+class TestSpawnSeeds:
+    def test_deterministic(self):
+        assert spawn_seeds(42, 4) == spawn_seeds(42, 4)
+
+    def test_prefix_stable(self):
+        """The first k children never change when n grows (shard resume)."""
+        assert spawn_seeds(42, 8)[:3] == spawn_seeds(42, 3)
+
+    def test_unique_and_distinct_across_seeds(self):
+        a = spawn_seeds(42, 16)
+        b = spawn_seeds(43, 16)
+        assert len(set(a)) == 16
+        assert set(a).isdisjoint(b)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(42, -1)
 
 
 class TestValidation:

@@ -2,7 +2,7 @@
 
 The package DAG the reproduction relies on (DESIGN.md):
 
-    model, graph, stats  →  core  →  platform  →  experiments → dist
+    model, graph, stats  →  core  →  platform  →  retainer  →  experiments → dist
                  core/kernels (leaf: numpy-only numeric backends)
 
 ``core/kernels`` must stay importable without the event engine or the
@@ -56,6 +56,7 @@ LAYERING: Dict[str, Tuple[str, ...]] = {
         "repro.sim",
     ),
     "repro.sim": ("repro.platform", "repro.experiments", "repro.dist", "repro.core"),
+    "repro.retainer": ("repro.experiments", "repro.dist", "repro.chaos"),
 }
 
 

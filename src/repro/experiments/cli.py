@@ -33,15 +33,22 @@ from ..obs.runtime import Observability
 from ..workload.crowdflower import analyze_case_study, generate_case_study
 from .ablations import ablate_cycles, ablate_k_constant, ablate_threshold, ablate_training_z
 from .chaos import ChaosConfig, report_chaos, run_chaos_comparison, standard_schedule
+from ..platform.policies import RetainerSpec
 from .config import EndToEndConfig, MatchingSweepConfig, ScalabilityConfig
-from .endtoend import run_comparison
-from .export import export_endtoend, export_matching_sweep, export_scalability
+from .endtoend import retainer_policies, run_comparison
+from .export import (
+    export_endtoend,
+    export_matching_sweep,
+    export_retainer,
+    export_scalability,
+)
 from .voting import VotingConfig, report_voting, run_voting_comparison
 from .matching_bench import run_matching_sweep
 from .perf import run_bench
 from .reporting import (
     report_ablation,
     report_endtoend,
+    report_retainer,
     report_fig3,
     report_fig4,
     report_fig5,
@@ -68,6 +75,25 @@ def _endtoend_config(quick: bool) -> EndToEndConfig:
             n_workers=150, arrival_rate=1.875, n_tasks=1600, drain_time=400
         )
     return EndToEndConfig()
+
+
+def _marketplace_config(quick: bool) -> EndToEndConfig:
+    """Marketplace-mode workload for the retainer comparison.
+
+    Workers arrive over time instead of pre-connecting; both policies of
+    the comparison face the identical (seeded) arrival traces.
+    """
+    if quick:
+        return EndToEndConfig(
+            n_workers=120, arrival_rate=2.0, n_tasks=400, drain_time=200,
+            arrival_process="poisson",
+            worker_arrival_rate=0.5, worker_patience=30.0,
+        )
+    return EndToEndConfig(
+        n_workers=750, arrival_rate=9.375, n_tasks=8371, drain_time=600,
+        arrival_process="poisson",
+        worker_arrival_rate=1.5, worker_patience=30.0,
+    )
 
 
 def _scalability_config(quick: bool) -> ScalabilityConfig:
@@ -237,25 +263,49 @@ def _run_endtoend(
     metrics_out: Optional[str] = None,
     parallel: Optional[int] = None,
     resume: Optional[str] = None,
+    retainer_size: Optional[int] = None,
+    retainer_cost: Optional[float] = None,
 ) -> str:
+    # --retainer-size/--retainer-cost switch the run to the marketplace
+    # retainer comparison (REACT vs REACT + retainer; docs/RETAINER.md).
+    with_retainer = retainer_size is not None or retainer_cost is not None
+    if with_retainer:
+        spec = RetainerSpec(
+            size=retainer_size if retainer_size is not None else RetainerSpec().size,
+            wage_per_second=(
+                retainer_cost
+                if retainer_cost is not None
+                else RetainerSpec().wage_per_second
+            ),
+        )
+        config = _marketplace_config(quick)
+        policies = retainer_policies(spec)
+        reporter, exporter = report_retainer, export_retainer
+    else:
+        config = _endtoend_config(quick)
+        policies = None
+        reporter, exporter = report_endtoend, export_endtoend
     if parallel is None and resume is None:
         factory, flush = _obs_factory("endtoend", trace_out, metrics_out)
-        results = run_comparison(_endtoend_config(quick), observability_factory=factory)
+        results = run_comparison(
+            config, policies=policies, observability_factory=factory
+        )
         notes = flush()
     else:
         telemetry = TelemetrySpec(
             prefix="endtoend", trace_dir=trace_out, metrics_dir=metrics_out
         )
         run = run_comparison_sharded(
-            _endtoend_config(quick),
+            config,
+            policies=policies,
             parallel=parallel or 1,
             checkpoint_dir=resume,
             telemetry=telemetry if telemetry.enabled else None,
         )
         results = run.results
         notes = _sharded_notes(run)
-    lines = [report_endtoend(results)]
-    note = _maybe_export(out, export_endtoend, results, out or "")
+    lines = [reporter(results)]
+    note = _maybe_export(out, exporter, results, out or "")
     if note:
         lines.append(note)
     lines.extend(notes)
@@ -341,6 +391,10 @@ TRACEABLE = ("endtoend", "chaos")
 #: docs/SCALING.md).  fig9/fig10 are the scalability sweep.
 PARALLEL_COMMANDS = ("endtoend", "chaos", "fig9", "fig10")
 
+#: Commands that understand --retainer-size / --retainer-cost
+#: (the marketplace retainer comparison; docs/RETAINER.md).
+RETAINER_COMMANDS = ("endtoend",)
+
 
 def main(argv: Optional[List[str]] = None) -> int:
     if argv is None:
@@ -408,6 +462,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         "already checkpointed there from a previous (possibly killed) run",
     )
     parser.add_argument(
+        "--retainer-size",
+        type=int,
+        default=None,
+        metavar="C",
+        help="run the marketplace retainer comparison with a pool of C "
+        f"workers ({'/'.join(RETAINER_COMMANDS)} only; docs/RETAINER.md)",
+    )
+    parser.add_argument(
+        "--retainer-cost",
+        type=float,
+        default=None,
+        metavar="WAGE",
+        help="retainer wage per idle second for the comparison "
+        f"({'/'.join(RETAINER_COMMANDS)} only; default 0.01)",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=("debug", "info", "warning", "error"),
@@ -434,6 +504,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.parallel is not None and args.parallel < 1:
         parser.error("--parallel must be >= 1")
+    retainer = args.retainer_size is not None or args.retainer_cost is not None
+    if retainer and not any(t in RETAINER_COMMANDS for t in targets):
+        parser.error(
+            f"--retainer-size/--retainer-cost only apply to: "
+            f"{', '.join(RETAINER_COMMANDS)}"
+        )
+    if args.retainer_size is not None and args.retainer_size < 1:
+        parser.error("--retainer-size must be >= 1")
+    if args.retainer_cost is not None and args.retainer_cost < 0:
+        parser.error("--retainer-cost must be non-negative")
     for target in targets:
         kwargs: Dict[str, object] = {}
         if target in TRACEABLE:
@@ -442,6 +522,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if target in PARALLEL_COMMANDS:
             kwargs["parallel"] = args.parallel
             kwargs["resume"] = args.resume
+        if target in RETAINER_COMMANDS:
+            kwargs["retainer_size"] = args.retainer_size
+            kwargs["retainer_cost"] = args.retainer_cost
         print(COMMANDS[target](args.quick, args.out, **kwargs))
         print()
     return 0

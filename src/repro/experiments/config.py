@@ -63,6 +63,14 @@ class EndToEndConfig:
     churn_mean_session: Optional[float] = None
     #: Mean offline-absence seconds (only used when churn is enabled).
     churn_mean_absence: float = 120.0
+    #: Marketplace mode (docs/RETAINER.md): when set, workers are NOT
+    #: pre-connected — they arrive Poisson at this rate (per second) and, if
+    #: nothing engages them, browse off after ``worker_patience`` seconds.
+    #: Retainer policies require this mode; None keeps the classic §V-C
+    #: setup where the whole crowd is online at t = 0.
+    worker_arrival_rate: Optional[float] = None
+    #: Idle seconds before an unretained marketplace worker leaves.
+    worker_patience: float = 30.0
 
     def __post_init__(self) -> None:
         if self.n_workers < 1 or self.n_tasks < 1:
@@ -79,6 +87,16 @@ class EndToEndConfig:
             raise ValueError("churn_mean_session must be positive")
         if self.churn_mean_absence <= 0:
             raise ValueError("churn_mean_absence must be positive")
+        if self.worker_arrival_rate is not None:
+            if self.worker_arrival_rate <= 0:
+                raise ValueError("worker_arrival_rate must be positive")
+            if self.churn_mean_session is not None:
+                raise ValueError(
+                    "marketplace mode and churn are mutually exclusive "
+                    "(patience departures replace the churn process)"
+                )
+        if self.worker_patience <= 0:
+            raise ValueError("worker_patience must be positive")
 
     @property
     def horizon(self) -> float:

@@ -17,12 +17,16 @@ from ..model.task import reset_task_ids
 from ..obs.runtime import ObservabilityLike
 from ..platform.cost import CostModel, PaperCalibratedCost, ZeroCost
 from ..platform.policies import (
+    RetainerSpec,
     SchedulingPolicy,
     greedy_policy,
     react_policy,
+    react_retainer_policy,
     traditional_policy,
 )
 from ..platform.server import REACTServer
+from ..retainer.pool import RetainerPool
+from ..retainer.recruit import RetainerRecruiter, charge_task_payments
 from ..sim.engine import Engine
 from ..sim.events import EventKind
 from ..sim.process import GeneratorProcess
@@ -30,6 +34,7 @@ from ..sim.rng import (
     STREAM_ARRIVALS,
     STREAM_CHURN,
     STREAM_TASKS,
+    STREAM_WORKER_ARRIVALS,
     STREAM_WORKER_POPULATION,
     RngRegistry,
 )
@@ -41,6 +46,28 @@ from ..workload.population import PopulationConfig, generate_population
 from .config import EndToEndConfig
 
 logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RetainerRunStats:
+    """Supply-side accounting of one marketplace-mode run.
+
+    Produced for every marketplace run — a plain on-demand policy gets
+    zero wage spend, which is what makes the cost columns of the retainer
+    comparison directly comparable.
+    """
+
+    pool_capacity: int
+    workers_arrived: int
+    workers_retained: int
+    walk_ins: int
+    patience_departures: int
+    releases: int
+    repooled: int
+    wage_cost: float
+    assignment_cost: float
+    total_cost: float
+    cost_per_completed: float
 
 
 @dataclass
@@ -58,6 +85,10 @@ class EndToEndResult:
     batches: int
     max_batch_tasks: int
     metrics: MetricsCollector
+    #: p95 of submission→completion latency (the retainer headline metric).
+    p95_total_time: Optional[float] = None
+    #: Marketplace/retainer accounting; None outside marketplace mode.
+    retainer: Optional[RetainerRunStats] = None
 
 
 #: Fixed per-invocation server cost (graph construction + marshalling) in
@@ -88,6 +119,11 @@ def run_endtoend(
         "endtoend: policy=%s seed=%d tasks=%d workers=%d",
         policy.name, config.seed, config.n_tasks, config.n_workers,
     )
+    if policy.retainer is not None and config.worker_arrival_rate is None:
+        raise ValueError(
+            f"policy {policy.name!r} has a retainer but the config is not in "
+            "marketplace mode; set EndToEndConfig.worker_arrival_rate"
+        )
     reset_task_ids()
     engine = Engine()
     rng = RngRegistry(seed=config.seed)
@@ -103,9 +139,40 @@ def run_endtoend(
         rng.stream(STREAM_WORKER_POPULATION),
         PopulationConfig(size=config.n_workers),
     )
-    for profile, behavior in population:
-        server.add_worker(profile, behavior)
+
+    pool: Optional[RetainerPool] = None
+    recruiter: Optional[RetainerRecruiter] = None
+    if config.worker_arrival_rate is not None:
+        # Marketplace mode: the crowd arrives over time; a retainer policy
+        # banks arrivals into a paid pool, an on-demand policy lets them
+        # browse (and leave after `worker_patience` idle seconds).
+        spec = policy.retainer
+        if spec is not None:
+            pool = RetainerPool(
+                engine,
+                capacity=spec.size,
+                cost=spec.cost_config(),
+                release_latency=spec.release_latency,
+                observability=observability,
+            )
+        recruiter = RetainerRecruiter(
+            engine,
+            server,
+            supply=population,
+            gaps=poisson_gaps(
+                config.worker_arrival_rate, rng.stream(STREAM_WORKER_ARRIVALS)
+            ),
+            patience=config.worker_patience,
+            pool=pool,
+            sweep_interval=spec.sweep_interval if spec is not None else 1.0,
+            observability=observability,
+        )
+    else:
+        for profile, behavior in population:
+            server.add_worker(profile, behavior)
     server.start()
+    if recruiter is not None:
+        recruiter.start(prefill=policy.retainer.size if policy.retainer else 0)
 
     churn: Optional[ChurnProcess] = None
     if config.churn_mean_session is not None:
@@ -131,16 +198,23 @@ def run_endtoend(
 
     def on_arrival(_payload: object) -> None:
         server.submit_task(generator.make(submitted_at=engine.now))
+        if recruiter is not None:
+            recruiter.notify_demand()
 
     GeneratorProcess(engine, gaps, on_arrival, kind=EventKind.TASK_ARRIVAL)
 
     engine.run(until=config.horizon)
     if churn is not None:
         churn.stop()
+    if recruiter is not None:
+        recruiter.stop()
     server.stop()
     server.metrics.check_conservation()
 
     metrics = server.metrics
+    retainer_stats: Optional[RetainerRunStats] = None
+    if recruiter is not None:
+        retainer_stats = _settle_retainer(policy, metrics, pool, recruiter)
     logger.info(
         "endtoend: policy=%s done received=%d completed=%d on_time=%d",
         policy.name, metrics.received, metrics.completed, metrics.completed_on_time,
@@ -159,12 +233,91 @@ def run_endtoend(
             (b.n_tasks for b in server.scheduling.batches), default=0
         ),
         metrics=metrics,
+        p95_total_time=metrics.total_time_percentiles().get(95),
+        retainer=retainer_stats,
+    )
+
+
+def _settle_retainer(
+    policy: SchedulingPolicy,
+    metrics: MetricsCollector,
+    pool: Optional[RetainerPool],
+    recruiter: RetainerRecruiter,
+) -> RetainerRunStats:
+    """Close the economic books of one marketplace run."""
+    stats = recruiter.stats
+    if pool is None:
+        # On-demand baseline: no wage, flat payment per completed task —
+        # keeps the cost columns comparable across the policy pair.
+        spec = RetainerSpec()
+        assignment_cost = spec.task_payment * metrics.completed
+        return RetainerRunStats(
+            pool_capacity=0,
+            workers_arrived=stats.arrived,
+            workers_retained=0,
+            walk_ins=stats.walk_ins,
+            patience_departures=stats.patience_departures,
+            releases=0,
+            repooled=0,
+            wage_cost=0.0,
+            assignment_cost=assignment_cost,
+            total_cost=assignment_cost,
+            cost_per_completed=(
+                assignment_cost / metrics.completed if metrics.completed else 0.0
+            ),
+        )
+    charge_task_payments(
+        pool,
+        [(o.final_worker, o.worker_time) for o in metrics.outcomes],
+    )
+    ledger = pool.ledger
+    assert policy.retainer is not None  # checked in run_endtoend
+    return RetainerRunStats(
+        pool_capacity=policy.retainer.size,
+        workers_arrived=stats.arrived,
+        workers_retained=stats.retained,
+        walk_ins=stats.walk_ins,
+        patience_departures=stats.patience_departures,
+        releases=stats.releases_requested,
+        repooled=stats.repooled,
+        wage_cost=ledger.retainer_cost,
+        assignment_cost=ledger.assignment_cost,
+        total_cost=ledger.total_cost,
+        cost_per_completed=ledger.cost_per_task(metrics.completed),
     )
 
 
 def default_policies() -> Sequence[SchedulingPolicy]:
     """The three §V-C techniques with the paper's parameters."""
     return (react_policy(cycles=1000), greedy_policy(), traditional_policy())
+
+
+def retainer_policies(spec: Optional[RetainerSpec] = None) -> Sequence[SchedulingPolicy]:
+    """The retainer comparison pair: plain REACT vs REACT + retainer.
+
+    Both run in marketplace mode on the same seed, so they face identical
+    worker-arrival and task-arrival traces; only the supply treatment
+    differs.
+    """
+    return (react_policy(cycles=1000), react_retainer_policy(retainer=spec))
+
+
+def run_retainer_comparison(
+    config: EndToEndConfig,
+    spec: Optional[RetainerSpec] = None,
+    observability_factory: Optional[Callable[[str], ObservabilityLike]] = None,
+) -> Dict[str, EndToEndResult]:
+    """REACT with and without a retainer pool under one marketplace workload."""
+    if config.worker_arrival_rate is None:
+        raise ValueError(
+            "retainer comparison needs marketplace mode; "
+            "set EndToEndConfig.worker_arrival_rate"
+        )
+    return run_comparison(
+        config,
+        policies=retainer_policies(spec),
+        observability_factory=observability_factory,
+    )
 
 
 def run_comparison(

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import csv
 import json
+from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, Iterable, List, Sequence, Union
 
@@ -74,6 +75,54 @@ def export_endtoend(
     }
     summary_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
     written.append(summary_path)
+    return written
+
+
+def export_retainer(
+    results: Dict[str, EndToEndResult], directory: PathLike
+) -> List[Path]:
+    """Retainer comparison data: per-policy CSV row + full summary JSON."""
+    directory = Path(directory)
+    csv_path = directory / "retainer_comparison.csv"
+    _write_csv(
+        csv_path,
+        ["policy", "completed", "on_time_fraction", "p95_total_time",
+         "avg_total_time", "pool_capacity", "workers_retained", "walk_ins",
+         "patience_departures", "releases", "wage_cost", "assignment_cost",
+         "total_cost", "cost_per_completed"],
+        (
+            (
+                name,
+                int(r.summary["completed"]),
+                f"{r.summary['on_time_fraction']:.4f}",
+                "" if r.p95_total_time is None else f"{r.p95_total_time:.3f}",
+                "" if r.avg_total_time is None else f"{r.avg_total_time:.3f}",
+                r.retainer.pool_capacity if r.retainer else 0,
+                r.retainer.workers_retained if r.retainer else 0,
+                r.retainer.walk_ins if r.retainer else 0,
+                r.retainer.patience_departures if r.retainer else 0,
+                r.retainer.releases if r.retainer else 0,
+                f"{r.retainer.wage_cost:.4f}" if r.retainer else "0.0000",
+                f"{r.retainer.assignment_cost:.4f}" if r.retainer else "0.0000",
+                f"{r.retainer.total_cost:.4f}" if r.retainer else "0.0000",
+                f"{r.retainer.cost_per_completed:.6f}" if r.retainer else "",
+            )
+            for name, r in results.items()
+        ),
+    )
+    written = [csv_path]
+    json_path = directory / "retainer_summary.json"
+    json_path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        name: {
+            **r.summary,
+            "p95_total_time": r.p95_total_time,
+            "retainer": None if r.retainer is None else asdict(r.retainer),
+        }
+        for name, r in results.items()
+    }
+    json_path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    written.append(json_path)
     return written
 
 

@@ -77,6 +77,51 @@ def report_endtoend(results: Dict[str, EndToEndResult]) -> str:
     return "\n".join(lines)
 
 
+def report_retainer(results: Dict[str, EndToEndResult]) -> str:
+    """Retainer comparison: latency and spend, REACT vs REACT + retainer.
+
+    Both runs share one marketplace workload (same seed ⇒ same task and
+    worker arrival traces); the table shows what banking arrivals on a paid
+    retainer buys (p95 submission→completion latency) and what it costs.
+    """
+    lines = [
+        "# Retainer comparison — marketplace mode (docs/RETAINER.md)",
+        "# model: Bernstein et al. retainer; analytic baselines in"
+        " repro.retainer.analytic",
+        f"{'policy':<16}{'completed':>10}{'on-time':>9}{'p95_total':>11}"
+        f"{'avg_total':>11}{'wage':>9}{'cost/task':>11}",
+    ]
+    for name, result in results.items():
+        summary = result.summary
+        retainer = result.retainer
+        p95 = f"{result.p95_total_time:.1f}" if result.p95_total_time else "n/a"
+        avg = f"{result.avg_total_time:.1f}" if result.avg_total_time else "n/a"
+        wage = f"{retainer.wage_cost:.2f}" if retainer else "0.00"
+        cpc = f"{retainer.cost_per_completed:.4f}" if retainer else "n/a"
+        lines.append(
+            f"{name:<16}"
+            f"{int(summary['completed']):>10d}"
+            f"{summary['on_time_fraction']:>8.1%}"
+            f"{p95:>11}"
+            f"{avg:>11}"
+            f"{wage:>9}"
+            f"{cpc:>11}"
+        )
+    for name, result in results.items():
+        retainer = result.retainer
+        if retainer is None or retainer.pool_capacity == 0:
+            continue
+        lines.append(
+            f"# {name}: pool={retainer.pool_capacity}"
+            f" retained={retainer.workers_retained}"
+            f" walk-ins={retainer.walk_ins}"
+            f" releases={retainer.releases}"
+            f" re-pooled={retainer.repooled}"
+            f" departures={retainer.patience_departures}"
+        )
+    return "\n".join(lines)
+
+
 def report_fig5(results: Dict[str, EndToEndResult]) -> str:
     """Fig. 5: cumulative tasks finished before deadline."""
     blocks = ["# Fig. 5 — tasks finished before deadline vs. tasks received"]

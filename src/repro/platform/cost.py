@@ -1,4 +1,4 @@
-"""Matcher-latency cost models.
+"""Matcher-latency cost models and retainer payment accounting.
 
 The paper's end-to-end results (Figs. 5-10) are driven by the *time the
 matching algorithm takes on the server*: while Greedy grinds through its
@@ -30,6 +30,15 @@ an explicit cost model instead of wall-clock:
 * :class:`ZeroCost` — instantaneous matching, for pure-algorithm studies.
 * :class:`MeasuredCost` — charges this process's real wall-clock times a
   scale factor, for sensitivity checks of the calibration itself.
+
+The second half of the module is the platform's *economic* ledger
+(:class:`RetainerCostConfig` / :class:`RetainerLedger`): retainer-pool
+recruiting (docs/RETAINER.md) pays workers a wage while they idle on
+retainer plus a flat payment per executed assignment.  The ledger keeps a
+per-worker account so experiment reports can attribute spend, and its
+invariants — cost monotone in time on retainer, zero-duration assignments
+cost zero, totals equal the sum of the per-worker accounts — are
+property-tested in ``tests/platform/test_cost_properties.py``.
 """
 
 from __future__ import annotations
@@ -37,6 +46,7 @@ from __future__ import annotations
 import abc
 import math
 from dataclasses import dataclass
+from typing import Dict
 
 
 @dataclass(frozen=True)
@@ -140,3 +150,123 @@ class MeasuredCost(CostModel):
 
     def from_measurement(self, wall_seconds: float) -> float:
         return wall_seconds * self.scale
+
+
+# =====================================================================
+# Retainer payment accounting (docs/RETAINER.md)
+# =====================================================================
+@dataclass(frozen=True)
+class RetainerCostConfig:
+    """Payment schedule of a retainer pool.
+
+    ``wage_per_second`` is paid to a worker for every second he is *held*
+    idle on retainer (the Bernstein et al. "small payment to be on call");
+    ``task_payment`` is the flat price of one executed assignment.
+    """
+
+    wage_per_second: float = 0.01
+    task_payment: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.wage_per_second < 0:
+            raise ValueError(
+                f"wage_per_second must be non-negative, got {self.wage_per_second}"
+            )
+        if self.task_payment < 0:
+            raise ValueError(
+                f"task_payment must be non-negative, got {self.task_payment}"
+            )
+
+
+@dataclass
+class WorkerAccount:
+    """One worker's running totals in a :class:`RetainerLedger`."""
+
+    retainer_seconds: float = 0.0
+    retainer_cost: float = 0.0
+    assignments_paid: int = 0
+    assignment_cost: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return self.retainer_cost + self.assignment_cost
+
+
+class RetainerLedger:
+    """Per-worker account book for retainer wages and task payments.
+
+    All mutation goes through :meth:`accrue_hold` (idle-on-retainer wage)
+    and :meth:`charge_assignment` (flat payment per non-empty execution);
+    totals are derived, never stored, so they cannot drift from the
+    per-worker accounts.
+    """
+
+    def __init__(self, config: RetainerCostConfig) -> None:
+        self.config = config
+        self._accounts: Dict[int, WorkerAccount] = {}
+
+    # ----------------------------------------------------------- mutation
+    def accrue_hold(self, worker_id: int, seconds: float) -> float:
+        """Charge the retainer wage for ``seconds`` of idle hold time.
+
+        Returns the cost charged.  Monotone: a longer hold never costs
+        less, and zero seconds cost zero.
+        """
+        if seconds < 0:
+            raise ValueError(f"hold seconds must be non-negative, got {seconds}")
+        account = self._accounts.setdefault(worker_id, WorkerAccount())
+        cost = self.config.wage_per_second * seconds
+        account.retainer_seconds += seconds
+        account.retainer_cost += cost
+        return cost
+
+    def charge_assignment(self, worker_id: int, duration: float) -> float:
+        """Charge the flat task payment for one executed assignment.
+
+        A zero-duration assignment performed no work and costs zero (the
+        worker never held the task); negative durations are rejected.
+        """
+        if duration < 0:
+            raise ValueError(f"duration must be non-negative, got {duration}")
+        account = self._accounts.setdefault(worker_id, WorkerAccount())
+        if duration == 0:
+            return 0.0
+        account.assignments_paid += 1
+        account.assignment_cost += self.config.task_payment
+        return self.config.task_payment
+
+    # ------------------------------------------------------------ queries
+    def account(self, worker_id: int) -> WorkerAccount:
+        """The (possibly empty) account of one worker."""
+        return self._accounts.get(worker_id, WorkerAccount())
+
+    def accounts(self) -> Dict[int, WorkerAccount]:
+        """Per-worker accounts keyed by worker id (a live view is not given)."""
+        return dict(self._accounts)
+
+    @property
+    def retainer_cost(self) -> float:
+        return sum(a.retainer_cost for a in self._accounts.values())
+
+    @property
+    def retainer_seconds(self) -> float:
+        return sum(a.retainer_seconds for a in self._accounts.values())
+
+    @property
+    def assignment_cost(self) -> float:
+        return sum(a.assignment_cost for a in self._accounts.values())
+
+    @property
+    def assignments_paid(self) -> int:
+        return sum(a.assignments_paid for a in self._accounts.values())
+
+    @property
+    def total_cost(self) -> float:
+        """Grand total — by construction the sum of per-worker totals."""
+        return sum(a.total for a in self._accounts.values())
+
+    def cost_per_task(self, completed_tasks: int) -> float:
+        """Total spend attributed to each of ``completed_tasks`` tasks."""
+        if completed_tasks <= 0:
+            return 0.0
+        return self.total_cost / completed_tasks

@@ -16,12 +16,49 @@ experiment harnesses can swap techniques declaratively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Optional
 
 from ..core.matching.base import Matcher
 from ..core.matching.registry import create_matcher
 from ..core.weights import WeightFunction, make_weight_function
-from .cost import CostModel, PaperCalibratedCost
+from .cost import CostModel, PaperCalibratedCost, RetainerCostConfig
+
+
+@dataclass(frozen=True)
+class RetainerSpec:
+    """Retainer-pool recruiting attached to a scheduling policy.
+
+    When set on a :class:`SchedulingPolicy`, the end-to-end harness runs a
+    marketplace (workers arrive over time instead of pre-connecting) and
+    holds up to ``size`` of them on paid retainer ahead of the matcher —
+    the Bernstein et al. model implemented in :mod:`repro.retainer`.
+    """
+
+    #: Pool capacity c; ``repro.retainer.analytic.optimal_pool_size`` gives
+    #: the budget-optimal choice for a given (lam, mu, wage, wait-cost).
+    size: int = 20
+    wage_per_second: float = 0.01
+    task_payment: float = 0.05
+    #: Seconds between a release alert and the worker rejoining the matcher
+    #: (the "come back to the tab" delay).
+    release_latency: float = 0.5
+    #: Period of the recruiter sweep (re-pooling, patience culls).
+    sweep_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError(f"retainer size must be >= 1, got {self.size}")
+        if self.wage_per_second < 0 or self.task_payment < 0:
+            raise ValueError("retainer payments must be non-negative")
+        if self.release_latency < 0:
+            raise ValueError("release_latency must be non-negative")
+        if self.sweep_interval <= 0:
+            raise ValueError("sweep_interval must be positive")
+
+    def cost_config(self) -> RetainerCostConfig:
+        return RetainerCostConfig(
+            wage_per_second=self.wage_per_second, task_payment=self.task_payment
+        )
 
 
 @dataclass(frozen=True)
@@ -76,6 +113,10 @@ class SchedulingPolicy:
     #: randomized matchers only ever touch the batch subgraph they flip
     #: edges in, so they stay charged on the batch (Fig. 3 calibration).
     charge_region_graph: bool = False
+    #: Retainer-pool recruiting (docs/RETAINER.md); None = on-demand only.
+    #: Policies with a retainer require the harness's marketplace mode
+    #: (``EndToEndConfig.worker_arrival_rate``).
+    retainer: Optional[RetainerSpec] = None
 
     def __post_init__(self) -> None:
         if self.batch_threshold < 1:
@@ -163,6 +204,27 @@ def traditional_policy(**overrides: Any) -> SchedulingPolicy:
         weight_function_name="constant",
         use_probabilistic_model=False,
         assign_expired=True,
+        **overrides,
+    )
+
+
+def react_retainer_policy(
+    retainer: Optional[RetainerSpec] = None,
+    cycles: int = 1000,
+    **overrides: Any,
+) -> SchedulingPolicy:
+    """REACT plus a retainer pool ahead of the matcher.
+
+    Identical scheduling behaviour to :func:`react_policy`; the difference
+    is supply-side — arriving workers are banked on paid retainer and
+    released to demand within ``retainer.release_latency`` seconds instead
+    of browsing off if nothing is queued.
+    """
+    return SchedulingPolicy(
+        name="react_retainer",
+        matcher_name="react",
+        cycles=cycles,
+        retainer=retainer if retainer is not None else RetainerSpec(),
         **overrides,
     )
 

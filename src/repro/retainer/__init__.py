@@ -1,0 +1,67 @@
+"""Retainer-pool recruiting: closed-form model, pool, and marketplace driver.
+
+Implements the Bernstein/Karger/Miller retainer model referenced by the
+ROADMAP (see docs/RETAINER.md):
+
+* :mod:`repro.retainer.analytic` — M/M/c closed forms (Erlang-C waits,
+  occupancy, cost per task, optimal pool size), pure numpy, no simulation;
+* :mod:`repro.retainer.pool` — the simulated pool of paid standby workers
+  with release latency and per-worker wage accounting;
+* :mod:`repro.retainer.recruit` — the marketplace supply driver that holds
+  arriving workers on retainer ahead of the REACT matcher;
+* :mod:`repro.retainer.validate` — the harness behind ``tests/validation/``
+  checking simulation against the closed forms on a (lam, mu, c) grid.
+"""
+
+from .analytic import (
+    PoolPredictions,
+    cost_per_task,
+    erlang_b,
+    erlang_c,
+    mean_queue_length,
+    mean_wait,
+    occupancy,
+    offered_load,
+    optimal_pool_size,
+    predict,
+    stationary_distribution,
+    wait_tail,
+)
+from .pool import ReleaseCallback, RetainerPool
+from .recruit import RecruiterStats, RetainerRecruiter, charge_task_payments
+from .validate import (
+    DEFAULT_GRID,
+    MetricCheck,
+    PointValidation,
+    PoolSample,
+    simulate_pool,
+    validate_grid,
+    validate_point,
+)
+
+__all__ = [
+    "DEFAULT_GRID",
+    "MetricCheck",
+    "PointValidation",
+    "PoolPredictions",
+    "PoolSample",
+    "RecruiterStats",
+    "ReleaseCallback",
+    "RetainerPool",
+    "RetainerRecruiter",
+    "charge_task_payments",
+    "cost_per_task",
+    "erlang_b",
+    "erlang_c",
+    "mean_queue_length",
+    "mean_wait",
+    "occupancy",
+    "offered_load",
+    "optimal_pool_size",
+    "predict",
+    "simulate_pool",
+    "stationary_distribution",
+    "validate_grid",
+    "validate_point",
+    "wait_tail",
+]

@@ -1,0 +1,254 @@
+"""Closed-form retainer-pool model (Bernstein, Karger & Miller).
+
+*Analytic Methods for Optimizing Realtime Crowdsourcing* models a retainer
+pool as an M/M/c queue: tasks arrive Poisson at rate ``lam``, each occupies
+one retainer worker for an exponential service time with rate ``mu``, and
+``c`` workers are held on paid retainer.  Everything the simulator is
+validated against in ``tests/validation/`` comes from this module — steady
+state probabilities, the Erlang-C wait probability, the wait-time
+distribution, per-task cost, and the budget-optimal pool size — computed
+with the numerically stable Erlang-B recursion (no factorials), pure
+numpy/math, no simulation.
+
+Notation (standard M/M/c):
+
+* offered load ``a = lam / mu`` (expected number of busy workers),
+* per-worker occupancy ``rho = a / c`` (< 1 for a stable pool),
+* Erlang-B ``B(c, a)``: blocking probability of the loss system, via the
+  recursion ``B(0) = 1``, ``B(k) = a B(k-1) / (k + a B(k-1))``,
+* Erlang-C ``C(c, a) = c B / (c - a (1 - B))``: probability an arriving
+  task finds all ``c`` workers busy (PASTA) and must wait,
+* waiting time ``W``: ``P(W > t) = C(c, a) exp(-(c mu - lam) t)``, hence
+  ``E[W] = C(c, a) / (c mu - lam)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+
+def offered_load(arrival_rate: float, service_rate: float) -> float:
+    """``a = lam / mu``: mean number of simultaneously busy workers."""
+    if arrival_rate <= 0:
+        raise ValueError(f"arrival_rate must be positive, got {arrival_rate}")
+    if service_rate <= 0:
+        raise ValueError(f"service_rate must be positive, got {service_rate}")
+    return arrival_rate / service_rate
+
+
+def _check_capacity(capacity: int) -> None:
+    if capacity < 1 or capacity != int(capacity):
+        raise ValueError(f"capacity must be a positive integer, got {capacity}")
+
+
+def erlang_b(capacity: int, load: float) -> float:
+    """Erlang-B blocking probability via the standard recursion.
+
+    Numerically stable for large ``capacity``/``load`` where the factorial
+    formula overflows; exact for the loss system M/M/c/c.
+    """
+    _check_capacity(capacity)
+    if load < 0:
+        raise ValueError(f"load must be non-negative, got {load}")
+    b = 1.0
+    for k in range(1, capacity + 1):
+        b = load * b / (k + load * b)
+    return b
+
+
+def erlang_c(capacity: int, load: float) -> float:
+    """Erlang-C: probability an arriving task must queue (all workers busy).
+
+    Defined for a *stable* pool (``load < capacity``); saturated pools have
+    every task wait, so 1.0 is returned when ``load >= capacity``.
+    """
+    _check_capacity(capacity)
+    if load < 0:
+        raise ValueError(f"load must be non-negative, got {load}")
+    if load >= capacity:
+        return 1.0
+    b = erlang_b(capacity, load)
+    return capacity * b / (capacity - load * (1.0 - b))
+
+
+def stationary_distribution(
+    arrival_rate: float, service_rate: float, capacity: int, n_max: int
+) -> np.ndarray:
+    """Steady-state probabilities ``p_0 .. p_{n_max}`` of the queue length.
+
+    Birth-death balance: ``p_n = p_0 a^n / n!`` for ``n <= c`` and
+    ``p_n = p_{c} rho^{n-c}`` beyond.  Used by the validation tier to
+    cross-check the Erlang-C recursion against first principles.
+    """
+    _check_capacity(capacity)
+    load = offered_load(arrival_rate, service_rate)
+    if load >= capacity:
+        raise ValueError(f"unstable pool: load {load} >= capacity {capacity}")
+    if n_max < capacity:
+        raise ValueError(f"n_max ({n_max}) must be >= capacity ({capacity})")
+    rho = load / capacity
+    # Unnormalised log-weights keep large loads finite.
+    log_w: List[float] = [0.0]
+    for n in range(1, n_max + 1):
+        rate = min(n, capacity)
+        log_w.append(log_w[-1] + math.log(load) - math.log(rate))
+    weights = np.exp(np.array(log_w) - max(log_w))
+    # The geometric tail beyond n_max belongs to p_{n_max} * rho/(1-rho)...
+    # normalise including that tail so the head probabilities are exact.
+    tail = weights[-1] * rho / (1.0 - rho)
+    return weights / (weights.sum() + tail)
+
+
+def mean_wait(arrival_rate: float, service_rate: float, capacity: int) -> float:
+    """Expected queueing delay ``E[W] = C(c, a) / (c mu - lam)`` seconds."""
+    load = offered_load(arrival_rate, service_rate)
+    _check_capacity(capacity)
+    if load >= capacity:
+        raise ValueError(f"unstable pool: load {load} >= capacity {capacity}")
+    return erlang_c(capacity, load) / (capacity * service_rate - arrival_rate)
+
+
+def wait_tail(
+    t: float, arrival_rate: float, service_rate: float, capacity: int
+) -> float:
+    """``P(W > t)``: the paper's "probability a task waits more than t"."""
+    if t < 0:
+        raise ValueError(f"t must be non-negative, got {t}")
+    load = offered_load(arrival_rate, service_rate)
+    if load >= capacity:
+        return 1.0
+    decay = capacity * service_rate - arrival_rate
+    return erlang_c(capacity, load) * math.exp(-decay * t)
+
+
+def occupancy(arrival_rate: float, service_rate: float, capacity: int) -> float:
+    """Per-worker busy fraction ``rho = a / c`` of a stable pool."""
+    load = offered_load(arrival_rate, service_rate)
+    _check_capacity(capacity)
+    if load >= capacity:
+        raise ValueError(f"unstable pool: load {load} >= capacity {capacity}")
+    return load / capacity
+
+
+def mean_queue_length(
+    arrival_rate: float, service_rate: float, capacity: int
+) -> float:
+    """Little's law on the waiting room: ``L_q = lam E[W]``."""
+    return arrival_rate * mean_wait(arrival_rate, service_rate, capacity)
+
+
+def cost_per_task(
+    arrival_rate: float,
+    service_rate: float,
+    capacity: int,
+    wage_per_second: float,
+    task_payment: float = 0.0,
+) -> float:
+    """Steady-state retainer cost attributed to one task.
+
+    The platform pays ``wage_per_second`` to every *idle* retainer worker
+    (a working worker earns the task payment instead).  In steady state
+    ``a = lam/mu`` workers are busy, so the idle-wage burn rate is
+    ``wage (c - a)`` and each of the ``lam`` tasks per second carries
+    ``wage (c - a) / lam`` of it, plus its own payment.
+    """
+    if wage_per_second < 0 or task_payment < 0:
+        raise ValueError("wage_per_second and task_payment must be non-negative")
+    load = offered_load(arrival_rate, service_rate)
+    _check_capacity(capacity)
+    if load >= capacity:
+        raise ValueError(f"unstable pool: load {load} >= capacity {capacity}")
+    return wage_per_second * (capacity - load) / arrival_rate + task_payment
+
+
+@dataclass(frozen=True)
+class PoolPredictions:
+    """Every closed-form quantity for one ``(lam, mu, c)`` operating point."""
+
+    arrival_rate: float
+    service_rate: float
+    capacity: int
+    offered_load: float
+    occupancy: float
+    wait_probability: float
+    mean_wait: float
+    mean_queue_length: float
+    cost_per_task: float
+
+
+def predict(
+    arrival_rate: float,
+    service_rate: float,
+    capacity: int,
+    wage_per_second: float = 0.0,
+    task_payment: float = 0.0,
+) -> PoolPredictions:
+    """Bundle of all closed-form predictions (the validation-tier anchor)."""
+    load = offered_load(arrival_rate, service_rate)
+    return PoolPredictions(
+        arrival_rate=arrival_rate,
+        service_rate=service_rate,
+        capacity=capacity,
+        offered_load=load,
+        occupancy=occupancy(arrival_rate, service_rate, capacity),
+        wait_probability=erlang_c(capacity, load),
+        mean_wait=mean_wait(arrival_rate, service_rate, capacity),
+        mean_queue_length=mean_queue_length(arrival_rate, service_rate, capacity),
+        cost_per_task=cost_per_task(
+            arrival_rate, service_rate, capacity, wage_per_second, task_payment
+        ),
+    )
+
+
+def optimal_pool_size(
+    arrival_rate: float,
+    service_rate: float,
+    wage_per_second: float,
+    wait_cost_per_second: float,
+    c_max: int = 10_000,
+) -> int:
+    """Budget-optimal capacity ``c*(lam, mu, budget)``.
+
+    Minimises the steady-state cost rate
+
+        ``J(c) = wage (c - a)  +  wait_cost · lam · E[W](c)``
+
+    — idle retainer wages against the (requester-side) price of keeping
+    tasks waiting.  ``J`` is convex in ``c`` over the stable range (the
+    wage term is linear, the Erlang-C delay term convex decreasing), so the
+    scan stops at the first ``c`` whose successor is no better.  The
+    Erlang-B recursion is threaded through the scan, keeping the whole
+    search O(c*).
+    """
+    if wage_per_second <= 0:
+        raise ValueError(f"wage_per_second must be positive, got {wage_per_second}")
+    if wait_cost_per_second < 0:
+        raise ValueError(
+            f"wait_cost_per_second must be non-negative, got {wait_cost_per_second}"
+        )
+    load = offered_load(arrival_rate, service_rate)
+    c_min = int(math.floor(load)) + 1
+    if c_min > c_max:
+        raise ValueError(f"load {load} needs capacity > {c_max} (raise c_max)")
+    # Erlang-B recursion up to the first stable capacity.
+    b = 1.0
+    for k in range(1, c_min + 1):
+        b = load * b / (k + load * b)
+
+    def cost(c: int, b_c: float) -> float:
+        erl_c = c * b_c / (c - load * (1.0 - b_c))
+        wait = erl_c / (c * service_rate - arrival_rate)
+        return wage_per_second * (c - load) + wait_cost_per_second * arrival_rate * wait
+
+    best_c, best_cost = c_min, cost(c_min, b)
+    for c in range(c_min + 1, c_max + 1):
+        b = load * b / (c + load * b)
+        j = cost(c, b)
+        if j >= best_cost:
+            return best_c
+        best_c, best_cost = c, j
+    raise ValueError(f"no optimum below c_max={c_max}")  # pragma: no cover

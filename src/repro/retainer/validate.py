@@ -1,0 +1,323 @@
+"""Simulation-vs-closed-form validation of the retainer pool.
+
+This module is the engine room of ``tests/validation/``: it drives a
+:class:`~repro.retainer.pool.RetainerPool` as a textbook M/M/c system —
+Poisson(``lam``) demand, Exp(``mu``) service, ``c`` pre-recruited workers,
+zero release latency — and measures exactly the quantities
+:mod:`repro.retainer.analytic` predicts in closed form:
+
+* mean queueing wait ``E[W]`` and the wait probability ``C(c, a)``,
+* per-worker occupancy ``rho`` (busy-time integral over the pool),
+* steady-state cost per task (idle wage burn + task payment).
+
+:func:`validate_point` repeats the simulation over independent seeds
+(:func:`~repro.sim.rng.spawn_seeds`), forms a 99% confidence interval per
+metric, and checks the closed-form value lands inside.  The intervals get
+a small relative floor (``CI_REL_FLOOR``) so a run whose across-rep
+variance collapses by luck does not fail on finite-horizon bias that the
+warmup cannot fully remove.
+
+Everything is deterministic in the root seed, so the validation tier is a
+regression test, not a flaky statistical gate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..platform.cost import RetainerCostConfig
+from ..sim.engine import Engine
+from ..sim.events import Event, EventKind
+from ..sim.process import GeneratorProcess
+from ..sim.rng import RngRegistry, spawn_seeds
+from ..workload.arrivals import poisson_gaps
+from .analytic import PoolPredictions, predict
+from .pool import RetainerPool
+
+#: z-quantile of the 99% two-sided normal confidence interval.
+Z_99 = 2.5758293035489004
+#: Relative half-width floor applied to every CI (finite-horizon allowance).
+CI_REL_FLOOR = 0.05
+#: Absolute half-width floor — keeps near-zero metrics (short waits at low
+#: occupancy) from demanding sub-millisecond agreement.
+CI_ABS_FLOOR = 1e-3
+
+
+@dataclass(frozen=True)
+class PoolSample:
+    """Post-warmup measurements of one simulated run."""
+
+    n_tasks: int
+    mean_wait: float
+    wait_probability: float
+    occupancy: float
+    cost_per_task: float
+    #: Ledger total over the whole run — cross-checked against the pool's
+    #: idle-time integral by the validation tier.
+    ledger_total: float
+    ledger_idle_seconds: float
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One closed-form value against the simulated confidence interval."""
+
+    name: str
+    analytic: float
+    simulated_mean: float
+    ci_low: float
+    ci_high: float
+
+    @property
+    def covered(self) -> bool:
+        return self.ci_low <= self.analytic <= self.ci_high
+
+    @property
+    def relative_error(self) -> float:
+        scale = max(abs(self.analytic), 1e-12)
+        return abs(self.simulated_mean - self.analytic) / scale
+
+
+@dataclass(frozen=True)
+class PointValidation:
+    """Full verdict for one ``(lam, mu, c)`` operating point."""
+
+    predictions: PoolPredictions
+    reps: int
+    checks: Tuple[MetricCheck, ...]
+
+    @property
+    def covered(self) -> bool:
+        return all(check.covered for check in self.checks)
+
+    def check(self, name: str) -> MetricCheck:
+        for candidate in self.checks:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(name)
+
+
+class _MMCHarness:
+    """One M/M/c run of the pool; integrates busy time inside the window."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        pool: RetainerPool,
+        service_rate: float,
+        service_rng: np.random.Generator,
+        warmup: float,
+        horizon: float,
+    ) -> None:
+        self.engine = engine
+        self.pool = pool
+        self.service_rate = service_rate
+        self.service_rng = service_rng
+        self.warmup = warmup
+        self.horizon = horizon
+        self.waits: List[float] = []
+        self.busy_seconds = 0.0
+        self._busy = 0
+        self._last_change = 0.0
+
+    # Busy-time integral, clipped to the measurement window [warmup, horizon].
+    def _integrate_to(self, now: float) -> None:
+        lo = max(self._last_change, self.warmup)
+        hi = min(now, self.horizon)
+        if hi > lo:
+            self.busy_seconds += self._busy * (hi - lo)
+        self._last_change = now
+
+    def on_task(self, _payload: object) -> None:
+        arrived = self.engine.now
+        if arrived >= self.horizon:
+            return
+
+        def dispatched(worker_id: int, waited: float) -> None:
+            if arrived >= self.warmup:
+                self.waits.append(waited)
+            self._integrate_to(self.engine.now)
+            self._busy += 1
+            service = float(self.service_rng.exponential(1.0 / self.service_rate))
+            self.engine.schedule(
+                service, EventKind.TASK_COMPLETION, self._complete, payload=worker_id
+            )
+
+        self.pool.request(dispatched)
+
+    def _complete(self, event: Event) -> None:
+        self._integrate_to(self.engine.now)
+        self._busy -= 1
+        self.pool.return_worker(int(event.payload))
+
+    def finish(self) -> None:
+        self._integrate_to(self.engine.now)
+
+
+def simulate_pool(
+    arrival_rate: float,
+    service_rate: float,
+    capacity: int,
+    seed: int,
+    horizon: float = 400.0,
+    warmup: float = 50.0,
+    wage_per_second: float = 0.01,
+    task_payment: float = 0.05,
+) -> PoolSample:
+    """Run the pool as M/M/c for ``horizon`` simulated seconds.
+
+    Statistics cover ``[warmup, horizon]`` only; the ledger covers the whole
+    run (it is the platform's account book, not a windowed estimator).
+    """
+    if warmup < 0 or horizon <= warmup:
+        raise ValueError(f"need 0 <= warmup < horizon, got {warmup}, {horizon}")
+    engine = Engine()
+    registry = RngRegistry(seed)
+    pool = RetainerPool(
+        engine,
+        capacity=capacity,
+        cost=RetainerCostConfig(
+            wage_per_second=wage_per_second, task_payment=task_payment
+        ),
+        release_latency=0.0,
+    )
+    for worker_id in range(capacity):
+        pool.add_worker(worker_id)
+    harness = _MMCHarness(
+        engine,
+        pool,
+        service_rate,
+        registry.stream("mmc-service"),
+        warmup=warmup,
+        horizon=horizon,
+    )
+    GeneratorProcess(
+        engine,
+        poisson_gaps(arrival_rate, registry.stream("mmc-arrivals")),
+        harness.on_task,
+        kind=EventKind.TASK_ARRIVAL,
+    )
+    # Drain: run past the horizon so in-flight services complete, but stop
+    # measuring (the harness clips its integrals at `horizon`).
+    engine.run(until=horizon)
+    harness.finish()
+    pool.cancel_requests()
+    pool.settle()
+
+    waits = np.asarray(harness.waits, dtype=float)
+    n_tasks = int(waits.size)
+    window = horizon - warmup
+    occ = harness.busy_seconds / (capacity * window)
+    idle_seconds = capacity * window - harness.busy_seconds
+    completed = n_tasks if n_tasks else 1
+    cost = (wage_per_second * idle_seconds + task_payment * n_tasks) / completed
+    return PoolSample(
+        n_tasks=n_tasks,
+        mean_wait=float(waits.mean()) if n_tasks else 0.0,
+        wait_probability=float((waits > 0.0).mean()) if n_tasks else 0.0,
+        occupancy=occ,
+        cost_per_task=cost,
+        ledger_total=pool.ledger.total_cost,
+        ledger_idle_seconds=pool.ledger.retainer_seconds,
+    )
+
+
+def _interval(values: Sequence[float], analytic: float, name: str) -> MetricCheck:
+    arr = np.asarray(values, dtype=float)
+    mean = float(arr.mean())
+    sem = float(arr.std(ddof=1) / math.sqrt(arr.size)) if arr.size > 1 else 0.0
+    half = max(Z_99 * sem, CI_REL_FLOOR * abs(analytic), CI_ABS_FLOOR)
+    return MetricCheck(
+        name=name,
+        analytic=analytic,
+        simulated_mean=mean,
+        ci_low=mean - half,
+        ci_high=mean + half,
+    )
+
+
+def validate_point(
+    arrival_rate: float,
+    service_rate: float,
+    capacity: int,
+    seed: int = 0,
+    reps: int = 5,
+    horizon: float = 400.0,
+    warmup: float = 50.0,
+    wage_per_second: float = 0.01,
+    task_payment: float = 0.05,
+) -> PointValidation:
+    """Simulate ``reps`` independent runs and test them against closed form."""
+    if reps < 2:
+        raise ValueError(f"reps must be >= 2 for a confidence interval, got {reps}")
+    predictions = predict(
+        arrival_rate,
+        service_rate,
+        capacity,
+        wage_per_second=wage_per_second,
+        task_payment=task_payment,
+    )
+    samples = [
+        simulate_pool(
+            arrival_rate,
+            service_rate,
+            capacity,
+            seed=child,
+            horizon=horizon,
+            warmup=warmup,
+            wage_per_second=wage_per_second,
+            task_payment=task_payment,
+        )
+        for child in spawn_seeds(seed, reps)
+    ]
+    checks = (
+        _interval([s.mean_wait for s in samples], predictions.mean_wait, "mean_wait"),
+        _interval(
+            [s.wait_probability for s in samples],
+            predictions.wait_probability,
+            "wait_probability",
+        ),
+        _interval([s.occupancy for s in samples], predictions.occupancy, "occupancy"),
+        _interval(
+            [s.cost_per_task for s in samples],
+            predictions.cost_per_task,
+            "cost_per_task",
+        ),
+    )
+    return PointValidation(predictions=predictions, reps=reps, checks=checks)
+
+
+#: The default (lam, mu, c) validation grid: nine stable operating points
+#: spanning per-worker occupancies from 0.5 to 0.8 and pools of 2-8 workers.
+DEFAULT_GRID: Tuple[Tuple[float, float, int], ...] = (
+    (2.0, 1.0, 3),
+    (4.0, 1.0, 5),
+    (1.0, 0.5, 4),
+    (3.0, 1.5, 4),
+    (5.0, 1.0, 8),
+    (0.5, 0.25, 3),
+    (2.0, 2.0, 2),
+    (6.0, 2.0, 4),
+    (1.5, 0.5, 5),
+)
+
+
+def validate_grid(
+    grid: Optional[Iterable[Tuple[float, float, int]]] = None,
+    seed: int = 0,
+    reps: int = 5,
+    horizon: float = 400.0,
+    warmup: float = 50.0,
+) -> List[PointValidation]:
+    """Validate every point of ``grid`` (default :data:`DEFAULT_GRID`)."""
+    points = DEFAULT_GRID if grid is None else tuple(grid)
+    return [
+        validate_point(
+            lam, mu, c, seed=seed, reps=reps, horizon=horizon, warmup=warmup
+        )
+        for lam, mu, c in points
+    ]

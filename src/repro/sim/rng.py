@@ -142,3 +142,4 @@ STREAM_MATCHER = "matcher"
 STREAM_TASKS = "tasks"
 STREAM_CHURN = "churn"
 STREAM_CHAOS = "chaos"
+STREAM_WORKER_ARRIVALS = "worker-arrivals"

@@ -258,6 +258,14 @@ class MetricsCollector:
         values = np.percentile(times, qs)
         return dict(zip(qs, (float(v) for v in values)))
 
+    def total_time_percentiles(self, qs: tuple[float, ...] = (50, 95, 99)) -> Dict[float, float]:
+        """Submission→completion latency percentiles (retainer comparison)."""
+        times = [o.total_time for o in self.outcomes if o.total_time is not None]
+        if not times:
+            return {}
+        values = np.percentile(times, qs)
+        return dict(zip(qs, (float(v) for v in values)))
+
     def check_conservation(self) -> None:
         """Invariant: every received task is completed, expired, or in flight.
 

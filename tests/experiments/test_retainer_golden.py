@@ -1,0 +1,134 @@
+"""Golden-file tests of the retainer report and export formats.
+
+The fixtures are hand-constructed results (no simulation), so the goldens
+pin the *formatting* contract — column layout, rounding, JSON shape —
+independently of any engine behaviour.  Regenerate after an intentional
+format change with:
+
+    PYTHONPATH=src python tests/experiments/test_retainer_golden.py
+"""
+
+import csv
+import json
+from pathlib import Path
+
+from repro.experiments.config import EndToEndConfig
+from repro.experiments.endtoend import EndToEndResult, RetainerRunStats
+from repro.experiments.export import export_retainer
+from repro.experiments.reporting import report_retainer
+from repro.stats.metrics import MetricsCollector
+
+GOLDEN_DIR = Path(__file__).parent / "goldens"
+
+_CONFIG = EndToEndConfig(
+    n_workers=120,
+    arrival_rate=2.0,
+    n_tasks=400,
+    drain_time=200,
+    seed=42,
+    arrival_process="poisson",
+    worker_arrival_rate=0.5,
+    worker_patience=30.0,
+)
+
+
+def _result(name, completed, on_time_fraction, p95, avg, retainer):
+    return EndToEndResult(
+        policy_name=name,
+        config=_CONFIG,
+        summary={
+            "received": 400.0,
+            "completed": float(completed),
+            "on_time_fraction": on_time_fraction,
+        },
+        deadline_series=[(100, 80), (400, int(400 * on_time_fraction))],
+        feedback_series=[(100, 70), (400, 300)],
+        avg_worker_time=11.5,
+        avg_total_time=avg,
+        withdrawals=3,
+        batches=40,
+        max_batch_tasks=25,
+        metrics=MetricsCollector(),
+        p95_total_time=p95,
+        retainer=retainer,
+    )
+
+
+def fixture_results():
+    """A deterministic, hand-written comparison pair."""
+    on_demand = RetainerRunStats(
+        pool_capacity=0,
+        workers_arrived=120,
+        workers_retained=0,
+        walk_ins=120,
+        patience_departures=120,
+        releases=0,
+        repooled=0,
+        wage_cost=0.0,
+        assignment_cost=9.25,
+        total_cost=9.25,
+        cost_per_completed=0.05,
+    )
+    retained = RetainerRunStats(
+        pool_capacity=20,
+        workers_arrived=120,
+        workers_retained=20,
+        walk_ins=100,
+        patience_departures=100,
+        releases=121,
+        repooled=121,
+        wage_cost=35.5770,
+        assignment_cost=11.05,
+        total_cost=46.6270,
+        cost_per_completed=0.21098,
+    )
+    return {
+        "react": _result("react", 185, 0.4575, 86.9795, 50.1234, on_demand),
+        "react_retainer": _result(
+            "react_retainer", 221, 0.5525, 83.0807, 47.9876, retained
+        ),
+    }
+
+
+class TestReportGolden:
+    def test_report_matches_golden(self):
+        text = report_retainer(fixture_results())
+        golden = (GOLDEN_DIR / "retainer_report.txt").read_text()
+        assert text == golden
+
+
+class TestExportGolden:
+    def test_csv_matches_golden(self, tmp_path):
+        export_retainer(fixture_results(), tmp_path)
+        got = (tmp_path / "retainer_comparison.csv").read_text()
+        golden = (GOLDEN_DIR / "retainer_comparison.csv").read_text()
+        assert got == golden
+
+    def test_json_matches_golden(self, tmp_path):
+        export_retainer(fixture_results(), tmp_path)
+        got = json.loads((tmp_path / "retainer_summary.json").read_text())
+        golden = json.loads((GOLDEN_DIR / "retainer_summary.json").read_text())
+        assert got == golden
+
+    def test_csv_round_trips(self, tmp_path):
+        # Sanity beyond byte-equality: the CSV is parseable and faithful.
+        export_retainer(fixture_results(), tmp_path)
+        with (tmp_path / "retainer_comparison.csv").open() as fh:
+            rows = {r["policy"]: r for r in csv.DictReader(fh)}
+        assert set(rows) == {"react", "react_retainer"}
+        assert int(rows["react_retainer"]["pool_capacity"]) == 20
+        assert float(rows["react_retainer"]["wage_cost"]) == 35.577
+        assert rows["react"]["wage_cost"] == "0.0000"
+
+
+def regenerate():
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    results = fixture_results()
+    (GOLDEN_DIR / "retainer_report.txt").write_text(report_retainer(results))
+    for path in export_retainer(results, GOLDEN_DIR):
+        print(f"wrote {path}")
+    print(f"wrote {GOLDEN_DIR / 'retainer_report.txt'}")
+
+
+if __name__ == "__main__":
+    regenerate()

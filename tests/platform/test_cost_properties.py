@@ -1,0 +1,144 @@
+"""Property-based tests of the retainer cost ledger invariants.
+
+The comparison report's cost columns (and the analytic validation's
+cost-per-task check) rest on three ledger invariants: cost is monotone in
+hold time, zero-duration assignments cost nothing, and the grand total is
+exactly the sum of the per-worker accounts.  Hypothesis sweeps those over
+arbitrary charge interleavings.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platform.cost import RetainerCostConfig, RetainerLedger
+
+wages = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+payments = st.floats(min_value=0.0, max_value=10.0, allow_nan=False)
+hold_times = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+durations = st.floats(min_value=0.0, max_value=1e4, allow_nan=False)
+worker_ids = st.integers(min_value=0, max_value=7)
+
+# An arbitrary interleaving of ledger mutations: ("hold", wid, seconds) or
+# ("task", wid, duration).
+charges = st.lists(
+    st.one_of(
+        st.tuples(st.just("hold"), worker_ids, hold_times),
+        st.tuples(st.just("task"), worker_ids, durations),
+    ),
+    max_size=60,
+)
+
+
+def apply_charges(ledger, ops):
+    for kind, wid, amount in ops:
+        if kind == "hold":
+            ledger.accrue_hold(wid, amount)
+        else:
+            ledger.charge_assignment(wid, amount)
+
+
+class TestMonotoneCost:
+    @given(wage=wages, ops=charges, extra=hold_times, wid=worker_ids)
+    @settings(max_examples=120, deadline=None)
+    def test_longer_holds_never_cost_less(self, wage, ops, extra, wid):
+        config = RetainerCostConfig(wage_per_second=wage, task_payment=0.0)
+        ledger = RetainerLedger(config)
+        apply_charges(ledger, ops)
+        before = ledger.total_cost
+        charged = ledger.accrue_hold(wid, extra)
+        assert charged >= 0.0
+        assert ledger.total_cost >= before
+        assert ledger.total_cost == pytest.approx(before + charged)
+
+    @given(wage=wages, seconds=hold_times)
+    @settings(max_examples=80, deadline=None)
+    def test_hold_cost_is_wage_times_seconds(self, wage, seconds):
+        ledger = RetainerLedger(RetainerCostConfig(wage_per_second=wage))
+        charged = ledger.accrue_hold(1, seconds)
+        assert charged == pytest.approx(wage * seconds)
+        assert ledger.retainer_seconds == pytest.approx(seconds)
+
+
+class TestZeroCharges:
+    @given(wage=wages, payment=payments, wid=worker_ids)
+    @settings(max_examples=60, deadline=None)
+    def test_zero_duration_assignment_costs_zero(self, wage, payment, wid):
+        ledger = RetainerLedger(
+            RetainerCostConfig(wage_per_second=wage, task_payment=payment)
+        )
+        assert ledger.charge_assignment(wid, 0.0) == 0.0
+        assert ledger.total_cost == 0.0
+        assert ledger.assignments_paid == 0
+
+    @given(payment=payments, wid=worker_ids, duration=durations)
+    @settings(max_examples=60, deadline=None)
+    def test_positive_duration_charges_flat_payment(self, payment, wid, duration):
+        ledger = RetainerLedger(RetainerCostConfig(task_payment=payment))
+        charged = ledger.charge_assignment(wid, duration)
+        if duration > 0:
+            assert charged == payment
+            assert ledger.assignments_paid == 1
+        else:
+            assert charged == 0.0
+
+    @given(wage=wages, wid=worker_ids)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_hold_costs_zero(self, wage, wid):
+        ledger = RetainerLedger(RetainerCostConfig(wage_per_second=wage))
+        assert ledger.accrue_hold(wid, 0.0) == 0.0
+        assert ledger.total_cost == 0.0
+
+
+class TestTotalsAreDerived:
+    @given(wage=wages, payment=payments, ops=charges)
+    @settings(max_examples=120, deadline=None)
+    def test_total_is_sum_of_worker_accounts(self, wage, payment, ops):
+        ledger = RetainerLedger(
+            RetainerCostConfig(wage_per_second=wage, task_payment=payment)
+        )
+        apply_charges(ledger, ops)
+        accounts = ledger.accounts()
+        assert ledger.total_cost == pytest.approx(
+            math.fsum(a.total for a in accounts.values())
+        )
+        assert ledger.retainer_cost == pytest.approx(
+            math.fsum(a.retainer_cost for a in accounts.values())
+        )
+        assert ledger.assignment_cost == pytest.approx(
+            math.fsum(a.assignment_cost for a in accounts.values())
+        )
+        assert ledger.assignments_paid == sum(
+            a.assignments_paid for a in accounts.values()
+        )
+        # The two charge streams partition the total.
+        assert ledger.total_cost == pytest.approx(
+            ledger.retainer_cost + ledger.assignment_cost
+        )
+
+    @given(wage=wages, payment=payments, ops=charges, n=st.integers(1, 1000))
+    @settings(max_examples=60, deadline=None)
+    def test_cost_per_task_scales_total(self, wage, payment, ops, n):
+        ledger = RetainerLedger(
+            RetainerCostConfig(wage_per_second=wage, task_payment=payment)
+        )
+        apply_charges(ledger, ops)
+        assert ledger.cost_per_task(n) == pytest.approx(ledger.total_cost / n)
+        assert ledger.cost_per_task(0) == 0.0
+
+
+class TestRejections:
+    def test_negative_amounts_rejected(self):
+        ledger = RetainerLedger(RetainerCostConfig())
+        with pytest.raises(ValueError):
+            ledger.accrue_hold(1, -1.0)
+        with pytest.raises(ValueError):
+            ledger.charge_assignment(1, -1.0)
+
+    def test_negative_config_rejected(self):
+        with pytest.raises(ValueError):
+            RetainerCostConfig(wage_per_second=-0.01)
+        with pytest.raises(ValueError):
+            RetainerCostConfig(task_payment=-0.05)

@@ -1,0 +1,185 @@
+"""Unit tests of the closed-form retainer model against queueing theory.
+
+These pin the *analytic* side of the validation tier: textbook Erlang
+values, the M/M/1 reduction, the stationary distribution as a first
+principles cross-check of the Erlang-C recursion, and the optimal pool
+size against brute-force minimisation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.retainer import analytic
+
+
+class TestErlangB:
+    def test_textbook_value(self):
+        # Classic telephony example: a = 2 Erlangs, c = 5 lines.
+        b = analytic.erlang_b(5, 2.0)
+        # B = (2^5/5!) / sum_k 2^k/k!
+        num = 2.0**5 / math.factorial(5)
+        den = sum(2.0**k / math.factorial(k) for k in range(6))
+        assert b == pytest.approx(num / den, rel=1e-12)
+
+    def test_single_line(self):
+        # B(1, a) = a / (1 + a).
+        assert analytic.erlang_b(1, 3.0) == pytest.approx(0.75)
+
+    def test_zero_load(self):
+        assert analytic.erlang_b(4, 0.0) == 0.0
+
+    def test_monotone_decreasing_in_capacity(self):
+        values = [analytic.erlang_b(c, 5.0) for c in range(1, 20)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_large_capacity_is_finite(self):
+        # The recursion must not overflow where factorials would.
+        b = analytic.erlang_b(2000, 1900.0)
+        assert 0.0 < b < 1.0
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            analytic.erlang_b(0, 1.0)
+        with pytest.raises(ValueError):
+            analytic.erlang_b(3, -1.0)
+
+
+class TestErlangC:
+    def test_known_value(self):
+        # a = 2, c = 3: C = 4/9 (standard M/M/3 worked example).
+        assert analytic.erlang_c(3, 2.0) == pytest.approx(4.0 / 9.0, rel=1e-12)
+
+    def test_mm1_reduction(self):
+        # With one worker the wait probability is the occupancy rho.
+        for rho in (0.1, 0.5, 0.9):
+            assert analytic.erlang_c(1, rho) == pytest.approx(rho, rel=1e-12)
+
+    def test_saturated_pool_always_waits(self):
+        assert analytic.erlang_c(2, 2.0) == 1.0
+        assert analytic.erlang_c(2, 5.0) == 1.0
+
+    def test_exceeds_erlang_b(self):
+        # Queueing (C) always beats blocking (B) for probability of delay.
+        for c, a in ((2, 1.0), (5, 3.0), (10, 8.0)):
+            assert analytic.erlang_c(c, a) > analytic.erlang_b(c, a)
+
+
+class TestWaitingTime:
+    def test_mm1_mean_wait(self):
+        # M/M/1: E[W] = rho / (mu - lam).
+        lam, mu = 0.5, 1.0
+        expected = (lam / mu) / (mu - lam)
+        assert analytic.mean_wait(lam, mu, 1) == pytest.approx(expected, rel=1e-12)
+
+    def test_tail_at_zero_is_wait_probability(self):
+        assert analytic.wait_tail(0.0, 2.0, 1.0, 3) == pytest.approx(
+            analytic.erlang_c(3, 2.0)
+        )
+
+    def test_tail_integrates_to_mean(self):
+        # E[W] = integral of P(W > t) dt.
+        lam, mu, c = 2.0, 1.0, 3
+        ts = np.linspace(0, 60, 200_000)
+        tail = [analytic.wait_tail(t, lam, mu, c) for t in ts]
+        integral = np.trapezoid(tail, ts)
+        assert integral == pytest.approx(analytic.mean_wait(lam, mu, c), rel=1e-4)
+
+    def test_unstable_raises(self):
+        with pytest.raises(ValueError):
+            analytic.mean_wait(3.0, 1.0, 3)
+
+    def test_little_law(self):
+        lam, mu, c = 4.0, 1.0, 6
+        assert analytic.mean_queue_length(lam, mu, c) == pytest.approx(
+            lam * analytic.mean_wait(lam, mu, c)
+        )
+
+
+class TestStationaryDistribution:
+    def test_sums_to_below_one_with_tail(self):
+        p = analytic.stationary_distribution(2.0, 1.0, 3, n_max=200)
+        assert p.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_wait_probability_cross_check(self):
+        # P(N >= c) from first principles must equal the Erlang-C recursion.
+        lam, mu, c = 2.0, 1.0, 3
+        p = analytic.stationary_distribution(lam, mu, c, n_max=400)
+        assert p[c:].sum() == pytest.approx(
+            analytic.erlang_c(c, lam / mu), abs=1e-9
+        )
+
+    def test_mean_busy_equals_offered_load(self):
+        # E[min(N, c)] = a in steady state (PASTA / flow balance).
+        lam, mu, c = 3.0, 1.5, 4
+        p = analytic.stationary_distribution(lam, mu, c, n_max=400)
+        busy = sum(min(n, c) * pn for n, pn in enumerate(p))
+        assert busy == pytest.approx(lam / mu, abs=1e-9)
+
+    def test_rejects_unstable(self):
+        with pytest.raises(ValueError):
+            analytic.stationary_distribution(2.0, 1.0, 2, n_max=50)
+
+
+class TestCostPerTask:
+    def test_components(self):
+        lam, mu, c = 2.0, 1.0, 3
+        wage, payment = 0.01, 0.05
+        expected = wage * (c - lam / mu) / lam + payment
+        got = analytic.cost_per_task(lam, mu, c, wage, payment)
+        assert got == pytest.approx(expected)
+
+    def test_increasing_in_capacity(self):
+        costs = [
+            analytic.cost_per_task(2.0, 1.0, c, 0.01, 0.05) for c in range(3, 10)
+        ]
+        assert all(a < b for a, b in zip(costs, costs[1:]))
+
+
+class TestPredict:
+    def test_bundles_everything(self):
+        p = analytic.predict(2.0, 1.0, 3, wage_per_second=0.01, task_payment=0.05)
+        assert p.offered_load == pytest.approx(2.0)
+        assert p.occupancy == pytest.approx(2.0 / 3.0)
+        assert p.wait_probability == pytest.approx(analytic.erlang_c(3, 2.0))
+        assert p.mean_wait == pytest.approx(analytic.mean_wait(2.0, 1.0, 3))
+        assert p.cost_per_task == pytest.approx(
+            analytic.cost_per_task(2.0, 1.0, 3, 0.01, 0.05)
+        )
+
+
+class TestOptimalPoolSize:
+    @staticmethod
+    def _brute_force(lam, mu, wage, wait_cost, c_max=200):
+        def j(c):
+            return wage * (c - lam / mu) + wait_cost * lam * analytic.mean_wait(
+                lam, mu, c
+            )
+
+        c_min = int(math.floor(lam / mu)) + 1
+        return min(range(c_min, c_max), key=j)
+
+    @pytest.mark.parametrize(
+        "lam,mu,wage,wait_cost",
+        [
+            (2.0, 1.0, 0.01, 0.05),
+            (2.0, 1.0, 0.001, 0.5),
+            (10.0, 1.0, 0.01, 0.01),
+            (0.5, 0.25, 0.02, 0.1),
+            (9.375, 0.02, 0.01, 0.05),
+        ],
+    )
+    def test_matches_brute_force(self, lam, mu, wage, wait_cost):
+        got = analytic.optimal_pool_size(lam, mu, wage, wait_cost, c_max=2000)
+        assert got == self._brute_force(lam, mu, wage, wait_cost, c_max=2000)
+
+    def test_cheap_waiting_prefers_minimal_pool(self):
+        # Free waiting: the optimum is the smallest stable pool.
+        lam, mu = 2.0, 1.0
+        assert analytic.optimal_pool_size(lam, mu, 0.01, 0.0) == 3
+
+    def test_expensive_waiting_grows_pool(self):
+        small = analytic.optimal_pool_size(2.0, 1.0, 0.01, 0.01)
+        large = analytic.optimal_pool_size(2.0, 1.0, 0.01, 10.0)
+        assert large > small

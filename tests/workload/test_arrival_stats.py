@@ -1,0 +1,111 @@
+"""Distributional tests of the stochastic inputs the validation tier trusts.
+
+The analytic-validation tier (tests/validation/) compares the simulator
+against closed-form M/M/c results; that comparison is only meaningful if
+(a) :func:`~repro.workload.arrivals.poisson_gaps` really produces
+exponential inter-arrival gaps, and (b) :func:`~repro.sim.rng.spawn_seeds`
+repetitions really are independent streams.  Both are pinned here with
+seeded Kolmogorov-Smirnov tests — deterministic in the seed, so a failure
+is a generator regression, never flakiness.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats as sps
+
+from repro.sim.rng import RngRegistry, spawn_seeds
+from repro.workload.arrivals import poisson_gaps
+
+N = 20_000
+ALPHA = 1e-3  # generous for a seeded (non-flaky) test
+
+
+def draw_gaps(rate, seed, n=N, stream="arrivals"):
+    rng = RngRegistry(seed=seed).stream(stream)
+    return np.array([gap for gap, _ in poisson_gaps(rate, rng, count=n)])
+
+
+class TestPoissonGapsAreExponential:
+    @pytest.mark.parametrize("rate", [0.5, 1.0, 9.375])
+    def test_ks_against_exponential(self, rate):
+        gaps = draw_gaps(rate, seed=7)
+        result = sps.kstest(gaps, "expon", args=(0.0, 1.0 / rate))
+        assert result.pvalue > ALPHA, (
+            f"gaps at rate {rate} rejected as Exp({rate}): "
+            f"D={result.statistic:.4f} p={result.pvalue:.2e}"
+        )
+
+    def test_mean_matches_rate(self):
+        rate = 2.0
+        gaps = draw_gaps(rate, seed=11)
+        assert gaps.mean() == pytest.approx(1.0 / rate, rel=0.05)
+
+    def test_memorylessness(self):
+        # Exponentials conditioned on exceeding t are again exponential:
+        # the defining property the M/M/c analysis rests on.
+        rate = 1.0
+        gaps = draw_gaps(rate, seed=13, n=60_000)
+        t = 0.5
+        excess = gaps[gaps > t] - t
+        result = sps.kstest(excess, "expon", args=(0.0, 1.0 / rate))
+        assert result.pvalue > ALPHA
+
+    def test_counts_are_poisson_distributed(self):
+        # Bin arrival times into unit windows; counts must be Poisson(rate)
+        # (chi-squared on the low-count classes).
+        rate = 3.0
+        gaps = draw_gaps(rate, seed=17, n=30_000)
+        times = np.cumsum(gaps)
+        horizon = int(times[-1])
+        counts = np.bincount(times[times < horizon].astype(int), minlength=horizon)
+        kmax = 9
+        observed = np.bincount(np.minimum(counts, kmax), minlength=kmax + 1)
+        pmf = sps.poisson(rate).pmf(np.arange(kmax))
+        expected = np.append(pmf, 1.0 - pmf.sum()) * horizon
+        chi2 = sps.chisquare(observed, expected)
+        assert chi2.pvalue > ALPHA
+
+
+class TestSpawnSeedIndependence:
+    def test_streams_share_no_prefix(self):
+        children = spawn_seeds(0, 20)
+        draws = [
+            np.random.default_rng(c).integers(0, 2**63, size=64) for c in children
+        ]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                assert not np.array_equal(draws[i][:8], draws[j][:8])
+
+    def test_child_streams_uncorrelated(self):
+        # Pairwise Pearson correlation of long uniform draws stays tiny.
+        children = spawn_seeds(1, 8)
+        draws = [
+            np.random.default_rng(c).random(50_000) for c in children
+        ]
+        for i in range(len(draws)):
+            for j in range(i + 1, len(draws)):
+                r = np.corrcoef(draws[i], draws[j])[0, 1]
+                assert abs(r) < 0.02
+
+    def test_pooled_children_still_uniform(self):
+        # Concatenating child streams must not distort the marginal law —
+        # a KS check that spawning introduces no structure.
+        children = spawn_seeds(2, 10)
+        pooled = np.concatenate(
+            [np.random.default_rng(c).random(5_000) for c in children]
+        )
+        result = sps.kstest(pooled, "uniform")
+        assert result.pvalue > ALPHA
+
+    def test_gap_streams_from_children_are_independent_exponentials(self):
+        # The exact construction the validation tier uses: each repetition
+        # seeds its own registry and draws its own arrival stream.
+        rate = 2.0
+        gap_sets = [draw_gaps(rate, seed=child, n=5_000) for child in spawn_seeds(3, 4)]
+        for gaps in gap_sets:
+            assert sps.kstest(gaps, "expon", args=(0.0, 1.0 / rate)).pvalue > ALPHA
+        for i in range(len(gap_sets)):
+            for j in range(i + 1, len(gap_sets)):
+                assert not np.array_equal(gap_sets[i], gap_sets[j])
+                r = np.corrcoef(gap_sets[i], gap_sets[j])[0, 1]
+                assert abs(r) < 0.05

@@ -30,6 +30,7 @@ reassignment).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -83,6 +84,12 @@ class DeadlineEstimator:
         # a cached fit stays valid until the completed-task count changes.
         # This matters: graph construction re-fits every worker every batch.
         self._fit_cache: dict[int, tuple[int, DurationModel]] = {}
+        # Slim power-law parameter cache for the batch paths: worker id →
+        # (observation count, alpha, k_min).  The batch methods run every
+        # sweep and every graph build over mostly-unchanged workers; reading
+        # two floats from this dict skips the fit-object round trip
+        # (property access + isinstance + attribute loads) per worker.
+        self._param_cache: dict[int, tuple[int, float, float]] = {}
         # Cache effectiveness tallies, exported by the observability layer
         # (plain ints here — core must not depend on repro.obs).  A miss is
         # any trained fit_worker call that had to run the MLE.
@@ -92,15 +99,20 @@ class DeadlineEstimator:
     # ------------------------------------------------------------- fitting
     def fit_worker(self, worker: WorkerProfile) -> Optional[DurationModel]:
         """Fitted duration model for the worker, or None while untrained."""
-        if worker.completed_tasks < self.min_history or worker.completed_tasks == 0:
+        n_obs = len(worker.execution_times)
+        if n_obs < self.min_history or n_obs == 0:
             return None
         cached = self._fit_cache.get(worker.worker_id)
-        if cached is not None and cached[0] == worker.completed_tasks:
+        if cached is not None and cached[0] == n_obs:
             self.cache_hits += 1
             return cached[1]
         self.cache_misses += 1
         fit = self.family.fit(worker.execution_times)
-        self._fit_cache[worker.worker_id] = (worker.completed_tasks, fit)
+        self._fit_cache[worker.worker_id] = (n_obs, fit)
+        if isinstance(fit, PowerLawFit):
+            self._param_cache[worker.worker_id] = (n_obs, fit.alpha, fit.k_min)
+        else:
+            self._param_cache.pop(worker.worker_id, None)
         return fit
 
     def evict(self, worker_id: int) -> None:
@@ -112,6 +124,24 @@ class DeadlineEstimator:
         invokes this from its deregister hook.
         """
         self._fit_cache.pop(worker_id, None)
+        self._param_cache.pop(worker_id, None)
+
+    def _powerlaw_params(self, worker: WorkerProfile) -> Optional[tuple[float, float]]:
+        """(alpha, k_min) of the worker's current power-law fit, or None.
+
+        Batch-path fast lane: a parameter-cache hit reads two floats and
+        never touches the fit object.  Returns None for untrained workers
+        *and* for non-power-law fits — callers fall back to
+        :meth:`fit_worker` to disambiguate.
+        """
+        n_obs = len(worker.execution_times)
+        if n_obs < self.min_history or n_obs == 0:
+            return None
+        entry = self._param_cache.get(worker.worker_id)
+        if entry is not None and entry[0] == n_obs:
+            self.cache_hits += 1
+            return (entry[1], entry[2])
+        return None
 
     # ------------------------------------------------------------- Eq. (3)
     def completion_probability(
@@ -146,19 +176,40 @@ class DeadlineEstimator:
         ttd = np.asarray(time_to_deadline, dtype=np.float64)
         out = np.empty((len(workers), len(ttd)), dtype=np.float64)
         powerlaw_rows: list[int] = []
-        powerlaw_fits: list[PowerLawFit] = []
+        powerlaw_alpha: list[float] = []
+        powerlaw_kmin: list[float] = []
+        # The gather loop below is the per-batch hot path (every available
+        # worker, every batch): the parameter-cache lookup is inlined rather
+        # than routed through _powerlaw_params so a hit costs one dict read,
+        # and untrained workers short-circuit without a fit_worker call.
+        min_history = self.min_history
+        param_cache = self._param_cache
+        hits = 0
         for i, worker in enumerate(workers):
+            n_obs = len(worker.execution_times)
+            if n_obs < min_history or n_obs == 0:
+                out[i, :] = 1.0
+                continue
+            entry = param_cache.get(worker.worker_id)
+            if entry is not None and entry[0] == n_obs:
+                hits += 1
+                powerlaw_rows.append(i)
+                powerlaw_alpha.append(entry[1])
+                powerlaw_kmin.append(entry[2])
+                continue
             fit = self.fit_worker(worker)
             if fit is None:
                 out[i, :] = 1.0
             elif isinstance(fit, PowerLawFit):
                 powerlaw_rows.append(i)
-                powerlaw_fits.append(fit)
+                powerlaw_alpha.append(fit.alpha)
+                powerlaw_kmin.append(fit.k_min)
             else:
                 out[i, :] = 1.0 - fit.ccdf(ttd)
+        self.cache_hits += hits
         if powerlaw_rows:
-            alpha = np.array([f.alpha for f in powerlaw_fits], dtype=np.float64)
-            k_min = np.array([f.k_min for f in powerlaw_fits], dtype=np.float64)
+            alpha = np.asarray(powerlaw_alpha, dtype=np.float64)
+            k_min = np.asarray(powerlaw_kmin, dtype=np.float64)
             out[powerlaw_rows, :] = 1.0 - powerlaw_ccdf_grid(alpha, k_min, ttd)
         # Expired deadlines can never be met, trained or not.
         out[:, ttd <= 0] = 0.0
@@ -225,30 +276,108 @@ class DeadlineEstimator:
         probs[closed] = 0.0
 
         powerlaw_rows: list[int] = []
-        powerlaw_fits: list[PowerLawFit] = []
+        powerlaw_alpha: list[float] = []
+        powerlaw_kmin: list[float] = []
+        closed_list = closed.tolist()
+        # Same inlined parameter-cache gather as completion_probability_matrix
+        # (this is the per-sweep hot path).
+        min_history = self.min_history
+        param_cache = self._param_cache
+        hits = 0
         for i, worker in enumerate(workers):
-            if closed[i]:
+            if closed_list[i]:
+                continue
+            n_obs = len(worker.execution_times)
+            if n_obs < min_history or n_obs == 0:
+                continue
+            entry = param_cache.get(worker.worker_id)
+            if entry is not None and entry[0] == n_obs:
+                hits += 1
+                powerlaw_rows.append(i)
+                powerlaw_alpha.append(entry[1])
+                powerlaw_kmin.append(entry[2])
                 continue
             fit = self.fit_worker(worker)
             if fit is None:
                 continue
             if isinstance(fit, PowerLawFit):
                 powerlaw_rows.append(i)
-                powerlaw_fits.append(fit)
+                powerlaw_alpha.append(fit.alpha)
+                powerlaw_kmin.append(fit.k_min)
             else:
                 p = float(fit.ccdf(elapsed[i])) - float(fit.ccdf(ttd[i]))
                 probs[i] = min(max(p, 0.0), 1.0)
                 trained[i] = True
+        self.cache_hits += hits
         if powerlaw_rows:
             rows = np.asarray(powerlaw_rows, dtype=np.int64)
-            alpha = np.array([f.alpha for f in powerlaw_fits], dtype=np.float64)
-            k_min = np.array([f.k_min for f in powerlaw_fits], dtype=np.float64)
+            alpha = np.asarray(powerlaw_alpha, dtype=np.float64)
+            k_min = np.asarray(powerlaw_kmin, dtype=np.float64)
             p = powerlaw_ccdf_values(alpha, k_min, elapsed[rows]) - powerlaw_ccdf_values(
                 alpha, k_min, ttd[rows]
             )
             probs[rows] = np.clip(p, 0.0, 1.0)
             trained[rows] = True
         return probs, trained
+
+    def withdrawal_skip_horizon(
+        self,
+        worker: WorkerProfile,
+        time_to_deadline: float,
+        threshold: float,
+    ) -> float:
+        """Conservative elapsed-time horizon below which Eq. (2) stays ≥ threshold.
+
+        For a power-law fit the Eq. (2) probability ``P(t) − P(TTD)`` is
+        nonincreasing in the elapsed time ``t``, so there is a crossing time
+        before which the withdrawal rule *cannot* fire.  Solving
+        ``(t/k_min)^{1−α} = threshold + P(TTD)`` for ``t`` and keeping 0.1%
+        of safety margin (many orders of magnitude above ``pow`` rounding)
+        gives a horizon with the guarantee: while the worker's observation
+        count is unchanged, any sweep with ``elapsed < horizon`` would
+        evaluate a probability ≥ threshold — i.e. no withdrawal.  The sweep
+        uses this to skip the batch evaluation of provably-safe rows without
+        changing a single withdrawal decision.
+
+        Returns ``inf`` for untrained workers (never withdrawn until their
+        fit activates, which changes the observation count and invalidates
+        the caller's cache) and ``0.0`` (never skip) for non-power-law
+        duration families, whose CCDF shape this closed form does not cover.
+        """
+        n_obs = len(worker.execution_times)
+        if n_obs < self.min_history or n_obs == 0:
+            return math.inf
+        entry = self._param_cache.get(worker.worker_id)
+        if entry is not None and entry[0] == n_obs:
+            self.cache_hits += 1
+            alpha = entry[1]
+            k_min = entry[2]
+        else:
+            fit = self.fit_worker(worker)
+            if not isinstance(fit, PowerLawFit):
+                return 0.0
+            alpha = fit.alpha
+            k_min = fit.k_min
+        if time_to_deadline <= k_min:
+            p_ttd = 1.0
+        else:
+            p_ttd = min(max((time_to_deadline / k_min) ** (1.0 - alpha), 0.0), 1.0)
+        target = threshold + p_ttd
+        if target <= 0.0:
+            # threshold 0 against a fully-decayed window: probability can
+            # never go strictly below 0, so the rule never fires.
+            return math.inf
+        if target > 1.0:
+            # Even an instant evaluation (P(t) = 1) sits under threshold:
+            # the task is withdrawn at the very next sweep, never skip.
+            return 0.0
+        if alpha <= 1.0:
+            # Degenerate fit: the CCDF head clamp keeps P(t) = 1 everywhere.
+            return math.inf
+        log_ratio = -math.log(target) / (alpha - 1.0)
+        if log_ratio > 700.0:  # exp would overflow; the horizon is unreachable
+            return math.inf
+        return 0.999 * k_min * math.exp(log_ratio)
 
     def should_reassign(
         self,

@@ -39,6 +39,7 @@ import numpy as np
 
 from . import matching as _matching
 from . import reference as _reference
+from . import wbgm as _wbgm
 from .deadline import powerlaw_ccdf_grid, powerlaw_ccdf_values
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "set_backend",
     "react_match",
     "metropolis_match",
+    "wbgm_accept_loop",
     "powerlaw_ccdf_grid",
     "powerlaw_ccdf_values",
 ]
@@ -81,6 +83,14 @@ _BACKENDS: Dict[str, Tuple[object, object]] = {
     "python": (_matching.react_match, _matching.metropolis_match),
 }
 
+#: WBGM full-loop registry: name → wbgm_accept_loop kernel.  Kept parallel to
+#: ``_BACKENDS`` (same names, same default resolution) rather than widening
+#: its tuples, so existing two-kernel consumers keep unpacking cleanly.
+_WBGM_BACKENDS: Dict[str, object] = {
+    "reference": _wbgm.wbgm_accept_loop_reference,
+    "python": _wbgm.wbgm_accept_loop_python,
+}
+
 if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
     from . import numba_backend as _numba_backend
 
@@ -88,6 +98,7 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installe
         _numba_backend.react_match,
         _numba_backend.metropolis_match,
     )
+    _WBGM_BACKENDS["numba"] = _numba_backend.wbgm_accept_loop
 
 _active_backend = "numba" if NUMBA_AVAILABLE else "python"
 
@@ -168,5 +179,37 @@ def metropolis_match(
     """
     _, kernel = _resolve(backend)
     return kernel(
+        edge_workers, edge_tasks, edge_weights, n_workers, n_tasks, picks, alphas, inv_k
+    )
+
+
+def wbgm_accept_loop(
+    edge_workers: np.ndarray,
+    edge_tasks: np.ndarray,
+    edge_weights: np.ndarray,
+    n_workers: int,
+    n_tasks: int,
+    picks: np.ndarray,
+    alphas: np.ndarray,
+    inv_k: float,
+    backend: str | None = None,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
+    """Run the *full* WBGM step on the selected backend.
+
+    Identical cycle-loop decisions to :func:`react_match`, plus a dense
+    task-assignment extraction performed inside the kernel: returns
+    ``(edge_indices, task_assignment, stats)`` where ``task_assignment[j]``
+    is the matched worker index of task ``j`` or ``-1``, one-to-one by
+    construction of the kernel's vertex-index state (see
+    :mod:`repro.core.kernels.wbgm`).
+    """
+    name = _active_backend if backend is None else backend
+    try:
+        kernel = _WBGM_BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel backend {name!r}; known: {sorted(_WBGM_BACKENDS)}"
+        ) from None
+    return kernel(  # type: ignore[operator]
         edge_workers, edge_tasks, edge_weights, n_workers, n_tasks, picks, alphas, inv_k
     )

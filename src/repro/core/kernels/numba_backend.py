@@ -84,6 +84,75 @@ def _react_loop(ew, et, wt, n_workers, n_tasks, picks, alphas, inv_k):
 
 
 @njit(cache=True)
+def _wbgm_loop(ew, et, wt, n_workers, n_tasks, picks, alphas, inv_k):
+    n_edges = wt.shape[0]
+    budget = picks.shape[0]
+    selected = np.zeros(n_edges, dtype=np.uint8)
+    worker_edge = np.full(n_workers, NO_EDGE, dtype=np.int64)
+    task_edge = np.full(n_tasks, NO_EDGE, dtype=np.int64)
+    stats = np.zeros(4, dtype=np.int64)  # add, evict, remove, rejected
+
+    for cycle in range(budget):
+        e = picks[cycle]
+        if selected[e]:
+            w = wt[e]
+            if w <= 0.0:
+                selected[e] = 0
+                worker_edge[ew[e]] = NO_EDGE
+                task_edge[et[e]] = NO_EDGE
+                stats[2] += 1
+            elif alphas[cycle] <= math.exp(-w * inv_k):
+                selected[e] = 0
+                worker_edge[ew[e]] = NO_EDGE
+                task_edge[et[e]] = NO_EDGE
+                stats[2] += 1
+            else:
+                stats[3] += 1
+            continue
+
+        wi = ew[e]
+        tj = et[e]
+        conflict_w = worker_edge[wi]
+        conflict_t = task_edge[tj]
+        if conflict_w == NO_EDGE and conflict_t == NO_EDGE:
+            selected[e] = 1
+            worker_edge[wi] = e
+            task_edge[tj] = e
+            stats[0] += 1
+            continue
+
+        w_new = wt[e]
+        if conflict_w != NO_EDGE and wt[conflict_w] >= w_new:
+            stats[3] += 1
+            continue
+        if conflict_t != NO_EDGE and wt[conflict_t] >= w_new:
+            stats[3] += 1
+            continue
+        if conflict_w != NO_EDGE:
+            selected[conflict_w] = 0
+            worker_edge[ew[conflict_w]] = NO_EDGE
+            task_edge[et[conflict_w]] = NO_EDGE
+        if conflict_t != NO_EDGE:
+            selected[conflict_t] = 0
+            worker_edge[ew[conflict_t]] = NO_EDGE
+            task_edge[et[conflict_t]] = NO_EDGE
+        selected[e] = 1
+        worker_edge[wi] = e
+        task_edge[tj] = e
+        stats[1] += 1
+
+    # Dense task -> worker extraction from the vertex-index state: one-to-one
+    # by construction, no per-edge rescan in Python afterwards.
+    task_assignment = np.full(n_tasks, NO_EDGE, dtype=np.int64)
+    for tj in range(n_tasks):
+        e = task_edge[tj]
+        if e != NO_EDGE:
+            task_assignment[tj] = ew[e]
+
+    return selected, task_assignment, stats
+
+
+@njit(cache=True)
 def _metropolis_loop(ew, et, wt, n_workers, n_tasks, picks, alphas, inv_k):
     n_edges = wt.shape[0]
     cycles = picks.shape[0]
@@ -152,6 +221,28 @@ def react_match(
         "rejected": int(s[3]),
     }
     return np.flatnonzero(selected), stats
+
+
+def wbgm_accept_loop(
+    ew: np.ndarray,
+    et: np.ndarray,
+    wt: np.ndarray,
+    n_workers: int,
+    n_tasks: int,
+    picks: np.ndarray,
+    alphas: np.ndarray,
+    inv_k: float,
+) -> Tuple[np.ndarray, np.ndarray, Dict[str, int]]:
+    selected, task_assignment, s = _wbgm_loop(
+        ew, et, wt, np.int64(n_workers), np.int64(n_tasks), picks, alphas, inv_k
+    )
+    stats = {
+        "accepted_add": int(s[0]),
+        "accepted_evict": int(s[1]),
+        "accepted_remove": int(s[2]),
+        "rejected": int(s[3]),
+    }
+    return np.flatnonzero(selected), task_assignment, stats
 
 
 def metropolis_match(

@@ -1,0 +1,152 @@
+"""Full WBGM accept/conflict kernels: cycle loop + assignment extraction.
+
+The plain :func:`~repro.core.kernels.react_match` kernel returns the selected
+edge indices and leaves the task → worker mapping to Python: the matcher's
+``MatchingResult.task_assignment()`` re-scanned the matched edges per batch
+and ``validate()`` re-proved one-to-one-ness that the kernel's vertex-index
+state already guarantees.  ``wbgm_accept_loop`` is the *full* Algorithm 1
+step — the identical accept/evict/remove/reject cycle loop followed by a
+dense task-assignment extraction — so downstream consumers get
+
+``(edge_indices, task_assignment, stats)``
+
+where ``task_assignment[j]`` is the matched worker index of task ``j`` (or
+:data:`~repro.core.kernels.reference.NO_EDGE`) and is one-to-one *by
+construction*: each entry comes from the kernel's ``task_edge`` index, which
+holds at most one edge per task, and each worker appears at most once because
+``worker_edge`` holds at most one edge per worker.
+
+The reference backend delegates to the seed loop verbatim and derives the
+assignment with NumPy, anchoring behaviour; the optimized backends must
+match it bit for bit (same cycle decisions, same pre-drawn RNG consumption —
+see ``tests/core_matching/test_kernel_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Tuple
+
+import numpy as np
+
+from . import reference as _reference
+from .reference import NO_EDGE
+
+WbgmReturn = Tuple[np.ndarray, np.ndarray, Dict[str, int]]
+
+
+def wbgm_accept_loop_reference(
+    ew: np.ndarray,
+    et: np.ndarray,
+    wt: np.ndarray,
+    n_workers: int,
+    n_tasks: int,
+    picks: np.ndarray,
+    alphas: np.ndarray,
+    inv_k: float,
+) -> WbgmReturn:
+    """Seed cycle loop + NumPy assignment extraction (behavioural anchor)."""
+    edge_indices, stats = _reference.react_match(
+        ew, et, wt, n_workers, n_tasks, picks, alphas, inv_k
+    )
+    task_assignment = np.full(n_tasks, NO_EDGE, dtype=np.int64)
+    task_assignment[et[edge_indices]] = ew[edge_indices]
+    return edge_indices, task_assignment, stats
+
+
+def wbgm_accept_loop_python(
+    ew: np.ndarray,
+    et: np.ndarray,
+    wt: np.ndarray,
+    n_workers: int,
+    n_tasks: int,
+    picks: np.ndarray,
+    alphas: np.ndarray,
+    inv_k: float,
+) -> WbgmReturn:
+    """Plain-list cycle loop with direct assignment extraction.
+
+    Identical decision sequence to :func:`repro.core.kernels.matching.
+    react_match` (``tolist`` round-trips preserve float64 bits and
+    ``math.exp`` of the same double is the same double); the task → worker
+    mapping falls out of the per-vertex state the loop maintains anyway, so
+    no post-hoc edge scan is needed.
+    """
+    stream = zip(
+        picks.tolist(),
+        ew[picks].tolist(),
+        et[picks].tolist(),
+        wt[picks].tolist(),
+        alphas.tolist(),
+    )
+    exp = math.exp
+
+    selected = bytearray(len(wt))
+    worker_edge = [NO_EDGE] * n_workers
+    worker_edge_task = [NO_EDGE] * n_workers
+    worker_edge_w = [0.0] * n_workers
+    task_edge = [NO_EDGE] * n_tasks
+    task_edge_worker = [NO_EDGE] * n_tasks
+    task_edge_w = [0.0] * n_tasks
+
+    accepted_add = accepted_evict = accepted_remove = rejected = 0
+
+    for e, wi, tj, w_new, alpha in stream:
+        if selected[e]:
+            # Flip removes edge e: g(x') = g - w_e <= g.
+            if w_new <= 0.0 or alpha <= exp(-w_new * inv_k):
+                selected[e] = 0
+                worker_edge[wi] = NO_EDGE
+                task_edge[tj] = NO_EDGE
+                accepted_remove += 1
+            else:
+                rejected += 1
+            continue
+
+        conflict_w = worker_edge[wi]
+        conflict_t = task_edge[tj]
+        if conflict_w == NO_EDGE and conflict_t == NO_EDGE:
+            # Conflict-free addition: always accept (non-negative weights).
+            accepted_add += 1
+        else:
+            # Conflict branch: accept only if the new edge outweighs every
+            # matched edge it collides with (at most two, found by lookup).
+            if conflict_w != NO_EDGE and worker_edge_w[wi] >= w_new:
+                rejected += 1
+                continue
+            if conflict_t != NO_EDGE and task_edge_w[tj] >= w_new:
+                rejected += 1
+                continue
+            if conflict_w != NO_EDGE:
+                selected[conflict_w] = 0
+                task_edge[worker_edge_task[wi]] = NO_EDGE
+                worker_edge[wi] = NO_EDGE
+            if conflict_t != NO_EDGE:
+                selected[conflict_t] = 0
+                worker_edge[task_edge_worker[tj]] = NO_EDGE
+                task_edge[tj] = NO_EDGE
+            accepted_evict += 1
+        selected[e] = 1
+        worker_edge[wi] = e
+        worker_edge_task[wi] = tj
+        worker_edge_w[wi] = w_new
+        task_edge[tj] = e
+        task_edge_worker[tj] = wi
+        task_edge_w[tj] = w_new
+
+    matched = sorted(e for e in worker_edge if e != NO_EDGE)
+    edge_indices = np.asarray(matched, dtype=np.int64)
+    # ``task_edge_worker`` entries are only authoritative while the task's
+    # ``task_edge`` slot is occupied (removal leaves them stale on purpose).
+    task_assignment = np.full(n_tasks, NO_EDGE, dtype=np.int64)
+    for tj, e in enumerate(task_edge):
+        if e != NO_EDGE:
+            task_assignment[tj] = task_edge_worker[tj]
+
+    stats = {
+        "accepted_add": accepted_add,
+        "accepted_evict": accepted_evict,
+        "accepted_remove": accepted_remove,
+        "rejected": rejected,
+    }
+    return edge_indices, task_assignment, stats

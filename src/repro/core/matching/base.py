@@ -38,6 +38,15 @@ class MatchingResult:
         Iterations consumed (randomized matchers) or 0.
     stats:
         Free-form per-run counters (accepted/rejected moves etc.).
+    task_worker:
+        Optional dense ``int64`` array of length ``graph.n_tasks`` mapping
+        task index → matched worker index (``-1`` unmatched), produced
+        in-kernel by :func:`repro.core.kernels.wbgm_accept_loop`.  When a
+        kernel supplies it, the mapping is one-to-one *by construction*
+        (the kernel's per-vertex index state admits at most one edge per
+        worker and per task), so :meth:`validate` and the ``__post_init__``
+        duplicate check become O(1) and :meth:`task_assignment` needs no
+        per-edge scan.
     """
 
     graph: BipartiteGraph
@@ -45,12 +54,18 @@ class MatchingResult:
     algorithm: str
     cycles_used: int = 0
     stats: Dict[str, int] = field(default_factory=dict)
+    task_worker: Optional[np.ndarray] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         idx = np.ascontiguousarray(self.edge_indices, dtype=np.int64)
         object.__setattr__(self, "edge_indices", idx)
         if len(idx) and (idx.min() < 0 or idx.max() >= self.graph.n_edges):
             raise MatchingError("edge index out of range")
+        if self.task_worker is not None:
+            if len(self.task_worker) != self.graph.n_tasks:
+                raise MatchingError("task_worker length != graph.n_tasks")
+            # A kernel-built matching is duplicate-free by construction.
+            return
         if len(np.unique(idx)) != len(idx):
             raise MatchingError("duplicate edge in matching")
 
@@ -79,15 +94,34 @@ class MatchingResult:
 
     def task_assignment(self) -> Dict[int, int]:
         """task index → worker index mapping."""
+        if self.task_worker is not None:
+            row = self.task_worker.tolist()
+            return {t: w for t, w in enumerate(row) if w >= 0}
         return {int(t): int(w) for w, t in zip(self.workers, self.tasks)}
+
+    def task_assignment_dense(self) -> np.ndarray:
+        """Dense task index → worker index array (``-1`` = unmatched).
+
+        Returns the kernel-precomputed :attr:`task_worker` row when present;
+        otherwise derives it once from the matched edges.
+        """
+        if self.task_worker is not None:
+            return self.task_worker
+        row = np.full(self.graph.n_tasks, -1, dtype=np.int64)
+        row[self.tasks] = self.workers
+        return row
 
     # ---------------------------------------------------------- validation
     def validate(self) -> None:
         """Raise :class:`MatchingError` unless M is a valid matching.
 
         Checks the two §III-C constraint families: each worker in at most
-        one selected edge, each task in at most one selected edge.
+        one selected edge, each task in at most one selected edge.  A
+        kernel-supplied :attr:`task_worker` row certifies both families by
+        construction, so the uniqueness scans are skipped.
         """
+        if self.task_worker is not None:
+            return
         workers = self.workers
         tasks = self.tasks
         if len(np.unique(workers)) != len(workers):

@@ -51,15 +51,20 @@ class GreedyMatcher(Matcher):
         sorted_tasks = et[order]
         boundaries = np.searchsorted(sorted_tasks, np.arange(graph.n_tasks + 1))
 
-        worker_free = np.ones(graph.n_workers, dtype=bool)
+        # Plain-list walk (NumPy scalar indexing costs ~100 ns per access,
+        # which dominated this loop; same decisions, same output order).
+        order_list = order.tolist()
+        owner_list = ew[order].tolist()
+        bounds = boundaries.tolist()
+        worker_free = bytearray(b"\x01") * graph.n_workers
         chosen: list[int] = []
         for task in range(graph.n_tasks):
-            start, stop = boundaries[task], boundaries[task + 1]
+            start, stop = bounds[task], bounds[task + 1]
             for pos in range(start, stop):
-                e = order[pos]
-                if worker_free[ew[e]]:
-                    worker_free[ew[e]] = False
-                    chosen.append(int(e))
+                wi = owner_list[pos]
+                if worker_free[wi]:
+                    worker_free[wi] = 0
+                    chosen.append(order_list[pos])
                     break
 
         return MatchingResult(

@@ -120,7 +120,7 @@ class ReactMatcher(Matcher):
         picks = rng.integers(0, graph.n_edges, size=budget)
         alphas = rng.random(budget)
 
-        edge_indices, stats = kernels.react_match(
+        edge_indices, task_worker, stats = kernels.wbgm_accept_loop(
             graph.edge_workers,
             graph.edge_tasks,
             graph.edge_weights,
@@ -137,4 +137,5 @@ class ReactMatcher(Matcher):
             algorithm=self.name,
             cycles_used=budget,
             stats=stats,
+            task_worker=task_worker,
         )

@@ -40,19 +40,26 @@ class UniformMatcher(Matcher):
         sorted_tasks = et[order]
         boundaries = np.searchsorted(sorted_tasks, np.arange(graph.n_tasks + 1))
 
-        worker_free = np.ones(graph.n_workers, dtype=bool)
+        # Plain-list walk; the RNG call sequence is untouched (one
+        # ``permutation`` plus one ``integers`` per task with free
+        # neighbours), so seeded runs replay identically.  The filtered
+        # candidate list preserves slice order exactly as the boolean-mask
+        # gather did.
+        order_list = order.tolist()
+        owner_list = ew[order].tolist()
+        bounds = boundaries.tolist()
+        worker_free = bytearray(b"\x01") * graph.n_workers
         chosen: list[int] = []
-        for task in rng.permutation(graph.n_tasks):
-            start, stop = boundaries[task], boundaries[task + 1]
+        for task in rng.permutation(graph.n_tasks).tolist():
+            start, stop = bounds[task], bounds[task + 1]
             if start == stop:
                 continue
-            candidates = order[start:stop]
-            free = candidates[worker_free[ew[candidates]]]
-            if len(free) == 0:
+            free = [pos for pos in range(start, stop) if worker_free[owner_list[pos]]]
+            if not free:
                 continue
-            e = int(free[rng.integers(0, len(free))])
-            worker_free[ew[e]] = False
-            chosen.append(e)
+            pos = free[rng.integers(0, len(free))]
+            worker_free[owner_list[pos]] = 0
+            chosen.append(order_list[pos])
 
         return MatchingResult(
             graph=graph,

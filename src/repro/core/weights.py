@@ -65,8 +65,12 @@ class AccuracyWeight(WeightFunction):
         for j, task in enumerate(tasks):
             categories.setdefault(task.category, []).append(j)
         for category, cols in categories.items():
+            # Read the profile's pushed accuracy mirror directly: one dict
+            # lookup per worker in this per-batch loop (see
+            # WorkerProfile.accuracy_by_category).
             col_accuracy = np.array(
-                [w.accuracy(category) for w in workers], dtype=np.float64
+                [w.accuracy_by_category.get(category, 0.0) for w in workers],
+                dtype=np.float64,
             )
             out[:, cols] = col_accuracy[:, None]
         return out

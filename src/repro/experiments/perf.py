@@ -30,7 +30,7 @@ import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -467,6 +467,231 @@ def run_parallel_benchmark(quick: bool = False, workers: Optional[int] = None) -
     )
 
 
+# ------------------------------------------------------------- end-to-end
+#: Sequential pre-cohort-engine driver baseline at the default comparison
+#: workload (``EndToEndConfig()`` defaults x ``default_policies()``),
+#: measured back-to-back with the optimized tree on the same host (stash
+#: the working tree, time the old driver, pop, time the new one).  Pinned
+#: here so BENCH_endtoend.json can report ``speedup_vs_pre_pr`` without
+#: re-running the superseded driver on every bench invocation; re-measure
+#: and update when the comparison workload changes.
+PRE_PR_SEQUENTIAL_THROUGHPUT = 2032.0
+
+PRE_PR_SEQUENTIAL: Dict[str, object] = {
+    "commit": "b00b4832c94cfd39483e7a16aaaa19d29aa3ad3c",
+    "wall_seconds": 7.68,
+    "completed": 15601,
+    "throughput": PRE_PR_SEQUENTIAL_THROUGHPUT,
+}
+
+
+def run_endtoend_throughput(
+    quick: bool = False, parallel: Optional[int] = None
+) -> List[BenchResult]:
+    """Simulated task-completions/sec on the fixed seeded §V-C workload.
+
+    Two variants over the same deterministic workload (``EndToEndConfig()``
+    defaults, seed 42, the §V-C comparison policies):
+
+    * ``sequential`` — ``run_endtoend`` per policy, one after another, the
+      way ``python -m repro.experiments endtoend`` drives the comparison.
+      One record per policy plus an aggregate whose ``throughput`` is total
+      completed tasks over total wall time.
+    * ``parallel`` — the same comparison through
+      :func:`repro.dist.run_comparison_sharded` with one shard per policy
+      (``parallel=0`` skips it).  The per-policy runs are independent, so
+      on a host with at least one core per policy the comparison's wall
+      collapses to the slowest single policy; a 1-core runner time-slices
+      the shards and shows ~1x regardless, which is why ``cpu_count`` is
+      recorded next to the speedup.
+
+    Full (non-quick) records carry ``speedup_vs_pre_pr`` against
+    :data:`PRE_PR_SEQUENTIAL`, plus a ``projected_parallel_speedup_vs_pre_pr``
+    derived from the measured per-policy walls (total completions over the
+    slowest policy's wall) — the number the parallel variant converges to
+    once every shard has its own core.
+    """
+    from ..dist import run_comparison_sharded
+    from .config import EndToEndConfig
+    from .endtoend import default_policies, run_endtoend
+
+    config = (
+        EndToEndConfig(
+            n_workers=60, arrival_rate=1.5, n_tasks=150, drain_time=150.0
+        )
+        if quick
+        else EndToEndConfig()
+    )
+    policies = list(default_policies())
+    repeats = 1 if quick else 3
+    commit = git_commit()
+    backend = kernels.active_backend()
+    workload: Dict[str, object] = {
+        "backend": backend,
+        "n_workers": config.n_workers,
+        "n_tasks": config.n_tasks,
+        "repeats": repeats,
+    }
+    results: List[BenchResult] = []
+
+    walls: Dict[str, float] = {}
+    sequential_runs: Dict[str, Any] = {}
+    for policy in policies:
+
+        def run(policy: Any = policy) -> None:
+            sequential_runs[policy.name] = run_endtoend(policy, config)
+
+        wall = _median_wall(run, repeats)
+        walls[policy.name] = wall
+        done = int(sequential_runs[policy.name].summary["completed"])
+        results.append(
+            BenchResult(
+                bench="endtoend_throughput",
+                params={
+                    "variant": "sequential",
+                    "policy": policy.name,
+                    "completed": done,
+                    **workload,
+                },
+                wall_seconds=wall,
+                throughput=done / wall,
+                commit=commit,
+            )
+        )
+
+    total_wall = sum(walls.values())
+    total_done = sum(
+        int(r.summary["completed"]) for r in sequential_runs.values()
+    )
+    agg_params: Dict[str, object] = {
+        "variant": "sequential",
+        "policy": "all",
+        "policies": [p.name for p in policies],
+        "completed": total_done,
+        "cpu_count": os.cpu_count(),
+        **workload,
+    }
+    if not quick:
+        agg_params["pre_pr"] = dict(PRE_PR_SEQUENTIAL)
+        agg_params["speedup_vs_pre_pr"] = (
+            total_done / total_wall
+        ) / PRE_PR_SEQUENTIAL_THROUGHPUT
+        agg_params["projected_parallel_speedup_vs_pre_pr"] = (
+            total_done / max(walls.values())
+        ) / PRE_PR_SEQUENTIAL_THROUGHPUT
+    results.append(
+        BenchResult(
+            bench="endtoend_throughput",
+            params=agg_params,
+            wall_seconds=total_wall,
+            throughput=total_done / total_wall,
+            commit=commit,
+        )
+    )
+
+    shards = len(policies) if parallel is None else parallel
+    if shards > 0:
+        box: Dict[str, Any] = {}
+
+        def run_sharded() -> None:
+            box["run"] = run_comparison_sharded(
+                config, policies=policies, parallel=shards
+            )
+
+        wall = _median_wall(run_sharded, repeats)
+        sharded = box["run"]
+        for name, seq in sequential_runs.items():
+            if sharded.results[name].summary != seq.summary:
+                raise RuntimeError(
+                    f"sharded comparison diverged from sequential for {name}"
+                )
+        params: Dict[str, object] = {
+            "variant": "parallel",
+            "policy": "all",
+            "shards": sharded.shard_count,
+            "completed": total_done,
+            "cpu_count": os.cpu_count(),
+            "speedup_vs_sequential": total_wall / wall if wall > 0 else 0.0,
+            **workload,
+        }
+        if not quick:
+            params["speedup_vs_pre_pr"] = (
+                total_done / wall
+            ) / PRE_PR_SEQUENTIAL_THROUGHPUT
+        results.append(
+            BenchResult(
+                bench="endtoend_throughput",
+                params=params,
+                wall_seconds=wall,
+                throughput=total_done / wall,
+                commit=commit,
+            )
+        )
+    logger.info(
+        "endtoend bench: sequential %.2fs (%.0f completions/s)",
+        total_wall, total_done / total_wall,
+    )
+    return results
+
+
+def check_endtoend_regression(
+    results: List[BenchResult],
+    baseline_path: Path,
+    tolerance: float = 0.2,
+) -> List[str]:
+    """Gate fresh end-to-end throughput against a committed baseline.
+
+    Matches sequential-variant records on (policy, backend, workload) and
+    returns one failure string per match whose throughput fell more than
+    ``tolerance`` below the committed number.  Parallel-variant records are
+    informational only — their rate is a function of the measuring host's
+    core count, not of the code.  When *nothing* matches (workload or
+    backend drift between the run and the baseline) a single failure is
+    returned so the gate cannot pass vacuously.
+    """
+    records = json.loads(Path(baseline_path).read_text(encoding="utf-8"))
+
+    def key(params: Dict[str, object]) -> tuple:
+        return (
+            params.get("policy"),
+            params.get("backend"),
+            params.get("n_workers"),
+            params.get("n_tasks"),
+        )
+
+    baseline = {
+        key(r["params"]): r
+        for r in records
+        if r.get("bench") == "endtoend_throughput"
+        and r["params"].get("variant") == "sequential"
+    }
+    failures: List[str] = []
+    compared = 0
+    for r in results:
+        if r.bench != "endtoend_throughput":
+            continue
+        if r.params.get("variant") != "sequential":
+            continue
+        base = baseline.get(key(r.params))
+        if base is None:
+            continue
+        compared += 1
+        floor = float(base["throughput"]) * (1.0 - tolerance)
+        if r.throughput < floor:
+            failures.append(
+                f"endtoend_throughput[{r.params.get('policy')}]: "
+                f"{r.throughput:.0f} completions/s is more than "
+                f"{tolerance:.0%} below the committed "
+                f"{float(base['throughput']):.0f}/s"
+            )
+    if compared == 0:
+        failures.append(
+            f"no records comparable to {baseline_path} "
+            "(workload or backend mismatch between run and baseline?)"
+        )
+    return failures
+
+
 # ------------------------------------------------------------------- driver
 def repo_root() -> Path:
     """Git toplevel if available, else the current directory."""
@@ -492,20 +717,30 @@ def write_bench_file(path: Path, results: List[BenchResult]) -> Path:
 
 def format_report(results: List[BenchResult]) -> str:
     lines = [
-        f"{'bench':<22} {'backend':<10} {'wall (ms)':>10} {'throughput':>14} {'speedup':>8}"
+        f"{'bench':<22} {'detail':<16} {'wall (ms)':>10} {'throughput':>14} {'speedup':>8}"
     ]
     for r in results:
-        backend = str(r.params.get("backend", "-"))
+        # The detail column disambiguates records sharing a bench name: the
+        # kernel backend for matcher records, variant/policy for end-to-end.
+        detail = str(r.params.get("backend", "-"))
+        if "variant" in r.params:
+            detail = f"{str(r.params['variant'])[:3]}:{r.params.get('policy', 'all')}"
         speedup = r.params.get("speedup_vs_reference")
+        if speedup is None:
+            speedup = r.params.get("speedup_vs_pre_pr")
         lines.append(
-            f"{r.bench:<22} {backend:<10} {r.wall_seconds * 1e3:>10.2f} "
+            f"{r.bench:<22} {detail:<16} {r.wall_seconds * 1e3:>10.2f} "
             f"{r.throughput:>14.0f} "
             f"{f'{speedup:.2f}x' if speedup is not None else '-':>8}"
         )
     return "\n".join(lines)
 
 
-def run_bench(quick: bool = False, out_dir: Optional[Path] = None) -> str:
+def run_bench(
+    quick: bool = False,
+    out_dir: Optional[Path] = None,
+    endtoend_parallel: Optional[int] = None,
+) -> str:
     """Run every bench, write BENCH_*.json, return the text report."""
     out_dir = repo_root() if out_dir is None else Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
@@ -516,16 +751,19 @@ def run_bench(quick: bool = False, out_dir: Optional[Path] = None) -> str:
     platform.append(run_overhead_benchmark(quick))
     logger.info("bench: parallel sweep")
     platform.append(run_parallel_benchmark(quick))
+    logger.info("bench: end-to-end throughput")
+    endtoend = run_endtoend_throughput(quick, parallel=endtoend_parallel)
     written = [
         write_bench_file(out_dir / "BENCH_matching.json", matching),
         write_bench_file(out_dir / "BENCH_platform.json", platform),
+        write_bench_file(out_dir / "BENCH_endtoend.json", endtoend),
     ]
     report = [
         "# Perf micro-benchmarks"
         + (" (--quick)" if quick else "")
         + f" [backends: {', '.join(kernels.available_backends())};"
         + f" active: {kernels.active_backend()}]",
-        format_report(matching + platform),
+        format_report(matching + platform + endtoend),
     ]
     report.extend(f"# wrote {p}" for p in written)
     return "\n".join(report)

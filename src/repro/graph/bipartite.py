@@ -198,12 +198,20 @@ class BipartiteGraph:
                 raise ValueError("mask shape must match weights shape")
             present &= mask
         workers, tasks = np.nonzero(present)
-        return cls(
+        edge_weights = weights[workers, tasks]
+        # ``nonzero`` of a matrix mask yields in-range indices and distinct
+        # (worker, task) pairs by construction, and non-finite entries were
+        # masked out above — of the validating constructor's scans only the
+        # non-negativity check can still fail, so run just that one and take
+        # the trusted path (this is the per-batch graph-build hot loop).
+        if len(edge_weights) and edge_weights.min() < 0:
+            raise ValueError("edge weights must be non-negative")
+        return cls._trusted(
             n_workers=weights.shape[0],
             n_tasks=weights.shape[1],
             edge_workers=workers,
             edge_tasks=tasks,
-            edge_weights=weights[workers, tasks],
+            edge_weights=edge_weights,
         )
 
     @classmethod

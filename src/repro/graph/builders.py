@@ -134,13 +134,21 @@ class AssignmentGraphBuilder:
         )
         report.cold_start_workers = int(cold_start.sum())
 
-        # Eq. (3) probabilities; untrained rows come back as 1.0 except for
-        # already-expired tasks (columns with ttd <= 0), which stay 0.
-        prob = self.estimator.completion_probability_matrix(workers, ttd)
-        keep = prob >= self.edge_probability_bound
-        # Cold-start workers connect to every (non-expired) task regardless
-        # of the probability bound.
-        keep |= cold_start[:, None] & (ttd > 0)[None, :]
+        if self.edge_probability_bound > 0.0:
+            # Eq. (3) probabilities; untrained rows come back as 1.0 except
+            # for already-expired tasks (columns with ttd <= 0), which stay 0.
+            prob = self.estimator.completion_probability_matrix(workers, ttd)
+            keep = prob >= self.edge_probability_bound
+            # Cold-start workers connect to every (non-expired) task
+            # regardless of the probability bound.
+            keep |= cold_start[:, None] & (ttd > 0)[None, :]
+        else:
+            # A zero bound keeps every edge (probabilities are clipped to
+            # [0, 1], so ``prob >= 0`` is vacuous) — the non-probabilistic
+            # policies route through here, and evaluating Eq. 3 just to
+            # compare it against zero was a measurable share of their
+            # per-batch cost.
+            keep = np.ones((n_w, n_t), dtype=bool)
         report.pruned_by_probability = report.candidate_edges - int(keep.sum())
 
         # Weights: Eq. (1) for established workers, MAX_WEIGHT for cold-start.

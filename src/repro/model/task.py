@@ -16,7 +16,16 @@ from typing import Optional
 
 
 class TaskCategory(enum.Enum):
-    """Task categories from the paper's motivating applications (§I, §II)."""
+    """Task categories from the paper's motivating applications (§I, §II).
+
+    ``__hash__`` is pinned to the identity hash: enum members are singletons
+    (equality already *is* identity), and the default ``Enum.__hash__`` is a
+    Python-level call that shows up in the per-batch weight loops, where
+    these members key the per-worker accuracy dicts.  Identity hashing keeps
+    dict/equality semantics unchanged and moves the lookup onto the C path.
+    """
+
+    __hash__ = object.__hash__
 
     TRAFFIC_MONITORING = "traffic-monitoring"
     LOCATION_SURVEY = "location-survey"

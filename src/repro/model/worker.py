@@ -163,6 +163,18 @@ class WorkerProfile:
     assignment_count: int = 0
     #: how many of ``execution_times`` are censored withdrawal observations
     censored_observations: int = 0
+    #: Eq. 1 accuracy per category, pushed on every feedback record so the
+    #: per-batch weight matrix reads one float per worker instead of walking
+    #: the tally objects (graph-construction hot path).  ``category_stats``
+    #: stays the source of truth; this mirror is rebuilt from it on
+    #: construction and updated in lock-step by :meth:`record_completion`.
+    accuracy_by_category: Dict[TaskCategory, float] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        for category, stats in self.category_stats.items():
+            self.accuracy_by_category[category] = stats.accuracy
 
     # ------------------------------------------------------------ history
     @property
@@ -177,7 +189,9 @@ class WorkerProfile:
         if execution_time <= 0:
             raise ValueError(f"execution_time must be positive, got {execution_time}")
         self.execution_times.append(float(execution_time))
-        self.category_stats.setdefault(category, CategoryStats()).record(positive_feedback)
+        stats = self.category_stats.setdefault(category, CategoryStats())
+        stats.record(positive_feedback)
+        self.accuracy_by_category[category] = stats.positive / stats.finished
 
     def record_censored(self, elapsed: float) -> None:
         """Record a withdrawal as a censored duration observation.
@@ -194,8 +208,7 @@ class WorkerProfile:
 
     def accuracy(self, category: TaskCategory) -> float:
         """Observed accuracy for ``category`` (Eq. 1 numerator/denominator)."""
-        stats = self.category_stats.get(category)
-        return 0.0 if stats is None else stats.accuracy
+        return self.accuracy_by_category.get(category, 0.0)
 
     def overall_accuracy(self) -> float:
         """Accuracy pooled over all categories."""

@@ -67,6 +67,15 @@ class ProfilingComponent:
         (registration) order so batch construction is deterministic."""
         return [p for p in self._profiles.values() if p.online and p.available]
 
+    def any_available(self) -> bool:
+        """Whether at least one worker is online and free.
+
+        Early-exit form of ``bool(available_workers())`` for the batch
+        trigger guards, which run on every arrival/completion and only need
+        existence, not the list.
+        """
+        return any(p.online and p.available for p in self._profiles.values())
+
     def busy_workers(self) -> List[WorkerProfile]:
         return [p for p in self._profiles.values() if p.online and not p.available]
 

@@ -95,6 +95,9 @@ class SchedulingComponent:
             "react_assigned_tasks", "Tasks out with a worker after last batch"
         )
         self._busy = False
+        # Coincident BATCH_COMPLETE events (multi-server setups sharing one
+        # engine, zero-latency cost models) arrive as one batched dispatch.
+        engine.register_cohort_handler(self._publish, self._publish_cohort)
         self.batches: List[BatchRecord] = []
         #: Chaos hook (:class:`repro.chaos.MatcherStallFault`): maps the cost
         #: model's latency to the latency actually charged for this batch.
@@ -134,7 +137,7 @@ class SchedulingComponent:
             return False
         if self._tasks.unassigned_count < self._policy.batch_threshold:
             return False
-        if not self._profiles.available_workers():
+        if not self._profiles.any_available():
             return False
         self._start_batch()
         return True
@@ -150,13 +153,28 @@ class SchedulingComponent:
         """
         if self._busy or self.suspended or self._tasks.unassigned_count == 0:
             return
-        if not self._profiles.available_workers():
+        if not self._profiles.any_available():
             if not self._policy.assign_expired:
                 retired = self._tasks.retire_expired(now)
                 if retired:
                     self._on_retired(retired)
             return
         self._start_batch()
+
+    def periodic_trigger_cohort(self, now: float, count: int) -> None:
+        """Cohort form of ``count`` coincident periodic triggers.
+
+        One evaluation serves all of them: after a first trigger starts a
+        batch the rest would observe ``busy`` and return; after one empties
+        or retires the queue the rest would observe an empty/unexpired
+        queue.  In the no-worker branch, N sequential triggers would rescan
+        the queue N times — here :meth:`TaskManagementComponent.retire_expired`
+        runs its scan once on behalf of the whole cohort (later scans at the
+        same instant provably retire nothing).
+        """
+        if count <= 0:
+            return
+        self.periodic_trigger(now)
 
     # --------------------------------------------------------------- batch
     def _start_batch(self) -> None:
@@ -218,8 +236,22 @@ class SchedulingComponent:
             cycles=int(shape.cycles),
         )
         self._engine.schedule(
-            latency, EventKind.BATCH_COMPLETE, self._publish, payload=payload
+            latency,
+            EventKind.BATCH_COMPLETE,
+            self._publish,
+            payload=payload,
+            transient=True,
         )
+
+    def _publish_cohort(self, now: float, events: List[Event]) -> None:
+        """Cohort handler: publish each coincident pending batch in seq order.
+
+        Publication order matters — an earlier batch's assignments change
+        the worker availability the next batch's commit checks — so the
+        payload array is walked in the exact sequential dispatch order.
+        """
+        for event in events:
+            self._publish(event)
 
     def _publish(self, event: Event) -> None:
         pending: _PendingBatch = event.payload
@@ -240,11 +272,13 @@ class SchedulingComponent:
             )
             self._busy = False
             return
-        assignment = pending.result.task_assignment()
+        # Dense task -> worker row (kernel-precomputed for REACT batches):
+        # one list index per task instead of a dict build + lookup.
+        assignment = pending.result.task_assignment_dense().tolist()
         matched = 0
         for j, task in enumerate(pending.batch):
-            worker_idx = assignment.get(j)
-            if worker_idx is None:
+            worker_idx = assignment[j]
+            if worker_idx < 0:
                 self._tasks.return_unmatched(task)
                 continue
             worker = pending.workers[worker_idx]

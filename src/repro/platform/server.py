@@ -170,6 +170,7 @@ class REACTServer:
             period=self.policy.batch_period,
             action=self.scheduling.periodic_trigger,
             kind=EventKind.BATCH_TRIGGER,
+            cohort_action=self.scheduling.periodic_trigger_cohort,
         )
 
     def stop(self) -> None:
@@ -275,6 +276,7 @@ class REACTServer:
                     EventKind.CALLBACK,
                     self._on_running_expiry,
                     payload=execution,
+                    transient=True,
                 )
 
     def _on_completion(self, event: Event) -> None:
@@ -461,6 +463,7 @@ class REACTServer:
                     EventKind.CALLBACK,
                     self._on_deferred_release,
                     payload=task,
+                    transient=True,
                 )
 
     def _on_deferred_release(self, event: Event) -> None:
@@ -493,7 +496,7 @@ class REACTServer:
         if execution is None:
             return False
         if execution.completion_event is not None:
-            execution.completion_event.cancel()
+            self.engine.cancel(execution.completion_event)
         execution.abandoned = True
         execution.completion_event = self.engine.schedule(
             0.0, EventKind.TASK_COMPLETION, self._on_completion, payload=execution

@@ -4,6 +4,13 @@ The REACT middleware in the paper runs on PlanetLab in wall-clock time; here
 the same components are driven by a deterministic discrete-event simulator.
 Events are totally ordered by ``(time, priority, sequence)`` so that two runs
 with the same seed replay identically, independent of heap tie-breaking.
+
+Everything here is allocation-conscious: :class:`Event` and
+:class:`EventRecord` carry ``__slots__`` (millions of them exist over a long
+run), :class:`EventRecord` defers ``repr(payload)`` until a consumer actually
+reads it, and :class:`EventPool` recycles *transient* events — the fire-once,
+nobody-keeps-a-handle kind — through a free list so the steady-state engine
+loop allocates nothing per event.
 """
 
 from __future__ import annotations
@@ -11,7 +18,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional
 
 
 class EventKind(enum.IntEnum):
@@ -51,13 +58,18 @@ class EventKind(enum.IntEnum):
 _SEQUENCE = itertools.count()
 
 
-@dataclass(order=False)
+@dataclass(order=False, slots=True)
 class Event:
     """A scheduled occurrence in simulated time.
 
     Events compare by ``(time, priority, seq)``.  ``seq`` is a process-global
     monotone counter, so insertion order breaks the remaining ties, which
     keeps the event loop fully deterministic.
+
+    ``transient`` marks an event as pool-recyclable: the engine returns it to
+    its :class:`EventPool` right after dispatch, so holding a reference to a
+    transient event past its callback is a bug.  Only schedule sites that
+    drop the returned handle may opt in.
     """
 
     time: float
@@ -67,6 +79,7 @@ class Event:
     priority: int = field(default=-1)
     seq: int = field(default_factory=lambda: next(_SEQUENCE))
     cancelled: bool = field(default=False, compare=False)
+    transient: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -81,7 +94,11 @@ class Event:
         return self.sort_key() < other.sort_key()
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; the engine skips it when popped."""
+        """Mark the event as cancelled; the engine skips it when popped.
+
+        Prefer :meth:`~repro.sim.engine.Engine.cancel` when an engine handle
+        is around — it additionally feeds the heap-compaction accounting.
+        """
         self.cancelled = True
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -91,11 +108,143 @@ class Event:
         )
 
 
-@dataclass(frozen=True)
-class EventRecord:
-    """Immutable trace record of a dispatched event (for tracing/tests)."""
+def _released_callback(event: "Event") -> None:  # pragma: no cover - defensive
+    raise RuntimeError(
+        "dispatch of a pool-released Event: a transient event handle was "
+        "retained past its callback (schedule with transient=False instead)"
+    )
 
-    time: float
-    kind: EventKind
-    seq: int
-    payload_repr: Optional[str] = None
+
+class EventPool:
+    """Free list of recyclable :class:`Event` objects.
+
+    ``acquire`` hands out a fresh-or-recycled event with a *new* sequence
+    number (the total order never sees reuse), ``release`` returns one to the
+    pool and severs its callback/payload references so recycled events cannot
+    keep dead object graphs alive.  The pool is bounded: beyond ``maxsize``
+    released events are simply dropped for the GC.
+    """
+
+    __slots__ = ("_free", "maxsize", "created", "reused")
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 0:
+            raise ValueError(f"maxsize must be >= 0, got {maxsize}")
+        self._free: List[Event] = []
+        self.maxsize = maxsize
+        #: Events constructed because the free list was empty.
+        self.created = 0
+        #: Events handed out from the free list instead of being constructed.
+        self.reused = 0
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def acquire(
+        self,
+        time: float,
+        kind: EventKind,
+        callback: Callable[[Event], None],
+        payload: Any = None,
+        priority: int = -1,
+    ) -> Event:
+        """A transient event ready to schedule (recycled when possible)."""
+        free = self._free
+        if free:
+            event = free.pop()
+            self.reused += 1
+            event.time = time
+            event.kind = kind
+            event.callback = callback
+            event.payload = payload
+            event.priority = int(kind) if priority < 0 else priority
+            event.seq = next(_SEQUENCE)
+            event.cancelled = False
+            return event
+        self.created += 1
+        return Event(
+            time=time,
+            kind=kind,
+            callback=callback,
+            payload=payload,
+            priority=priority,
+            transient=True,
+        )
+
+    def release(self, event: Event) -> None:
+        """Return a dispatched (or dead) transient event to the free list."""
+        event.callback = _released_callback
+        event.payload = None
+        event.cancelled = True
+        if len(self._free) < self.maxsize:
+            self._free.append(event)
+
+
+#: Sentinel for "repr not computed yet" — distinct from None, which is the
+#: legitimate repr of a ``None`` payload.
+_UNSET = object()
+
+
+class EventRecord:
+    """Immutable-ish trace record of a dispatched event (for tracing/tests).
+
+    ``payload_repr`` is computed lazily on first access: traced runs with a
+    ``max_records`` ring buffer used to pay ``repr(payload)[:80]`` for every
+    dispatched event even when the record was immediately evicted.  The raw
+    payload reference is dropped as soon as the repr is materialised (or via
+    :meth:`detach_payload`), so records never pin simulation objects.
+    """
+
+    __slots__ = ("time", "kind", "seq", "_payload", "_payload_repr")
+
+    def __init__(
+        self,
+        time: float,
+        kind: EventKind,
+        seq: int,
+        payload_repr: Optional[str] = None,
+        *,
+        payload: Any = None,
+    ) -> None:
+        self.time = time
+        self.kind = kind
+        self.seq = seq
+        if payload_repr is not None:
+            self._payload: Any = None
+            self._payload_repr: Any = payload_repr
+        else:
+            self._payload = payload
+            self._payload_repr = None if payload is None else _UNSET
+
+    @property
+    def payload_repr(self) -> Optional[str]:
+        """``repr(payload)[:80]`` — materialised on first read, then cached."""
+        value = self._payload_repr
+        if value is _UNSET:
+            value = repr(self._payload)[:80]
+            self._payload_repr = value
+            self._payload = None
+        return value  # type: ignore[no-any-return]
+
+    def detach_payload(self) -> None:
+        """Freeze the record: materialise the repr and drop the payload ref."""
+        _ = self.payload_repr
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, EventRecord):
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.kind == other.kind
+            and self.seq == other.seq
+            and self.payload_repr == other.payload_repr
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.time, self.kind, self.seq, self.payload_repr))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EventRecord(time={self.time!r}, kind={self.kind!r}, "
+            f"seq={self.seq!r}, payload_repr={self.payload_repr!r})"
+        )

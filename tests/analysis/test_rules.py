@@ -143,6 +143,28 @@ class TestKER001:
         result = lint_fixture("ker001_cases.py", "repro.experiments.fixture")
         assert rules_of(result, "KER001") == []
 
+    def test_wbgm_kernel_module_is_constrained(self):
+        """The new WBGM kernel module falls under the kernels leaf contract."""
+        from repro.analysis.rules.layering import _layer_for
+
+        layer, forbidden = _layer_for("repro.core.kernels.wbgm")
+        assert layer == "repro.core.kernels"
+        assert "repro.sim" in forbidden and "repro.platform" in forbidden
+
+    def test_shipped_wbgm_kernel_lints_clean(self):
+        """The real wbgm backend honours the numpy-only leaf contract."""
+        from pathlib import Path
+
+        from repro.analysis import lint_source
+
+        path = Path(__file__).parents[2] / "src" / "repro" / "core" / "kernels" / "wbgm.py"
+        result = lint_source(
+            path.read_text(encoding="utf-8"),
+            module="repro.core.kernels.wbgm",
+            path=str(path),
+        )
+        assert rules_of(result, "KER001") == []
+
 
 class TestAPI001:
     def test_positive_hits(self):

@@ -92,6 +92,83 @@ class TestKernelBitEquivalence:
                 assert ref[1] == opt[1]
 
 
+class TestWbgmAcceptLoop:
+    """Full-loop kernel: cycle decisions AND the in-kernel assignment row."""
+
+    @pytest.mark.parametrize("backend", OPTIMIZED)
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(0, 2**31 - 1),
+        n_workers=st.integers(1, 30),
+        n_tasks=st.integers(1, 30),
+        cycles=st.integers(0, 1500),
+        k_constant=st.sampled_from([0.05, 0.5, 5.0]),
+        zero_frac=st.sampled_from([0.0, 0.1]),
+    )
+    def test_matches_reference(
+        self, backend, seed, n_workers, n_tasks, cycles, k_constant, zero_frac
+    ):
+        ew, et, wt = _edge_arrays(seed, n_workers, n_tasks, zero_frac)
+        picks, alphas = _draws(seed ^ 0x5EED, len(wt), cycles)
+        args = (ew, et, wt, n_workers, n_tasks, picks, alphas, 1.0 / k_constant)
+        ref_idx, ref_row, ref_stats = kernels.wbgm_accept_loop(*args, backend="reference")
+        opt_idx, opt_row, opt_stats = kernels.wbgm_accept_loop(*args, backend=backend)
+        assert np.array_equal(ref_idx, opt_idx)
+        assert np.array_equal(ref_row, opt_row)
+        assert opt_row.dtype == np.int64
+        assert ref_stats == opt_stats
+
+    @pytest.mark.parametrize("backend", kernels.available_backends())
+    def test_agrees_with_react_match(self, backend):
+        """Same backend, same draws: the full loop IS react_match + row."""
+        ew, et, wt = _edge_arrays(7, 200, 200, zero_frac=0.05)
+        picks, alphas = _draws(8, len(wt), 1000)
+        args = (ew, et, wt, 200, 200, picks, alphas, 1.0 / 0.05)
+        plain_idx, plain_stats = kernels.react_match(*args, backend=backend)
+        idx, row, stats = kernels.wbgm_accept_loop(*args, backend=backend)
+        assert np.array_equal(plain_idx, idx)
+        assert plain_stats == stats
+        # The row must be exactly the dense form of the selected edges.
+        expected = np.full(200, -1, dtype=np.int64)
+        expected[et[idx]] = ew[idx]
+        assert np.array_equal(row, expected)
+
+    @pytest.mark.parametrize("backend", kernels.available_backends())
+    def test_assignment_one_to_one(self, backend):
+        ew, et, wt = _edge_arrays(13, 40, 25, zero_frac=0.1)
+        picks, alphas = _draws(14, len(wt), 2000)
+        _, row, _ = kernels.wbgm_accept_loop(
+            ew, et, wt, 40, 25, picks, alphas, 20.0, backend=backend
+        )
+        matched = row[row >= 0]
+        assert len(np.unique(matched)) == len(matched)  # workers distinct
+        assert row.shape == (25,)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError, match="fortran"):
+            kernels.wbgm_accept_loop(
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0),
+                1,
+                1,
+                np.zeros(0, dtype=np.int64),
+                np.zeros(0),
+                20.0,
+                backend="fortran",
+            )
+
+    def test_matcher_result_carries_dense_row(self, rng):
+        graph = BipartiteGraph.full(np.random.default_rng(3).random((25, 18)))
+        result = ReactMatcher(ReactParameters(cycles=800)).match(graph, rng)
+        assert result.task_worker is not None
+        assert np.array_equal(result.task_assignment_dense(), result.task_worker)
+        # Dict view agrees with the pair view derived from the edges.
+        pairs = {int(t): int(w) for w, t in zip(result.workers, result.tasks)}
+        assert result.task_assignment() == pairs
+        result.validate()
+
+
 class TestMatcherEquivalence:
     """Matcher level: same result AND same RNG stream consumption."""
 

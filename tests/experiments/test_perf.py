@@ -7,9 +7,11 @@ import json
 from repro.experiments.cli import COMMANDS
 from repro.experiments.perf import (
     BenchResult,
+    check_endtoend_regression,
     format_report,
     run_bench,
     run_matching_benchmarks,
+    write_bench_file,
 )
 
 SCHEMA_KEYS = {"bench", "params", "wall_seconds", "throughput", "commit"}
@@ -40,13 +42,34 @@ class TestMatchingBenchmarks:
 
 class TestDriver:
     def test_run_bench_writes_json_files(self, tmp_path):
-        report = run_bench(quick=True, out_dir=tmp_path)
-        for name in ("BENCH_matching.json", "BENCH_platform.json"):
+        # endtoend_parallel=0 skips the sharded variant: the multiprocessing
+        # spawn adds ~10 s of pure overhead on a 1-core test runner and the
+        # variant's mechanics are covered by tests/dist.
+        report = run_bench(quick=True, out_dir=tmp_path, endtoend_parallel=0)
+        for name in (
+            "BENCH_matching.json",
+            "BENCH_platform.json",
+            "BENCH_endtoend.json",
+        ):
             payload = json.loads((tmp_path / name).read_text())
             assert isinstance(payload, list) and payload
             for record in payload:
                 assert set(record) == SCHEMA_KEYS
             assert name in report
+        endtoend = json.loads((tmp_path / "BENCH_endtoend.json").read_text())
+        assert all(r["bench"] == "endtoend_throughput" for r in endtoend)
+        by_policy = {r["params"]["policy"]: r for r in endtoend}
+        assert set(by_policy) == {"react", "greedy", "traditional", "all"}
+        aggregate = by_policy["all"]
+        assert aggregate["params"]["variant"] == "sequential"
+        assert aggregate["params"]["completed"] == sum(
+            by_policy[p]["params"]["completed"]
+            for p in ("react", "greedy", "traditional")
+        )
+        assert aggregate["throughput"] > 0
+        # Quick runs use a non-comparable workload, so they must not carry
+        # the committed pre-PR speedup numbers.
+        assert "speedup_vs_pre_pr" not in aggregate["params"]
         platform = json.loads((tmp_path / "BENCH_platform.json").read_text())
         assert {r["bench"] for r in platform} == {
             "graph_build_prune",
@@ -71,3 +94,62 @@ class TestDriver:
 
     def test_cli_exposes_bench_command(self):
         assert "bench" in COMMANDS
+
+
+def _endtoend_record(policy, throughput, variant="sequential"):
+    return BenchResult(
+        bench="endtoend_throughput",
+        params={
+            "variant": variant,
+            "policy": policy,
+            "backend": "python",
+            "n_workers": 750,
+            "n_tasks": 8371,
+        },
+        wall_seconds=1.0,
+        throughput=throughput,
+    )
+
+
+class TestEndtoendRegressionCheck:
+    """The CI gate: fresh sequential rates vs the committed baseline."""
+
+    def _baseline(self, tmp_path, throughput=1000.0):
+        path = tmp_path / "BENCH_endtoend.json"
+        write_bench_file(path, [_endtoend_record("react", throughput)])
+        return path
+
+    def test_within_tolerance_passes(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        fresh = [_endtoend_record("react", 850.0)]  # -15% < 20% tolerance
+        assert check_endtoend_regression(fresh, baseline, tolerance=0.2) == []
+
+    def test_regression_fails(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        fresh = [_endtoend_record("react", 700.0)]  # -30%
+        failures = check_endtoend_regression(fresh, baseline, tolerance=0.2)
+        assert len(failures) == 1
+        assert "react" in failures[0]
+
+    def test_parallel_variant_is_informational(self, tmp_path):
+        # Parallel rates depend on the host's core count, not the code, so
+        # only sequential records gate — but a baseline with *no* matching
+        # sequential record must fail rather than pass vacuously.
+        baseline = self._baseline(tmp_path)
+        sequential_ok = _endtoend_record("react", 990.0)
+        parallel_slow = _endtoend_record("all", 10.0, variant="parallel")
+        assert (
+            check_endtoend_regression(
+                [sequential_ok, parallel_slow], baseline, tolerance=0.2
+            )
+            == []
+        )
+        assert check_endtoend_regression([parallel_slow], baseline) != []
+
+    def test_workload_mismatch_fails_loudly(self, tmp_path):
+        baseline = self._baseline(tmp_path)
+        fresh = [_endtoend_record("react", 5000.0)]
+        fresh[0].params["n_workers"] = 60  # a --quick run
+        failures = check_endtoend_regression(fresh, baseline)
+        assert len(failures) == 1
+        assert "comparable" in failures[0]

@@ -1,0 +1,76 @@
+"""Batched cohort dispatch never changes the bytes.
+
+The cohort engine's contract (same as the PR 5 ``--parallel`` merge): the
+batched dispatch path — cohort handlers for Eq. 2 monitor sweeps, periodic
+batch triggers, and batch-result publication — must produce *identical
+exported results* to plain one-event-at-a-time dispatch.  This test runs the
+same seeded comparison twice, once with cohort-handler registration disabled
+(every event takes the engine's per-event compatibility path, byte-identical
+to the sequential engine) and once as shipped, then compares the exported
+JSON/CSV bytes and the merged metrics snapshots sample for sample.
+"""
+
+from pathlib import Path
+
+from repro.dist import TelemetrySpec, run_comparison_sharded
+from repro.experiments.config import EndToEndConfig
+from repro.experiments.export import export_endtoend
+from repro.platform.policies import react_policy, traditional_policy
+from repro.sim.engine import Engine
+
+POLICIES = (react_policy(cycles=200), traditional_policy())
+
+CONFIG = EndToEndConfig(
+    n_workers=25, arrival_rate=0.5, n_tasks=40, drain_time=150.0
+)
+
+
+def _file_map(root: Path):
+    return {
+        str(path.relative_to(root)): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+def _run(tmp_path: Path, tag: str):
+    out_dir = tmp_path / tag
+    telemetry = TelemetrySpec(
+        prefix="endtoend",
+        trace_dir=str(out_dir / "trace"),
+        metrics_dir=str(out_dir / "metrics"),
+    )
+    run = run_comparison_sharded(
+        CONFIG, policies=POLICIES, parallel=1, telemetry=telemetry
+    )
+    export_dir = out_dir / "export"
+    export_dir.mkdir(parents=True)
+    export_endtoend(run.results, str(export_dir))
+    return run, export_dir
+
+
+def test_batched_dispatch_exports_identical_bytes(tmp_path, monkeypatch):
+    batched, batched_dir = _run(tmp_path, "batched")
+
+    # Disable cohort routing entirely: every registration becomes a no-op,
+    # so dispatch falls back to the per-event path for all components.
+    monkeypatch.setattr(
+        Engine, "register_cohort_handler", lambda self, callback, handler: None
+    )
+    sequential, sequential_dir = _run(tmp_path, "sequential")
+
+    for name in batched.results:
+        assert (
+            batched.results[name].summary == sequential.results[name].summary
+        ), f"summary for {name} differs between batched and sequential dispatch"
+    assert batched.snapshot is not None and sequential.snapshot is not None
+    assert batched.snapshot.samples == sequential.snapshot.samples
+    assert batched.snapshot.kinds == sequential.snapshot.kinds
+
+    files_batched = _file_map(batched_dir)
+    files_sequential = _file_map(sequential_dir)
+    assert set(files_batched) == set(files_sequential)
+    for name in files_batched:
+        assert files_batched[name] == files_sequential[name], (
+            f"{name} differs between batched and sequential dispatch"
+        )

@@ -3,10 +3,14 @@
 The paper's figures are reproduced by *bit-identical* reruns (ROADMAP tier-1
 gate; ``sim.rng`` named streams).  Three classes of regressions break that:
 
-* **DET001** — wall-clock reads or unseeded RNG construction inside the
-  deterministic packages (``repro.sim``, ``repro.core``, ``repro.platform``).
-  ``time.time()``/``perf_counter()`` values leak host timing into sim
-  state; an argless ``np.random.default_rng()`` draws OS entropy.
+* **DET001** — wall-clock reads or unseeded RNG construction.  The RNG
+  checks apply to the whole tree; the wall-clock checks apply everywhere
+  *except* the layers whose job is wall time — ``repro.service`` (the live
+  asyncio gateway, where ``loop.time()`` IS the clock) and
+  ``repro.experiments`` (benchmark harnesses measuring wall cost).
+  Anywhere else, ``time.time()``/``perf_counter()``/``loop.time()`` values
+  leak host timing into sim state; an argless ``np.random.default_rng()``
+  draws OS entropy.
 * **DET002** — RNG state that bypasses the named-stream registry: calls to
   the legacy global ``np.random.*`` distribution API (hidden process-wide
   state) or generators constructed at module/class scope (shared across
@@ -29,10 +33,17 @@ from typing import Iterator, Optional, Tuple
 
 from ..findings import Finding
 from ..modinfo import ModuleInfo, enclosing_symbols
-from .base import Rule
+from .base import Rule, in_scope
 
 #: Deterministic packages: everything that runs inside a simulation.
 DETERMINISTIC_SCOPE: Tuple[str, ...] = ("repro.sim", "repro.core", "repro.platform")
+
+#: Layers whose *purpose* is wall time: DET001's wall-clock checks skip
+#: these (RNG checks still apply).  ``repro.service`` is the asyncio
+#: gateway — ``WallClockRuntime`` implements ``EventClock.now`` from
+#: ``loop.time()`` — and ``repro.experiments`` measures wall cost in its
+#: perf harnesses.
+WALL_CLOCK_ALLOWED: Tuple[str, ...] = ("repro.service", "repro.experiments")
 
 #: Wall-clock sources.  Resolved through the import-alias map, so
 #: ``from time import perf_counter as pc; pc()`` is still caught.
@@ -51,6 +62,24 @@ WALL_CLOCK_CALLS = frozenset(
         "datetime.date.today",
     }
 )
+
+#: Receiver names treated as asyncio event loops for the ``loop.time()``
+#: heuristic.  The loop object's type is unknown statically, so DET001
+#: matches ``<receiver>.time()`` by conventional naming instead.
+LOOP_RECEIVERS = frozenset({"loop", "_loop", "event_loop", "_event_loop"})
+
+
+def _loop_time_receiver(node: ast.Call) -> Optional[str]:
+    """Receiver name when ``node`` is a ``loop.time()``-style clock read."""
+    func = node.func
+    if not isinstance(func, ast.Attribute) or func.attr != "time":
+        return None
+    target = func.value
+    if isinstance(target, ast.Name) and target.id in LOOP_RECEIVERS:
+        return target.id
+    if isinstance(target, ast.Attribute) and target.attr in LOOP_RECEIVERS:
+        return target.attr
+    return None
 
 #: Global-state seeding — forbidden outright (named streams make it useless).
 GLOBAL_SEED_CALLS = frozenset({"numpy.random.seed", "random.seed"})
@@ -109,30 +138,50 @@ class WallClockRule(Rule):
     """DET001: no wall-clock time or unseeded RNG in deterministic code."""
 
     id = "DET001"
-    title = "no wall-clock / unseeded RNG in sim, core, or platform code"
+    title = "wall clock only in repro.service/experiments; no unseeded RNG"
     rationale = (
         "Simulated time comes from the event engine and randomness from the "
         "seeded sim.rng streams; a wall-clock read or OS-entropy generator "
-        "makes reruns diverge and the paper's figures unreproducible."
+        "makes reruns diverge and the paper's figures unreproducible.  The "
+        "only legitimate wall-clock consumers are the live-service layer "
+        "(repro.service, where loop.time() drives the EventClock) and the "
+        "benchmark harnesses in repro.experiments."
     )
-    scope = DETERMINISTIC_SCOPE
+    scope = ("repro",)
 
     def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        allow_wall = in_scope(module.module, WALL_CLOCK_ALLOWED)
         symbols = enclosing_symbols(module.tree)
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
+            symbol = symbols.get(id(node), "")
+            if not allow_wall:
+                receiver = _loop_time_receiver(node)
+                if receiver is not None:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        node.col_offset,
+                        f"event-loop clock read `{receiver}.time()` outside "
+                        "repro.service; deterministic code takes its time from "
+                        "an EventClock's `now`",
+                        symbol,
+                    )
+                    continue
             name = _call_name(module, node)
             if name is None:
                 continue
-            symbol = symbols.get(id(node), "")
             if name in WALL_CLOCK_CALLS:
+                if allow_wall:
+                    continue
                 yield self.finding(
                     module,
                     node.lineno,
                     node.col_offset,
-                    f"wall-clock call `{name}()` in deterministic code; use the "
-                    "sim engine's `now` (sim time) instead",
+                    f"wall-clock call `{name}()` in deterministic code; use an "
+                    "EventClock's `now` (sim time), or move the code into "
+                    "repro.service if it genuinely lives on the wall clock",
                     symbol,
                 )
             elif name in GLOBAL_SEED_CALLS:

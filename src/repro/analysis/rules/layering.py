@@ -4,6 +4,12 @@ The package DAG the reproduction relies on (DESIGN.md):
 
     model, graph, stats  →  core  →  platform  →  retainer  →  experiments → dist
                  core/kernels (leaf: numpy-only numeric backends)
+                 platform  →  service  →  experiments (wall-clock gateway)
+
+``repro.service`` is the wall-clock deployment layer: it drives the same
+platform components as the DES harness, so the platform (and everything
+below it) must never import it — the Coordinator's ``server_factory``
+callback exists precisely to keep that edge inverted.
 
 ``core/kernels`` must stay importable without the event engine or the
 platform so the numba cell and the perf harness can load backends in
@@ -31,6 +37,7 @@ LAYERING: Dict[str, Tuple[str, ...]] = {
     "repro.core.kernels": (
         "repro.platform",
         "repro.sim",
+        "repro.service",
         "repro.experiments",
         "repro.dist",
         "repro.obs",
@@ -41,22 +48,49 @@ LAYERING: Dict[str, Tuple[str, ...]] = {
     ),
     "repro.core": (
         "repro.platform",
+        "repro.service",
         "repro.experiments",
         "repro.dist",
         "repro.chaos",
         "repro.workload",
     ),
-    "repro.stats": ("repro.platform", "repro.experiments", "repro.dist", "repro.chaos"),
-    "repro.graph": ("repro.platform", "repro.experiments", "repro.dist", "repro.chaos"),
+    "repro.stats": (
+        "repro.platform",
+        "repro.service",
+        "repro.experiments",
+        "repro.dist",
+        "repro.chaos",
+    ),
+    "repro.graph": (
+        "repro.platform",
+        "repro.service",
+        "repro.experiments",
+        "repro.dist",
+        "repro.chaos",
+    ),
     "repro.model": (
         "repro.platform",
+        "repro.service",
         "repro.experiments",
         "repro.dist",
         "repro.core",
         "repro.sim",
     ),
-    "repro.sim": ("repro.platform", "repro.experiments", "repro.dist", "repro.core"),
-    "repro.retainer": ("repro.experiments", "repro.dist", "repro.chaos"),
+    "repro.sim": (
+        "repro.platform",
+        "repro.service",
+        "repro.experiments",
+        "repro.dist",
+        "repro.core",
+    ),
+    "repro.platform": ("repro.service", "repro.experiments", "repro.dist"),
+    "repro.retainer": (
+        "repro.service",
+        "repro.experiments",
+        "repro.dist",
+        "repro.chaos",
+    ),
+    "repro.service": ("repro.experiments", "repro.dist"),
 }
 
 

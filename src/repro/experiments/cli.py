@@ -43,6 +43,7 @@ from .export import (
     export_scalability,
 )
 from .voting import VotingConfig, report_voting, run_voting_comparison
+from .loadtest import LoadtestScenario, format_loadtest, quick_scenario, run_loadtest
 from .matching_bench import run_matching_sweep
 from .perf import run_bench
 from .reporting import (
@@ -265,10 +266,14 @@ def _run_endtoend(
     resume: Optional[str] = None,
     retainer_size: Optional[int] = None,
     retainer_cost: Optional[float] = None,
+    retainer_adaptive: bool = False,
 ) -> str:
-    # --retainer-size/--retainer-cost switch the run to the marketplace
-    # retainer comparison (REACT vs REACT + retainer; docs/RETAINER.md).
-    with_retainer = retainer_size is not None or retainer_cost is not None
+    # --retainer-size/--retainer-cost/--retainer-adaptive switch the run to
+    # the marketplace retainer comparison (REACT vs REACT + retainer;
+    # docs/RETAINER.md).
+    with_retainer = (
+        retainer_size is not None or retainer_cost is not None or retainer_adaptive
+    )
     if with_retainer:
         spec = RetainerSpec(
             size=retainer_size if retainer_size is not None else RetainerSpec().size,
@@ -277,6 +282,7 @@ def _run_endtoend(
                 if retainer_cost is not None
                 else RetainerSpec().wage_per_second
             ),
+            adaptive=retainer_adaptive,
         )
         config = _marketplace_config(quick)
         policies = retainer_policies(spec)
@@ -349,6 +355,14 @@ def _run_chaos(
     return report + ("\n" + "\n".join(notes) if notes else "")
 
 
+def _run_loadtest(quick: bool, out: Optional[str] = None) -> str:
+    # Wall-clock run: boots the repro.service gateway on an ephemeral port
+    # and drives it over real HTTP (docs/SERVICE.md).  No --out series.
+    scenario = quick_scenario() if quick else LoadtestScenario()
+    report, summary = run_loadtest(scenario)
+    return format_loadtest(scenario, report, summary)
+
+
 def _run_bench(quick: bool, out: Optional[str] = None) -> str:
     # BENCH_*.json go to the repo root (the perf-regression baseline files)
     # unless --out redirects them, e.g. for scratch comparisons.
@@ -381,6 +395,7 @@ COMMANDS: Dict[str, Callable[..., str]] = {
     "endtoend": _run_endtoend,
     "chaos": _run_chaos,
     "bench": _run_bench,
+    "loadtest": _run_loadtest,
 }
 
 #: Commands that understand --trace-out / --metrics-out (the rest reject
@@ -478,6 +493,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         f"({'/'.join(RETAINER_COMMANDS)} only; default 0.01)",
     )
     parser.add_argument(
+        "--retainer-adaptive",
+        action="store_true",
+        help="retune the retainer pool size periodically from a live EWMA "
+        "arrival-rate estimate via optimal_pool_size "
+        f"({'/'.join(RETAINER_COMMANDS)} only; docs/RETAINER.md)",
+    )
+    parser.add_argument(
         "--log-level",
         default=None,
         choices=("debug", "info", "warning", "error"),
@@ -504,10 +526,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if args.parallel is not None and args.parallel < 1:
         parser.error("--parallel must be >= 1")
-    retainer = args.retainer_size is not None or args.retainer_cost is not None
+    retainer = (
+        args.retainer_size is not None
+        or args.retainer_cost is not None
+        or args.retainer_adaptive
+    )
     if retainer and not any(t in RETAINER_COMMANDS for t in targets):
         parser.error(
-            f"--retainer-size/--retainer-cost only apply to: "
+            f"--retainer-size/--retainer-cost/--retainer-adaptive only apply to: "
             f"{', '.join(RETAINER_COMMANDS)}"
         )
     if args.retainer_size is not None and args.retainer_size < 1:
@@ -525,6 +551,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if target in RETAINER_COMMANDS:
             kwargs["retainer_size"] = args.retainer_size
             kwargs["retainer_cost"] = args.retainer_cost
+            kwargs["retainer_adaptive"] = args.retainer_adaptive
         print(COMMANDS[target](args.quick, args.out, **kwargs))
         print()
     return 0

@@ -25,6 +25,7 @@ from ..platform.policies import (
     traditional_policy,
 )
 from ..platform.server import REACTServer
+from ..retainer.adaptive import AdaptivePoolSizer, EwmaRateEstimator
 from ..retainer.pool import RetainerPool
 from ..retainer.recruit import RetainerRecruiter, charge_task_payments
 from ..sim.engine import Engine
@@ -142,6 +143,7 @@ def run_endtoend(
 
     pool: Optional[RetainerPool] = None
     recruiter: Optional[RetainerRecruiter] = None
+    sizer: Optional[AdaptivePoolSizer] = None
     if config.worker_arrival_rate is not None:
         # Marketplace mode: the crowd arrives over time; a retainer policy
         # banks arrivals into a paid pool, an on-demand policy lets them
@@ -167,6 +169,19 @@ def run_endtoend(
             sweep_interval=spec.sweep_interval if spec is not None else 1.0,
             observability=observability,
         )
+        if spec is not None and spec.adaptive and pool is not None:
+            # Live arrival-rate tracking -> periodic c* retunes (ROADMAP:
+            # "couple the closed forms back into the simulation").
+            sizer = AdaptivePoolSizer(
+                engine,
+                pool,
+                EwmaRateEstimator(),
+                wage_per_second=spec.wage_per_second,
+                wait_cost_per_second=spec.wait_cost_per_second,
+                interval=spec.adaptive_interval,
+                metrics=server.metrics,
+                on_evict=recruiter.release_to_walkin,
+            )
     else:
         for profile, behavior in population:
             server.add_worker(profile, behavior)
@@ -198,6 +213,8 @@ def run_endtoend(
 
     def on_arrival(_payload: object) -> None:
         server.submit_task(generator.make(submitted_at=engine.now))
+        if sizer is not None:
+            sizer.observe_arrival()
         if recruiter is not None:
             recruiter.notify_demand()
 
@@ -206,6 +223,8 @@ def run_endtoend(
     engine.run(until=config.horizon)
     if churn is not None:
         churn.stop()
+    if sizer is not None:
+        sizer.stop()
     if recruiter is not None:
         recruiter.stop()
     server.stop()
@@ -273,7 +292,8 @@ def _settle_retainer(
     ledger = pool.ledger
     assert policy.retainer is not None  # checked in run_endtoend
     return RetainerRunStats(
-        pool_capacity=policy.retainer.size,
+        # Final capacity: equals the spec size unless adaptive retunes moved it.
+        pool_capacity=pool.capacity,
         workers_arrived=stats.arrived,
         workers_retained=stats.retained,
         walk_ins=stats.walk_ins,

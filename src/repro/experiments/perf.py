@@ -692,6 +692,59 @@ def check_endtoend_regression(
     return failures
 
 
+# -------------------------------------------------------------------- service
+def run_service_benchmark(quick: bool = False) -> BenchResult:
+    """Live-gateway round-trip throughput over real HTTP (docs/SERVICE.md).
+
+    Boots the wall-clock :class:`~repro.service.gateway.ServiceGateway` on
+    an ephemeral port and drives it with the closed-loop loadgen at the
+    default healthy scenario (admission rate above the arrival rate, so a
+    clean run sheds nothing).  ``throughput`` is admitted submits per wall
+    second; the submit-to-answer latency percentiles ride along in params
+    because a latency regression is the failure mode that matters for a
+    real-time gateway, and raw request rate alone would hide it.
+
+    Unlike the DES benches this one is genuinely wall-clock (sleeps,
+    sockets, asyncio scheduling), so run-to-run jitter is higher; the
+    scenario seed still pins arrivals and work times.
+    """
+    from .loadtest import LoadtestScenario, quick_scenario, run_loadtest
+
+    scenario = quick_scenario() if quick else LoadtestScenario()
+    report, summary = run_loadtest(scenario)
+    stats = report.to_dict()
+    logger.info(
+        "service bench: %d admitted / %d completed in %.2fs (p95 %.3fs)",
+        report.admitted, report.completed, report.wall_seconds,
+        report.percentile(95) or 0.0,
+    )
+    return BenchResult(
+        bench="service_gateway",
+        params={
+            "arrival_rate": scenario.arrival_rate,
+            "duration": scenario.duration,
+            "workers": scenario.workers,
+            "time_scale": scenario.time_scale,
+            "submitted": report.submitted,
+            "admitted": report.admitted,
+            "rejected": report.rejected,
+            "completed": report.completed,
+            "stale": report.stale,
+            "errors": report.errors,
+            "latency_p50": stats["latency_p50"],
+            "latency_p95": stats["latency_p95"],
+            "latency_p99": stats["latency_p99"],
+            "middleware_on_time": summary.get("on_time_fraction", 0.0),
+            "matcher_batches": int(summary.get("batches", 0)),
+        },
+        wall_seconds=report.wall_seconds,
+        throughput=(
+            report.admitted / report.wall_seconds if report.wall_seconds else 0.0
+        ),
+        commit=git_commit(),
+    )
+
+
 # ------------------------------------------------------------------- driver
 def repo_root() -> Path:
     """Git toplevel if available, else the current directory."""
@@ -753,17 +806,20 @@ def run_bench(
     platform.append(run_parallel_benchmark(quick))
     logger.info("bench: end-to-end throughput")
     endtoend = run_endtoend_throughput(quick, parallel=endtoend_parallel)
+    logger.info("bench: service gateway")
+    service = [run_service_benchmark(quick)]
     written = [
         write_bench_file(out_dir / "BENCH_matching.json", matching),
         write_bench_file(out_dir / "BENCH_platform.json", platform),
         write_bench_file(out_dir / "BENCH_endtoend.json", endtoend),
+        write_bench_file(out_dir / "BENCH_service.json", service),
     ]
     report = [
         "# Perf micro-benchmarks"
         + (" (--quick)" if quick else "")
         + f" [backends: {', '.join(kernels.available_backends())};"
         + f" active: {kernels.active_backend()}]",
-        format_report(matching + platform + endtoend),
+        format_report(matching + platform + endtoend + service),
     ]
     report.extend(f"# wrote {p}" for p in written)
     return "\n".join(report)

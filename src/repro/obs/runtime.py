@@ -24,7 +24,7 @@ from .registry import NULL_REGISTRY, MetricsRegistry
 from .trace import DEFAULT_MAX_EVENTS, NULL_TRACER, Tracer
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from ..sim.engine import Engine
+    from ..sim.clock import EventClock
 
 
 class Observability:
@@ -41,7 +41,7 @@ class Observability:
         self.tracer = Tracer(clock=clock, max_events=max_trace_events)
 
     # ------------------------------------------------------------- wiring
-    def bind_engine(self, engine: "Engine") -> "Observability":
+    def bind_engine(self, engine: "EventClock") -> "Observability":
         """Use ``engine.now`` as the tracer clock (late binding: drivers
         build the observability context before the engine exists)."""
         self.tracer.set_clock(lambda: engine.now)
@@ -89,7 +89,7 @@ class _NullObservability:
     registry = NULL_REGISTRY
     tracer = NULL_TRACER
 
-    def bind_engine(self, engine: "Engine") -> "_NullObservability":
+    def bind_engine(self, engine: "EventClock") -> "_NullObservability":
         return self
 
     def export(self, name, trace_dir=None, metrics_dir=None) -> List[Path]:

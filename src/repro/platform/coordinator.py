@@ -15,18 +15,29 @@ protocol is out of the paper's scope).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..model.region import Region
 from ..model.task import Task
 from ..model.worker import WorkerBehavior, WorkerProfile
 from ..obs.runtime import ObservabilityLike, resolve
 from ..obs.trace import PLATFORM_TRACK
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.rng import RngRegistry
 from .cost import CostModel
 from .policies import SchedulingPolicy
 from .server import REACTServer
+
+#: Builds one region server.  The default constructs a :class:`REACTServer`
+#: (simulation mode); the live gateway injects a factory producing
+#: ``repro.service.bridge.LiveRegionServer`` instead — any object with the
+#: REACTServer routing surface (``start``/``submit_task``/``adopt_task``/
+#: ``add_worker``/``remove_worker``/``task_management``/``profiling``/
+#: ``drain_and_summary``) works.  Typed ``Any`` because the platform layer
+#: must not import the service layer (KER001).
+ServerFactory = Callable[
+    [EventClock, SchedulingPolicy, RngRegistry, Optional[CostModel]], Any
+]
 
 
 @dataclass
@@ -45,13 +56,14 @@ class Coordinator:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         policy: SchedulingPolicy,
         regions: List[Region],
         rng: RngRegistry,
         cost_model: Optional[CostModel] = None,
         overload_queue_limit: Optional[int] = None,
         observability: Optional[ObservabilityLike] = None,
+        server_factory: Optional[ServerFactory] = None,
     ) -> None:
         if not regions:
             raise ValueError("at least one region is required")
@@ -61,6 +73,7 @@ class Coordinator:
         self._policy = policy
         self._rng = rng
         self._cost_model = cost_model
+        self._server_factory = server_factory
         self._overload_limit = overload_queue_limit
         # Split telemetry only: child servers are built without observability
         # because several MetricsCollectors binding one registry would fight
@@ -93,12 +106,17 @@ class Coordinator:
         server_id = self._next_server_id
         self._next_server_id += 1
         rng = self._rng.fork(server_id)
-        server = REACTServer(
-            engine=self._engine,
-            policy=self._policy,
-            rng=rng,
-            cost_model=self._cost_model,
-        )
+        if self._server_factory is not None:
+            server = self._server_factory(
+                self._engine, self._policy, rng, self._cost_model
+            )
+        else:
+            server = REACTServer(
+                engine=self._engine,
+                policy=self._policy,
+                rng=rng,
+                cost_model=self._cost_model,
+            )
         server.start()
         return RegionEntry(
             region=region, server=server, server_id=server_id, rng=rng
@@ -132,10 +150,13 @@ class Coordinator:
     def server_for(self, latitude: float, longitude: float) -> REACTServer:
         return self._entry_for(latitude, longitude).server
 
-    def add_worker(self, profile: WorkerProfile, behavior: WorkerBehavior) -> None:
+    def add_worker(
+        self, profile: WorkerProfile, behavior: Optional[WorkerBehavior] = None
+    ) -> None:
         """Register the worker with the server owning his location (§IV-A:
         "Each worker is registered to the server related to the area where
-        he belongs")."""
+        he belongs").  ``behavior`` carries the simulated ground truth and
+        is None for live (service-mode) workers."""
         self._entry_for(profile.latitude, profile.longitude).server.add_worker(
             profile, behavior
         )
@@ -175,14 +196,18 @@ class Coordinator:
         ]
         self._splits += 1
 
-        # Migrate idle workers located in the new half.
+        # Migrate idle workers located in the new half.  Live servers keep
+        # no simulated ground truth, so the behaviour lookup is conditional:
+        # a simulation server skips profiles with no behaviour record, a
+        # live server migrates every idle profile with behavior=None.
+        behaviors = getattr(old, "_behaviors", None)
         for profile in list(old.profiling):
             if not profile.available or profile.current_task is not None:
                 continue
             if not half_new.contains(profile.latitude, profile.longitude):
                 continue
-            behavior = old._behaviors.get(profile.worker_id)
-            if behavior is None:
+            behavior = behaviors.get(profile.worker_id) if behaviors is not None else None
+            if behaviors is not None and behavior is None:
                 continue
             old.remove_worker(profile.worker_id)
             # remove_worker marks the profile offline; revive it for the

@@ -24,7 +24,7 @@ from ..core.deadline import DeadlineEstimator
 from ..model.task import Task
 from ..obs.runtime import ObservabilityLike, resolve
 from ..obs.trace import MONITOR_TRACK
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import EventKind
 from ..sim.process import PeriodicProcess
 from .policies import SchedulingPolicy
@@ -48,7 +48,7 @@ class DynamicAssignmentComponent:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         policy: SchedulingPolicy,
         task_management: TaskManagementComponent,
         profiling: ProfilingComponent,

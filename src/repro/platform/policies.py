@@ -44,6 +44,14 @@ class RetainerSpec:
     release_latency: float = 0.5
     #: Period of the recruiter sweep (re-pooling, patience culls).
     sweep_interval: float = 1.0
+    #: Periodically retune ``size`` from a live EWMA arrival-rate estimate
+    #: (:mod:`repro.retainer.adaptive`); needs ``wage_per_second > 0``.
+    adaptive: bool = False
+    #: Seconds between adaptive retunes.
+    adaptive_interval: float = 30.0
+    #: Requester-side cost of one task-second of queueing, fed to
+    #: ``optimal_pool_size`` by the adaptive sizer.
+    wait_cost_per_second: float = 0.05
 
     def __post_init__(self) -> None:
         if self.size < 1:
@@ -54,6 +62,12 @@ class RetainerSpec:
             raise ValueError("release_latency must be non-negative")
         if self.sweep_interval <= 0:
             raise ValueError("sweep_interval must be positive")
+        if self.adaptive and self.wage_per_second <= 0:
+            raise ValueError("adaptive sizing requires wage_per_second > 0")
+        if self.adaptive_interval <= 0:
+            raise ValueError("adaptive_interval must be positive")
+        if self.wait_cost_per_second < 0:
+            raise ValueError("wait_cost_per_second must be non-negative")
 
     def cost_config(self) -> RetainerCostConfig:
         return RetainerCostConfig(

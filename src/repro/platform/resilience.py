@@ -33,7 +33,7 @@ from ..core.matching.base import Matcher
 from ..core.matching.registry import create_matcher
 from ..obs.runtime import ObservabilityLike, resolve
 from ..obs.trace import SCHEDULER_TRACK
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..stats.metrics import MetricsCollector
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -98,7 +98,7 @@ class DegradedModeController:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         scheduling: "SchedulingComponent",
         config: ResilienceConfig,
         metrics: MetricsCollector,

@@ -26,7 +26,7 @@ from ..model.task import Task
 from ..model.worker import WorkerProfile
 from ..obs.runtime import ObservabilityLike, resolve
 from ..obs.trace import SCHEDULER_TRACK
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import Event, EventKind
 from .cost import BatchShape, CostModel, MeasuredCost
 from .policies import SchedulingPolicy
@@ -54,7 +54,7 @@ class SchedulingComponent:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         policy: SchedulingPolicy,
         task_management: TaskManagementComponent,
         profiling: ProfilingComponent,

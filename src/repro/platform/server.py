@@ -26,7 +26,7 @@ from ..model.task import Task, TaskPhase
 from ..model.worker import WorkerBehavior, WorkerProfile
 from ..obs.runtime import ObservabilityLike, resolve
 from ..obs.trace import worker_track
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import Event, EventKind
 from ..sim.process import PeriodicProcess
 from ..sim.rng import STREAM_FEEDBACK, STREAM_MATCHER, STREAM_WORKER_BEHAVIOR, RngRegistry
@@ -60,7 +60,7 @@ class REACTServer:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         policy: SchedulingPolicy,
         rng: RngRegistry,
         cost_model: Optional[CostModel] = None,
@@ -183,7 +183,14 @@ class REACTServer:
         self._started = False
 
     # -------------------------------------------------------------- workers
-    def add_worker(self, profile: WorkerProfile, behavior: WorkerBehavior) -> None:
+    def add_worker(
+        self, profile: WorkerProfile, behavior: Optional[WorkerBehavior] = None
+    ) -> None:
+        if behavior is None:
+            raise ValueError(
+                "REACTServer simulates worker outcomes and requires a "
+                "WorkerBehavior; live workers belong on a LiveRegionServer"
+            )
         self.profiling.register(profile)
         self._behaviors[profile.worker_id] = behavior
 

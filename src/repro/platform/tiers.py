@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Tuple
 from ..model.region import RegionGrid
 from ..model.task import Task
 from ..model.worker import WorkerBehavior, WorkerProfile
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import EventKind
 from ..sim.process import PeriodicProcess
 from ..sim.rng import RngRegistry
@@ -52,7 +52,7 @@ class TieredCoordinator:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         policy: SchedulingPolicy,
         rng: RngRegistry,
         lat_min: float = 0.0,

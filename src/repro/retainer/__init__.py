@@ -9,10 +9,13 @@ ROADMAP (see docs/RETAINER.md):
   with release latency and per-worker wage accounting;
 * :mod:`repro.retainer.recruit` — the marketplace supply driver that holds
   arriving workers on retainer ahead of the REACT matcher;
+* :mod:`repro.retainer.adaptive` — EWMA arrival-rate tracking feeding
+  periodic ``optimal_pool_size`` retunes of a live pool;
 * :mod:`repro.retainer.validate` — the harness behind ``tests/validation/``
   checking simulation against the closed forms on a (lam, mu, c) grid.
 """
 
+from .adaptive import AdaptivePoolSizer, EwmaRateEstimator, RetuneRecord
 from .analytic import (
     PoolPredictions,
     cost_per_task,
@@ -40,7 +43,9 @@ from .validate import (
 )
 
 __all__ = [
+    "AdaptivePoolSizer",
     "DEFAULT_GRID",
+    "EwmaRateEstimator",
     "MetricCheck",
     "PointValidation",
     "PoolPredictions",
@@ -49,6 +54,7 @@ __all__ = [
     "ReleaseCallback",
     "RetainerPool",
     "RetainerRecruiter",
+    "RetuneRecord",
     "charge_task_payments",
     "cost_per_task",
     "erlang_b",

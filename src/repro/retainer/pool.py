@@ -34,7 +34,7 @@ from typing import Callable, Deque, Dict, Optional, Tuple
 
 from ..obs.runtime import ObservabilityLike, resolve
 from ..platform.cost import RetainerCostConfig, RetainerLedger
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import Event, EventKind
 
 #: Dispatch callback: receives ``(worker_id, waited_seconds)`` where the
@@ -47,7 +47,7 @@ class RetainerPool:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         capacity: int,
         cost: Optional[RetainerCostConfig] = None,
         release_latency: float = 0.0,
@@ -162,6 +162,41 @@ class RetainerPool:
             self._obs_outstanding.set(len(self._outstanding))
         else:
             raise ValueError(f"worker {worker_id} is not pooled")
+
+    def resize(
+        self,
+        new_capacity: int,
+        on_evict: Optional[Callable[[int], None]] = None,
+    ) -> int:
+        """Retune capacity; shrinking evicts surplus *idle* workers.
+
+        Growth just raises the bound (filling it is the recruiter's job —
+        future arrivals find room).  Shrinking evicts newest-held workers
+        first (LIFO keeps the longest-held seniority intact) until the pool
+        fits, invoking ``on_evict(worker_id)`` per eviction so the caller
+        can return the human to walk-in status.  Outstanding workers are
+        never evicted mid-dispatch; if they alone exceed the new capacity
+        the overshoot decays as they are withdrawn or the next resize runs.
+        Returns the number of evictions.
+        """
+        if new_capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {new_capacity}")
+        self.capacity = new_capacity
+        evicted = 0
+        while (
+            self._held
+            and len(self._held) + len(self._outstanding) > new_capacity
+        ):
+            worker_id = next(reversed(self._held))
+            self._end_hold(worker_id)
+            self._obs_held.set(len(self._held))
+            evicted += 1
+            self._tracer.instant(
+                "retainer.evict", cat="retainer", worker_id=worker_id
+            )
+            if on_evict is not None:
+                on_evict(worker_id)
+        return evicted
 
     # ------------------------------------------------------------- demand
     def request(self, callback: ReleaseCallback) -> None:

@@ -31,7 +31,7 @@ from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tupl
 
 from ..model.worker import WorkerBehavior, WorkerProfile
 from ..obs.runtime import ObservabilityLike, resolve
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import EventKind
 from ..sim.process import GeneratorProcess, PeriodicProcess
 from .pool import RetainerPool
@@ -71,7 +71,7 @@ class RetainerRecruiter:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         server: "REACTServer",
         supply: Supply,
         gaps: Iterator[Tuple[float, int]],
@@ -203,6 +203,26 @@ class RetainerRecruiter:
         managed.idle_since = None
         self._tracer.instant(
             "retainer.online", cat="retainer", worker_id=worker_id, waited=waited
+        )
+        self._server.scheduling.maybe_trigger()
+
+    def release_to_walkin(self, worker_id: int) -> None:
+        """A worker evicted from the pool rejoins the floor as a walk-in.
+
+        Hook for :class:`~repro.retainer.adaptive.AdaptivePoolSizer`: a
+        capacity shrink should not delete the human — he goes back online,
+        matchable, with his patience clock starting now.
+        """
+        managed = self._managed.get(worker_id)
+        if managed is None:
+            return
+        managed.pooled = False
+        managed.profile.online = True
+        managed.idle_since = self._engine.now
+        self.stats.walk_ins += 1
+        self._obs_walkins.set(self._walkin_count())
+        self._tracer.instant(
+            "retainer.evicted_to_walkin", cat="retainer", worker_id=worker_id
         )
         self._server.scheduling.maybe_trigger()
 

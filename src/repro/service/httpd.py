@@ -1,0 +1,280 @@
+"""A minimal asyncio HTTP/1.1 server (stdlib only).
+
+The gateway needs exactly one thing from HTTP: small JSON requests in,
+small JSON responses out, keep-alive so the closed-loop load generator is
+not dominated by connection setup.  The container bakes in no third-party
+web framework, so this module implements the narrow subset directly on
+``asyncio.start_server``:
+
+* request line + headers (8 KiB line cap), ``Content-Length`` bodies only
+  (1 MiB cap) — no chunked encoding, no upgrades, no pipelining guarantees
+  beyond strict serial handling per connection;
+* ``keep-alive`` by default for HTTP/1.1, ``Connection: close`` honoured;
+* malformed input maps to 400, an oversized body to 413, handler
+  exceptions to 500 (logged to the provided callback, never propagated to
+  the transport).
+
+Handlers are ``async (HttpRequest) -> HttpResponse``.  Routing, JSON
+semantics and backpressure live in :mod:`repro.service.gateway`; this
+module knows nothing about the middleware.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+MAX_HEADER_LINE = 8 * 1024
+MAX_HEADERS = 100
+MAX_BODY = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class BadRequest(Exception):
+    """Malformed HTTP input; the connection is answered 400 and closed."""
+
+
+@dataclass
+class HttpRequest:
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> object:
+        """Parse the body as JSON; raises :class:`BadRequest` on garbage."""
+        if not self.body:
+            return None
+        try:
+            return json.loads(self.body)
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise BadRequest(f"invalid JSON body: {exc}") from exc
+
+
+@dataclass
+class HttpResponse:
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, keep_alive: bool) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [f"HTTP/1.1 {self.status} {reason}"]
+        lines.append(f"Content-Type: {self.content_type}")
+        lines.append(f"Content-Length: {len(self.body)}")
+        lines.append(f"Connection: {'keep-alive' if keep_alive else 'close'}")
+        for name, value in self.headers.items():
+            lines.append(f"{name}: {value}")
+        head = ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+        return head + self.body
+
+
+def json_response(
+    payload: object,
+    status: int = 200,
+    headers: Optional[Dict[str, str]] = None,
+) -> HttpResponse:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    return HttpResponse(status=status, body=body, headers=headers or {})
+
+
+Handler = Callable[[HttpRequest], Awaitable[HttpResponse]]
+
+
+async def _read_request(reader: asyncio.StreamReader) -> Optional[HttpRequest]:
+    """Read one request; None on clean EOF before a request line."""
+    try:
+        request_line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request line") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise BadRequest("request line too long") from exc
+    if len(request_line) > MAX_HEADER_LINE:
+        raise BadRequest("request line too long")
+    parts = request_line.decode("latin-1").rstrip("\r\n").split(" ")
+    if len(parts) != 3:
+        raise BadRequest(f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise BadRequest(f"unsupported HTTP version: {version}")
+
+    headers: Dict[str, str] = {}
+    for _ in range(MAX_HEADERS + 1):
+        try:
+            line = await reader.readuntil(b"\r\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError) as exc:
+            raise BadRequest("truncated headers") from exc
+        if len(line) > MAX_HEADER_LINE:
+            raise BadRequest("header line too long")
+        if line == b"\r\n":
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadRequest(f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    else:
+        raise BadRequest("too many headers")
+
+    body = b""
+    length_header = headers.get("content-length")
+    if length_header is not None:
+        try:
+            length = int(length_header)
+        except ValueError as exc:
+            raise BadRequest(f"bad Content-Length: {length_header!r}") from exc
+        if length < 0:
+            raise BadRequest("negative Content-Length")
+        if length > MAX_BODY:
+            raise BadRequest("body too large")
+        if length:
+            try:
+                body = await reader.readexactly(length)
+            except asyncio.IncompleteReadError as exc:
+                raise BadRequest("truncated body") from exc
+    elif "transfer-encoding" in headers:
+        raise BadRequest("chunked bodies are not supported")
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    # HTTP/1.1 defaults to keep-alive; 1.0 to close.
+    connection = headers.get("connection", "").lower()
+    keep_alive = version == "HTTP/1.1" and connection != "close"
+    if version == "HTTP/1.0" and connection == "keep-alive":
+        keep_alive = True
+    headers["x-keep-alive"] = "1" if keep_alive else "0"
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+class HttpServer:
+    """Serve ``handler`` over HTTP/1.1 until :meth:`close`."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        on_error: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self._handler = handler
+        self._on_error = on_error
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._connections: set = set()
+        self._writers: set = set()
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and listen; returns the actual (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("server already started")
+        self._server = await asyncio.start_server(
+            self._serve_connection, host, port, limit=MAX_HEADER_LINE
+        )
+        sock = self._server.sockets[0]
+        addr = sock.getsockname()
+        return addr[0], addr[1]
+
+    async def close(self) -> None:
+        """Stop accepting, then wait for open connections to unwind.
+
+        A keep-alive client parked between requests would block shutdown
+        forever (its connection loop sits in ``readuntil``), so the
+        transports are closed first: the parked reader sees a clean EOF
+        and its loop exits.
+        """
+        if self._server is None:
+            return
+        self._server.close()
+        await self._server.wait_closed()
+        self._server = None
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        try:
+            await self._connection_loop(reader, writer)
+        finally:
+            if task is not None:
+                self._connections.discard(task)
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - teardown race
+                pass
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await _read_request(reader)
+            except BadRequest as exc:
+                self._log(f"bad request: {exc}")
+                status = 413 if "too large" in str(exc) else 400
+                payload = json.dumps({"error": str(exc)}).encode("utf-8")
+                response = HttpResponse(status=status, body=payload)
+                writer.write(response.encode(keep_alive=False))
+                await _drain(writer)
+                return
+            except (ConnectionError, OSError):
+                return
+            if request is None:
+                return
+            keep_alive = request.headers.pop("x-keep-alive", "1") == "1"
+            try:
+                response = await self._handler(request)
+            except BadRequest as exc:
+                response = json_response({"error": str(exc)}, status=400)
+            except Exception as exc:  # noqa: BLE001 - handler crash -> 500
+                self._log(f"handler error on {request.method} {request.path}: {exc!r}")
+                response = json_response({"error": "internal error"}, status=500)
+            try:
+                writer.write(response.encode(keep_alive=keep_alive))
+                await _drain(writer)
+            except (ConnectionError, OSError):
+                return
+            if not keep_alive:
+                return
+
+    def _log(self, message: str) -> None:
+        if self._on_error is not None:
+            self._on_error(message)
+
+
+async def _drain(writer: asyncio.StreamWriter) -> None:
+    try:
+        await writer.drain()
+    except (ConnectionError, OSError):  # pragma: no cover - peer went away
+        pass

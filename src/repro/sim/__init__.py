@@ -5,6 +5,7 @@ same middleware components in deterministic simulated time.  See DESIGN.md
 section 2 for why the substitution preserves the reported behaviour.
 """
 
+from .clock import CohortHandler, EventClock
 from .engine import Engine, SimulationError
 from .events import Event, EventKind, EventRecord
 from .process import GeneratorProcess, PeriodicProcess
@@ -20,7 +21,9 @@ from .rng import (
 )
 
 __all__ = [
+    "CohortHandler",
     "Engine",
+    "EventClock",
     "SimulationError",
     "Event",
     "EventKind",

@@ -40,11 +40,10 @@ import heapq
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, Iterator, List, Optional, Tuple
 
+from .clock import CohortHandler
 from .events import Event, EventKind, EventPool, EventRecord
 
-#: A batched dispatch target: ``handler(now, events)`` receives every
-#: consecutive same-``(time, priority)`` event bound for its callback.
-CohortHandler = Callable[[float, List[Event]], None]
+__all__ = ["CohortHandler", "Engine", "SimulationError"]
 
 _HeapEntry = Tuple[float, int, int, Event]
 

@@ -1,4 +1,4 @@
-"""Lightweight recurring-process helpers on top of :class:`~repro.sim.engine.Engine`.
+"""Lightweight recurring-process helpers on top of any :class:`~repro.sim.clock.EventClock`.
 
 The REACT server components need two scheduling idioms beyond one-shot
 events: *periodic* activities (the Dynamic Assignment monitor sweep, periodic
@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, List, Optional
 
-from .engine import Engine
+from .clock import EventClock
 from .events import Event, EventKind
 
 
@@ -39,7 +39,7 @@ class PeriodicProcess:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         period: float,
         action: Callable[[float], None],
         kind: EventKind = EventKind.CALLBACK,
@@ -106,7 +106,7 @@ class GeneratorProcess:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         gaps: Iterator[tuple[float, object]],
         action: Callable[[object], None],
         kind: EventKind = EventKind.CALLBACK,

@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Dict
 import numpy as np
 
 from ..model.worker import WorkerBehavior, WorkerProfile
-from ..sim.engine import Engine
+from ..sim.clock import EventClock
 from ..sim.events import Event, EventKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -56,7 +56,7 @@ class ChurnProcess:
 
     def __init__(
         self,
-        engine: Engine,
+        engine: EventClock,
         server: "REACTServer",
         rng: np.random.Generator,
         mean_session_s: float = 300.0,

@@ -1,7 +1,9 @@
 """DET001 fixture: wall-clock / unseeded RNG in deterministic code.
 
 Linted under the module name ``repro.core.fixture_det001`` (in DET001's
-scope).  Three cases: positive hit, suppressed hit, clean.
+scope), and re-linted as ``repro.service.*`` / ``repro.experiments.*``
+to pin the wall-clock carve-out (RNG checks still apply there).  Cases:
+positive hits, suppressed hit, clean.
 """
 
 import time
@@ -18,6 +20,12 @@ def positive_hit() -> float:
     rng = np.random.default_rng()  # HIT: argless → OS entropy
     np.random.seed(0)  # HIT: global seeding
     return stamp + rng.random()
+
+
+def loop_clock_hit(loop) -> float:
+    stamp = loop.time()  # HIT: event-loop clock read outside repro.service
+    stamp += self_like._event_loop.time()  # HIT: attribute receiver  # noqa: F821
+    return stamp
 
 
 def suppressed_hit() -> float:

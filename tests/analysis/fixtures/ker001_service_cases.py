@@ -1,0 +1,17 @@
+"""KER001 fixture: the service layer's place in the import DAG.
+
+Linted twice: as ``repro.service.fixture_ker001`` (service may import the
+platform but never the experiments layer above it) and as
+``repro.platform.fixture_ker001`` (the platform must not import the
+service layer — the Coordinator's ``server_factory`` callback keeps that
+edge inverted).  Nothing here is executed; missing modules are irrelevant.
+"""
+
+from repro.experiments.loadtest import run_loadtest  # HIT under both names
+from repro.platform.coordinator import Coordinator  # clean under service
+from repro.service.gateway import ServiceGateway  # HIT under platform only
+from repro.sim.clock import EventClock  # clean everywhere
+
+
+def fixture(clock: EventClock) -> tuple:
+    return Coordinator, ServiceGateway, run_loadtest

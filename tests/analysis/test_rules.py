@@ -15,13 +15,15 @@ class TestDET001:
     def test_positive_hits(self):
         result = lint_fixture("det001_cases.py", "repro.core.fixture_det001")
         hits = rules_of(result, "DET001")
-        assert len(hits) == 5
+        assert len(hits) == 7
         messages = " ".join(f.message for f in hits)
         assert "time.time" in messages
         assert "datetime.datetime.now" in messages
         assert "time.perf_counter" in messages  # aliased from-import resolved
         assert "numpy.random.default_rng" in messages
         assert "numpy.random.seed" in messages
+        assert "loop.time" in messages
+        assert "_event_loop.time" in messages
 
     def test_suppressed_hit_does_not_gate(self):
         result = lint_fixture("det001_cases.py", "repro.core.fixture_det001")
@@ -33,10 +35,23 @@ class TestDET001:
         result = lint_fixture("det001_cases.py", "repro.core.fixture_det001")
         assert not any(f.symbol == "clean" for f in result.findings)
 
-    def test_out_of_scope_module_ignored(self):
-        # experiments/ may measure wall time (benchmark harness).
-        result = lint_fixture("det001_cases.py", "repro.experiments.fixture")
-        assert rules_of(result, "DET001") == []
+    def test_wall_clock_allowed_in_service_and_experiments(self):
+        # The wall-clock checks (including loop.time()) skip the layers
+        # whose job is wall time; the RNG checks still fire there.
+        for name in ("repro.service.fixture", "repro.experiments.fixture"):
+            result = lint_fixture("det001_cases.py", name)
+            hits = rules_of(result, "DET001")
+            assert len(hits) == 2, name
+            messages = " ".join(f.message for f in hits)
+            assert "numpy.random.default_rng" in messages
+            assert "numpy.random.seed" in messages
+            assert ".time" not in messages
+
+    def test_whole_tree_in_scope(self):
+        # Pre-service, DET001 covered only sim/core/platform; now any repro
+        # package outside the carve-out is held to the same clock discipline.
+        result = lint_fixture("det001_cases.py", "repro.workload.fixture")
+        assert len(rules_of(result, "DET001")) == 7
 
 
 class TestDET002:
@@ -142,6 +157,40 @@ class TestKER001:
     def test_unconstrained_module_ignored(self):
         result = lint_fixture("ker001_cases.py", "repro.experiments.fixture")
         assert rules_of(result, "KER001") == []
+
+    def test_service_must_not_import_experiments(self):
+        result = lint_fixture(
+            "ker001_service_cases.py", "repro.service.fixture_ker001"
+        )
+        hits = rules_of(result, "KER001")
+        assert len(hits) == 1
+        assert "repro.experiments" in hits[0].message
+        # Importing the platform from the service layer is the design.
+        assert not any("repro.platform" in f.message for f in hits)
+
+    def test_platform_must_not_import_service(self):
+        result = lint_fixture(
+            "ker001_service_cases.py", "repro.platform.fixture_ker001"
+        )
+        hits = rules_of(result, "KER001")
+        assert len(hits) == 2
+        messages = " ".join(f.message for f in hits)
+        assert "repro.service" in messages
+        assert "repro.experiments" in messages
+
+    def test_shipped_service_package_lints_clean(self):
+        from pathlib import Path
+
+        from repro.analysis import lint_source
+
+        pkg = Path(__file__).parents[2] / "src" / "repro" / "service"
+        for path in sorted(pkg.glob("*.py")):
+            module = f"repro.service.{path.stem}"
+            result = lint_source(
+                path.read_text(encoding="utf-8"), module=module, path=str(path)
+            )
+            assert rules_of(result, "KER001") == [], module
+            assert rules_of(result, "DET001") == [], module
 
     def test_wbgm_kernel_module_is_constrained(self):
         """The new WBGM kernel module falls under the kernels leaf contract."""

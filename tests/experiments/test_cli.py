@@ -10,6 +10,7 @@ class TestDispatch:
         expected = {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "case-study", "ablations", "voting", "endtoend", "chaos", "bench",
+            "loadtest",
         }
         assert set(COMMANDS) == expected
 

@@ -1,0 +1,285 @@
+"""Clock-protocol conformance: one battery, two EventClock implementations.
+
+Every scenario here runs verbatim against the DES
+:class:`~repro.sim.engine.Engine` and the asyncio
+:class:`~repro.service.runtime.WallClockRuntime` (at a high ``time_scale``
+so a few clock seconds are a few wall milliseconds).  This is the contract
+that lets the four platform components run unmodified under either clock:
+dispatch ordering, coincident-event cohorts, cancellation, callback
+chaining, and ``now`` monotonicity must agree.
+
+Wall-clock caveat baked into the assertions: the runtime's ``now`` can run
+*ahead* of an event's scheduled time (a timer can only fire late), so the
+battery asserts ``now >= event.time`` plus cohort-frozen equality, not
+exact equality — the DES engine trivially satisfies the same predicate.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.service.runtime import WallClockRuntime
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.events import EventKind
+
+CLOCKS = ("engine", "wallclock")
+
+#: Clock seconds the wall runtime compresses into one wall second.
+TIME_SCALE = 500.0
+
+
+def run_scenario(clock_kind, setup, horizon=50.0):
+    """Build a scenario on a fresh clock, run it to quiescence, check it.
+
+    ``setup(clock) -> check`` schedules events and returns the assertion
+    callback, invoked as ``check(clock)`` after every event dispatched.
+    """
+    if clock_kind == "engine":
+        engine = Engine()
+        check = setup(engine)
+        engine.run(until=horizon)
+        check(engine)
+        return
+
+    async def main():
+        runtime = WallClockRuntime(time_scale=TIME_SCALE)
+        check = setup(runtime)
+        await asyncio.wait_for(runtime.drained(), timeout=30.0)
+        return runtime, check
+
+    runtime, check = asyncio.run(main())
+    check(runtime)
+
+
+@pytest.fixture(params=CLOCKS)
+def clock_kind(request):
+    return request.param
+
+
+class TestOrdering:
+    def test_dispatch_in_time_order(self, clock_kind):
+        fired = []
+
+        def setup(clock):
+            for label, delay in (("c", 3.0), ("a", 1.0), ("b", 2.0)):
+                clock.schedule(
+                    delay,
+                    EventKind.CALLBACK,
+                    (lambda lab: lambda _e: fired.append(lab))(label),
+                )
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert fired == ["a", "b", "c"]
+
+    def test_coincident_events_fire_in_schedule_order(self, clock_kind):
+        fired = []
+
+        def setup(clock):
+            for label in ("first", "second", "third"):
+                clock.schedule_at(
+                    2.0,
+                    EventKind.CALLBACK,
+                    (lambda lab: lambda _e: fired.append(lab))(label),
+                )
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert fired == ["first", "second", "third"]
+
+    def test_priority_orders_coincident_events(self, clock_kind):
+        """Lower non-negative priority dispatches first at one instant.
+
+        (A *negative* priority is the sentinel for "use the kind's own
+        priority" — ``Event.__post_init__`` rewrites it to ``int(kind)`` —
+        so explicit ordering must use non-negative values.)
+        """
+        fired = []
+
+        def setup(clock):
+            clock.schedule_at(
+                2.0, EventKind.CALLBACK, lambda _e: fired.append("low"), priority=9
+            )
+            clock.schedule_at(
+                2.0, EventKind.CALLBACK, lambda _e: fired.append("high"), priority=1
+            )
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert fired == ["high", "low"]
+
+    def test_callback_chaining(self, clock_kind):
+        """An event scheduled from inside a callback fires later."""
+        fired = []
+
+        def setup(clock):
+            def second(_event):
+                fired.append("second")
+
+            def first(_event):
+                fired.append("first")
+                clock.schedule(1.0, EventKind.CALLBACK, second)
+
+            clock.schedule(1.0, EventKind.CALLBACK, first)
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert fired == ["first", "second"]
+
+
+class TestCancellation:
+    def test_cancelled_event_never_fires(self, clock_kind):
+        fired = []
+
+        def setup(clock):
+            victim = clock.schedule(
+                2.0, EventKind.CALLBACK, lambda _e: fired.append("victim")
+            )
+            clock.schedule(
+                1.0, EventKind.CALLBACK, lambda _e: clock.cancel(victim)
+            )
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert fired == []
+
+    def test_cancellation_within_a_cohort(self, clock_kind):
+        """An earlier coincident member can cancel a later one."""
+        fired = []
+
+        def setup(clock):
+            victim_box = []
+
+            def killer(_event):
+                fired.append("killer")
+                clock.cancel(victim_box[0])
+
+            # Same (time, priority), earlier seq: the killer walks the
+            # cohort first and flags its coincident peer before dispatch
+            # reaches it.
+            killer_event = clock.schedule_at(2.0, EventKind.CALLBACK, killer)
+            victim = clock.schedule_at(
+                2.0, EventKind.CALLBACK, lambda _e: fired.append("victim")
+            )
+            victim_box.append(victim)
+            assert killer_event.seq < victim.seq
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert fired == ["killer"]
+
+
+class TestCohortDispatch:
+    def test_coincident_same_callback_events_batch(self, clock_kind):
+        """N coincident events of one callback reach the handler as one call."""
+        calls = []
+
+        def setup(clock):
+            def member(_event):  # pragma: no cover - replaced by the handler
+                raise AssertionError("cohort member dispatched individually")
+
+            def handler(now, events):
+                calls.append((now, [e.payload for e in events]))
+
+            clock.register_cohort_handler(member, handler)
+            for payload in (1, 2, 3):
+                clock.schedule_at(2.0, EventKind.CALLBACK, member, payload=payload)
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert len(calls) == 1
+        now, payloads = calls[0]
+        assert payloads == [1, 2, 3]
+        assert now >= 2.0
+
+    def test_batching_is_consecutive_only(self, clock_kind):
+        """A different callback interleaved in seq order splits the batch."""
+        calls = []
+        other = []
+
+        def setup(clock):
+            def member(_event):  # pragma: no cover - replaced by the handler
+                raise AssertionError("unreachable")
+
+            def handler(now, events):
+                calls.append([e.payload for e in events])
+
+            clock.register_cohort_handler(member, handler)
+            clock.schedule_at(2.0, EventKind.CALLBACK, member, payload="a1")
+            clock.schedule_at(2.0, EventKind.CALLBACK, member, payload="a2")
+            clock.schedule_at(
+                2.0, EventKind.CALLBACK, lambda _e: other.append("b")
+            )
+            clock.schedule_at(2.0, EventKind.CALLBACK, member, payload="a3")
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert calls == [["a1", "a2"], ["a3"]]
+        assert other == ["b"]
+
+    def test_unregister_restores_individual_dispatch(self, clock_kind):
+        individual = []
+
+        def setup(clock):
+            def member(event):
+                individual.append(event.payload)
+
+            def handler(now, events):  # pragma: no cover - unregistered
+                raise AssertionError("handler should be unregistered")
+
+            clock.register_cohort_handler(member, handler)
+            clock.unregister_cohort_handler(member)
+            clock.schedule_at(2.0, EventKind.CALLBACK, member, payload="x")
+            clock.schedule_at(2.0, EventKind.CALLBACK, member, payload="y")
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert individual == ["x", "y"]
+
+
+class TestNowSemantics:
+    def test_now_monotone_and_frozen_per_cohort(self, clock_kind):
+        samples = []
+
+        def setup(clock):
+            def sample(_event):
+                samples.append(clock.now)
+
+            # Two cohorts of two coincident members each.
+            for t in (1.0, 2.0):
+                clock.schedule_at(t, EventKind.CALLBACK, sample)
+                clock.schedule_at(t, EventKind.CALLBACK, sample)
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)
+        assert len(samples) == 4
+        # Monotone nondecreasing across all dispatches.
+        assert samples == sorted(samples)
+        # Frozen within each coincident cohort: members see the same instant.
+        assert samples[0] == samples[1]
+        assert samples[2] == samples[3]
+        # Never before the scheduled time.
+        assert samples[0] >= 1.0 and samples[2] >= 2.0
+
+    def test_now_does_not_retreat_after_dispatch(self, clock_kind):
+        observed = []
+
+        def setup(clock):
+            clock.schedule(1.0, EventKind.CALLBACK, lambda _e: observed.append(clock.now))
+
+            def check(clock):
+                assert clock.now >= observed[0]
+
+            return check
+
+        run_scenario(clock_kind, setup)
+
+    def test_schedule_into_past_raises(self, clock_kind):
+        def setup(clock):
+            with pytest.raises(SimulationError):
+                clock.schedule(-1.0, EventKind.CALLBACK, lambda _e: None)
+            with pytest.raises(SimulationError):
+                clock.schedule_at(-5.0, EventKind.CALLBACK, lambda _e: None)
+            return lambda clock: None
+
+        run_scenario(clock_kind, setup)

@@ -13,12 +13,23 @@ Rule catalogue (see :mod:`repro.analysis.rules` and docs/STATIC_ANALYSIS.md):
 ========  ==============================================================
 DET001    no wall-clock / unseeded RNG inside ``sim``/``core``/``platform``
 DET002    RNG objects threaded from ``sim.rng`` streams, never global state
+DET003    child seeds via SeedSequence spawn keys, not arithmetic on seeds
 NUM001    no ``==``/``!=`` against float literals in ``core``/``stats``
 OBS001    observability goes through the null-object facade, not ``if obs``
 KER001    layering: ``core/kernels`` (and ``core``/``stats``/``graph``)
           must not import upward (``platform``/``sim``/...)
 API001    public functions in ``core``/``stats``/``platform`` fully annotated
+ASYNC001  no blocking calls reachable from ``async def`` in ``service``
+ASYNC002  coroutine results must be awaited / stored / gathered
+ASYNC003  no check-then-act staleness races across ``await`` points
+TIME001   sim-clock and wall-clock values never mixed in one expression
+EXC001    broad excepts in handler code must re-raise or count the failure
 ========  ==============================================================
+
+The ``ASYNC``/``TIME``/``EXC`` rules run on a dataflow tier — per-function
+CFGs with await-point blocks (:mod:`repro.analysis.cfg`), a forward
+worklist solver with a taint lattice (:mod:`repro.analysis.dataflow`) and
+cross-module call resolution (:mod:`repro.analysis.callgraph`).
 
 Entry points: ``python -m repro.analysis`` (or the ``lint`` subcommand of
 ``python -m repro.experiments``) and the programmatic :func:`lint_paths` /

@@ -1,0 +1,315 @@
+"""Cross-module call resolution for the async-safety rules.
+
+ASYNC001 ("blocking call reachable from an ``async def``") and ASYNC002
+("coroutine result never awaited") need to answer two questions that a
+single-module AST cannot: *what function does this call name resolve to*,
+and *is it a coroutine / does it transitively block*.  This module answers
+them purely syntactically, reusing the import-alias resolution that
+:mod:`repro.analysis.modinfo` already performs:
+
+* A call like ``helpers.fetch()`` resolves through the module's alias map
+  to ``repro.service.helpers.fetch``; the resolver maps the dotted prefix
+  back to a file under the same source root as the current module, parses
+  it (cached, never imported), and looks the symbol up in that module's
+  definition table.
+* ``self.push(...)`` resolves against the enclosing class's method table —
+  the one receiver whose type is statically known.
+* Anything else (dynamic receivers, third-party modules without source on
+  disk) resolves to ``None`` and the rules stay silent — resolution
+  failures must never manufacture findings.
+
+Resolution is deliberately shallow: no MRO walking, no re-export chasing,
+no decorator semantics.  That keeps it predictable (the property a linter
+needs most) and fast enough to run per file.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from .modinfo import ModuleInfo, load_module
+
+FunctionDefNode = ast.FunctionDef | ast.AsyncFunctionDef
+
+#: asyncio entry points that hand back awaitables (treated as coroutine
+#: calls by ASYNC002 even though the stdlib source is never parsed).
+KNOWN_COROUTINE_CALLS = frozenset(
+    {
+        "asyncio.sleep",
+        "asyncio.gather",
+        "asyncio.wait",
+        "asyncio.wait_for",
+        "asyncio.shield",
+        "asyncio.to_thread",
+        "asyncio.open_connection",
+        "asyncio.start_server",
+        "asyncio.staggered_race",
+    }
+)
+
+
+@dataclass(frozen=True)
+class FunctionRef:
+    """One resolved function definition."""
+
+    #: Dotted module the definition lives in (best effort).
+    module: str
+    #: Dotted symbol inside the module, e.g. ``LiveRegionServer.heartbeat``.
+    qualname: str
+    node: FunctionDefNode
+
+    @property
+    def is_async(self) -> bool:
+        return isinstance(self.node, ast.AsyncFunctionDef)
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.module, self.qualname)
+
+
+def definition_table(info: ModuleInfo) -> Dict[str, FunctionDefNode]:
+    """Map dotted symbol (``Class.method``, ``outer.inner``) → def node."""
+    table: Dict[str, FunctionDefNode] = {}
+
+    def visit(node: ast.AST, symbol: str) -> None:
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                child_symbol = f"{symbol}.{child.name}" if symbol else child.name
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                table.setdefault(child_symbol, child)
+            visit(child, child_symbol)
+
+    visit(info.tree, "")
+    return table
+
+
+def _source_root(info: ModuleInfo) -> Optional[Path]:
+    """Directory containing the top-level package of ``info``.
+
+    ``repro.service.bridge`` at ``/x/src/repro/service/bridge.py`` →
+    ``/x/src``.  Returns None when the module name and the path disagree
+    (in-memory fixtures linted under synthetic names), which disables
+    cross-module resolution.
+    """
+    parts = info.module.split(".")
+    path = info.path
+    if path.name == "__init__.py":
+        path = path.parent
+    else:
+        path = path.with_suffix("")
+    for part in reversed(parts):
+        if path.name != part:
+            return None
+        path = path.parent
+    return path
+
+
+class CallGraph:
+    """Resolver for calls made from one module, with a shared parse cache."""
+
+    def __init__(
+        self,
+        info: ModuleInfo,
+        module_cache: Optional[Dict[Path, Optional[ModuleInfo]]] = None,
+    ) -> None:
+        self.info = info
+        self.root = _source_root(info)
+        self._cache = module_cache if module_cache is not None else {}
+        self._local_defs = definition_table(info)
+        self._tables: Dict[int, Dict[str, FunctionDefNode]] = {
+            id(info): self._local_defs
+        }
+
+    # ----------------------------------------------------------- resolution
+    def resolve_call(
+        self, call: ast.Call, enclosing_class: Optional[str] = None
+    ) -> Optional[FunctionRef]:
+        """Best-effort resolution of a call expression to its definition."""
+        func = call.func
+        # self.method() / cls.method(): the statically-known receiver.
+        if (
+            enclosing_class
+            and isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in ("self", "cls")
+        ):
+            symbol = f"{enclosing_class}.{func.attr}"
+            node = self._local_defs.get(symbol)
+            if node is not None:
+                return FunctionRef(self.info.module, symbol, node)
+            return None
+        qualified = self.info.qualified_name(func)
+        if qualified is None:
+            return None
+        return self.resolve_name(qualified)
+
+    def resolve_name(self, qualified: str) -> Optional[FunctionRef]:
+        """Resolve an absolute dotted name to a function definition."""
+        # Local definition (possibly nested / method referenced directly).
+        node = self._local_defs.get(qualified)
+        if node is not None:
+            return FunctionRef(self.info.module, qualified, node)
+        # A name imported from a sibling module under the same source root.
+        if self.root is None:
+            return None
+        parts = qualified.split(".")
+        top = self.root / parts[0]
+        if not (top.is_dir() or top.with_suffix(".py").exists()):
+            return None
+        # Longest module prefix that exists on disk wins; the remainder is
+        # the symbol path inside it.
+        for split in range(len(parts) - 1, 0, -1):
+            module_parts, symbol_parts = parts[:split], parts[split:]
+            module_path = self._module_path(module_parts)
+            if module_path is None:
+                continue
+            info = self._load(module_path, ".".join(module_parts))
+            if info is None:
+                continue
+            symbol = ".".join(symbol_parts)
+            table = self._table(info)
+            node = table.get(symbol)
+            if node is not None:
+                return FunctionRef(info.module, symbol, node)
+            return None
+        return None
+
+    def resolve_in(self, ref: FunctionRef, call: ast.Call) -> Optional[FunctionRef]:
+        """Resolve a call *made inside* a previously resolved function.
+
+        Used by the transitive blocking-call walk: the callee's module has
+        its own alias map, so its calls resolve in its own namespace.
+        """
+        info = self._info_for(ref)
+        if info is None:
+            return None
+        if info is self.info:
+            enclosing = ref.qualname.rpartition(".")[0] or None
+            return self.resolve_call(call, enclosing_class=enclosing)
+        graph = CallGraph(info, module_cache=self._cache)
+        enclosing = ref.qualname.rpartition(".")[0] or None
+        return graph.resolve_call(call, enclosing_class=enclosing)
+
+    def qualified_in(self, ref: FunctionRef, node: ast.AST) -> Optional[str]:
+        """``qualified_name`` evaluated in the namespace of ``ref``'s module."""
+        info = self._info_for(ref)
+        if info is None:
+            return None
+        return info.qualified_name(node)
+
+    # ------------------------------------------------------------ coroutines
+    def is_coroutine_call(
+        self, call: ast.Call, enclosing_class: Optional[str] = None
+    ) -> Optional[str]:
+        """Name of the coroutine being called, or None for non-coroutines.
+
+        Resolution order: known asyncio awaitable factories, then project
+        functions resolved to an ``async def``.
+        """
+        qualified = self.info.qualified_name(call.func)
+        if qualified is not None and qualified in KNOWN_COROUTINE_CALLS:
+            return qualified
+        ref = self.resolve_call(call, enclosing_class=enclosing_class)
+        if ref is not None and ref.is_async:
+            return ref.qualname
+        return None
+
+    # -------------------------------------------------------------- plumbing
+    def _module_path(self, module_parts: List[str]) -> Optional[Path]:
+        assert self.root is not None
+        base = self.root.joinpath(*module_parts)
+        candidate = base.with_suffix(".py")
+        if candidate.exists():
+            return candidate
+        package = base / "__init__.py"
+        if package.exists():
+            return package
+        return None
+
+    def _load(self, path: Path, module: str) -> Optional[ModuleInfo]:
+        path = path.resolve()
+        if path in self._cache:
+            return self._cache[path]
+        if path == self.info.path.resolve():
+            self._cache[path] = self.info
+            return self.info
+        try:
+            info: Optional[ModuleInfo] = load_module(
+                path, rel_path=path.as_posix(), module=module
+            )
+        except (OSError, SyntaxError):
+            info = None
+        self._cache[path] = info
+        return info
+
+    def _info_for(self, ref: FunctionRef) -> Optional[ModuleInfo]:
+        if ref.module == self.info.module:
+            return self.info
+        if self.root is None:
+            return None
+        path = self._module_path(ref.module.split("."))
+        if path is None:
+            return None
+        return self._load(path, ref.module)
+
+    def _table(self, info: ModuleInfo) -> Dict[str, FunctionDefNode]:
+        table = self._tables.get(id(info))
+        if table is None:
+            table = definition_table(info)
+            self._tables[id(info)] = table
+        return table
+
+
+def calls_in(func: FunctionDefNode) -> List[ast.Call]:
+    """Every call expression lexically inside ``func``'s own body.
+
+    Nested function/class definitions are skipped: their bodies execute on
+    their own activation, not when ``func`` runs.
+    """
+    out: List[ast.Call] = []
+    stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+            continue
+        if isinstance(node, ast.Call):
+            out.append(node)
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def transitive_blocking_path(
+    graph: CallGraph,
+    ref: FunctionRef,
+    blocking: Set[str],
+    max_depth: int = 4,
+) -> Optional[List[str]]:
+    """Call chain from ``ref`` to a blocking call, or None.
+
+    Depth-limited DFS over *sync* project functions (descending into an
+    ``async def`` makes no sense — calling one only builds a coroutine).
+    Returns e.g. ``["helper", "do_io", "time.sleep"]``.
+    """
+    seen: Set[Tuple[str, str]] = set()
+
+    def walk(current: FunctionRef, depth: int) -> Optional[List[str]]:
+        if current.key in seen or depth > max_depth:
+            return None
+        seen.add(current.key)
+        for call in calls_in(current.node):
+            name = graph.qualified_in(current, call.func)
+            if name is not None and name in blocking:
+                return [current.qualname, name]
+            callee = graph.resolve_in(current, call)
+            if callee is None or callee.is_async:
+                continue
+            tail = walk(callee, depth + 1)
+            if tail is not None:
+                return [current.qualname, *tail]
+        return None
+
+    return walk(ref, 1)

@@ -1,0 +1,439 @@
+"""Per-function control-flow graphs with explicit await-point nodes.
+
+The dataflow rules (ASYNC003, TIME001) need more than single-statement AST
+matching: a check-then-act race is a *path* property — a guard evaluated
+before a suspension point and acted on after it.  This module lowers one
+``def``/``async def`` body into a small CFG whose nodes carry the function's
+statements and whose structure answers exactly the questions the rules ask:
+
+* **Elements, not raw statements.**  Each basic block holds an ordered list
+  of :class:`Element` records.  An element is either a plain statement, or a
+  branch-condition evaluation (``is_test``), and is flagged ``awaits`` when
+  executing it suspends the coroutine (an ``await`` expression, the
+  iteration edge of an ``async for``, entry/exit of an ``async with``, or an
+  async comprehension).  A statement containing an await is isolated into
+  its own block so every suspension point is a distinct CFG node — the
+  "await-point nodes" the solver's edge semantics key on.
+* **Control-dependence guards.**  Every block records the stack of branch
+  conditions it is control-dependent on (``Guard(test, branch)``), built
+  structurally while lowering ``if``/``while``/``for``.  ASYNC003 uses this
+  to ask "which guards protect this mutation?" without a post-dominator
+  pass.  Early-return guards (``if x: return`` falling through) are *not*
+  modelled as dependence — the rules stay conservative about them.
+* **Approximate exception edges.**  ``try`` lowers with may-edges from the
+  entry and exit of the protected body to every handler.  That is coarse
+  (an exception can occur mid-body) but sound enough for the may-analyses
+  built on top, and keeps the graph linear in the statement count.
+
+The CFG is purely syntactic, like everything else in ``repro.analysis`` —
+no code is imported or executed.  Nested function definitions are opaque
+single statements here; :func:`function_cfgs` yields a separate CFG for
+each of them.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+def contains_await(node: ast.AST) -> bool:
+    """True when evaluating ``node`` can suspend the enclosing coroutine.
+
+    Checks for ``await`` expressions and async comprehension generators.
+    Does not descend into nested function definitions (their bodies run on
+    their own activation, not at this program point) — including when
+    ``node`` itself is a nested ``def`` statement.
+    """
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)):
+        return False
+    for child in _walk_same_function(node):
+        if isinstance(child, ast.Await):
+            return True
+        if isinstance(child, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            if any(gen.is_async for gen in child.generators):
+                return True
+    return False
+
+
+def _walk_same_function(node: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` that refuses to enter nested function/class bodies."""
+    stack: List[ast.AST] = [node]
+    while stack:
+        current = stack.pop()
+        yield current
+        if current is not node and isinstance(
+            current, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One branch condition a block is control-dependent on."""
+
+    #: The test expression as written (``if``/``while`` condition).
+    test: ast.expr
+    #: True for the then/body branch, False for the else branch.
+    branch: bool
+
+
+@dataclass(frozen=True)
+class Element:
+    """One unit of execution inside a basic block."""
+
+    node: ast.AST
+    #: Branch-condition evaluation (``node`` is the test expression).
+    is_test: bool = False
+    #: Executing this element crosses a suspension point.
+    awaits: bool = False
+
+
+@dataclass
+class Block:
+    """A basic block: straight-line elements plus its edges and guards."""
+
+    id: int
+    elements: List[Element] = field(default_factory=list)
+    succ: List[int] = field(default_factory=list)
+    pred: List[int] = field(default_factory=list)
+    guards: Tuple[Guard, ...] = ()
+
+    @property
+    def awaits(self) -> bool:
+        """True when any element of the block is a suspension point."""
+        return any(element.awaits for element in self.elements)
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one function body."""
+
+    name: str
+    func: FunctionNode
+    blocks: List[Block]
+    entry: int
+    exit: int
+    is_async: bool
+
+    def block(self, block_id: int) -> Block:
+        return self.blocks[block_id]
+
+    def await_blocks(self) -> List[Block]:
+        """Every block containing a suspension point."""
+        return [b for b in self.blocks if b.awaits]
+
+    def reverse_postorder(self) -> List[int]:
+        """Block ids in reverse postorder from the entry (loop-friendly)."""
+        seen = set()
+        order: List[int] = []
+
+        def visit(block_id: int) -> None:
+            # Iterative DFS; recursion would overflow on long chains.
+            stack: List[Tuple[int, int]] = [(block_id, 0)]
+            seen.add(block_id)
+            while stack:
+                current, index = stack.pop()
+                succ = self.blocks[current].succ
+                if index < len(succ):
+                    stack.append((current, index + 1))
+                    nxt = succ[index]
+                    if nxt not in seen:
+                        seen.add(nxt)
+                        stack.append((nxt, 0))
+                else:
+                    order.append(current)
+
+        visit(self.entry)
+        # Unreachable blocks (e.g. code after `while True` with no break)
+        # still get states so rules can scan them.
+        for block in self.blocks:
+            if block.id not in seen:
+                visit(block.id)
+        order.reverse()
+        return order
+
+
+class _LoopContext:
+    """Targets for ``break``/``continue`` while lowering a loop body."""
+
+    def __init__(self, head: int, exit_block: int) -> None:
+        self.head = head
+        self.exit = exit_block
+
+
+class _Builder:
+    """Lowers one function body into a :class:`CFG`."""
+
+    def __init__(self, func: FunctionNode, name: str) -> None:
+        self.func = func
+        self.name = name
+        self.blocks: List[Block] = []
+        self.entry = self._new_block(())
+        self.exit = self._new_block(())
+        self.loops: List[_LoopContext] = []
+
+    # ------------------------------------------------------------- plumbing
+    def _new_block(self, guards: Tuple[Guard, ...]) -> int:
+        block = Block(id=len(self.blocks), guards=guards)
+        self.blocks.append(block)
+        return block.id
+
+    def _edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succ:
+            self.blocks[src].succ.append(dst)
+        if src not in self.blocks[dst].pred:
+            self.blocks[dst].pred.append(src)
+
+    def _append(self, block_id: int, element: Element) -> None:
+        self.blocks[block_id].elements.append(element)
+
+    # ------------------------------------------------------------- lowering
+    def build(self) -> CFG:
+        last = self._body(self.func.body, self.entry, ())
+        if last is not None:
+            self._edge(last, self.exit)
+        return CFG(
+            name=self.name,
+            func=self.func,
+            blocks=self.blocks,
+            entry=self.entry,
+            exit=self.exit,
+            is_async=isinstance(self.func, ast.AsyncFunctionDef),
+        )
+
+    def _body(
+        self, stmts: Sequence[ast.stmt], current: int, guards: Tuple[Guard, ...]
+    ) -> Optional[int]:
+        """Lower a statement sequence; returns the live tail block or None
+        when every path terminated (return/raise/break/continue)."""
+        live: Optional[int] = current
+        for stmt in stmts:
+            if live is None:
+                # Dead code after a terminator still gets a block so rules
+                # can inspect it, but it has no predecessors.
+                live = self._new_block(guards)
+            live = self._statement(stmt, live, guards)
+        return live
+
+    def _statement(
+        self, stmt: ast.stmt, current: int, guards: Tuple[Guard, ...]
+    ) -> Optional[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, current, guards)
+        if isinstance(stmt, (ast.While,)):
+            return self._while(stmt, current, guards)
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            return self._for(stmt, current, guards)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, current, guards)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            return self._with(stmt, current, guards)
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, current, guards)
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self._append(current, Element(stmt, awaits=contains_await(stmt)))
+            self._edge(current, self.exit)
+            return None
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                self._edge(current, self.loops[-1].exit)
+            return None
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                self._edge(current, self.loops[-1].head)
+            return None
+        # Simple statement (incl. nested def/class, treated as opaque).
+        awaits = contains_await(stmt)
+        if awaits:
+            # Isolate the suspension into its own await-point node.
+            point = self._new_block(guards)
+            self._edge(current, point)
+            self._append(point, Element(stmt, awaits=True))
+            after = self._new_block(guards)
+            self._edge(point, after)
+            return after
+        self._append(current, Element(stmt))
+        return current
+
+    def _if(self, stmt: ast.If, current: int, guards: Tuple[Guard, ...]) -> Optional[int]:
+        self._append(
+            current, Element(stmt.test, is_test=True, awaits=contains_await(stmt.test))
+        )
+        join = self._new_block(guards)
+        then_entry = self._new_block(guards + (Guard(stmt.test, True),))
+        self._edge(current, then_entry)
+        then_tail = self._body(stmt.body, then_entry, self.blocks[then_entry].guards)
+        if then_tail is not None:
+            self._edge(then_tail, join)
+        if stmt.orelse:
+            else_entry = self._new_block(guards + (Guard(stmt.test, False),))
+            self._edge(current, else_entry)
+            else_tail = self._body(stmt.orelse, else_entry, self.blocks[else_entry].guards)
+            if else_tail is not None:
+                self._edge(else_tail, join)
+        else:
+            self._edge(current, join)
+        if not self.blocks[join].pred:
+            return None
+        return join
+
+    def _while(
+        self, stmt: ast.While, current: int, guards: Tuple[Guard, ...]
+    ) -> Optional[int]:
+        head = self._new_block(guards)
+        self._edge(current, head)
+        self._append(
+            head, Element(stmt.test, is_test=True, awaits=contains_await(stmt.test))
+        )
+        exit_block = self._new_block(guards)
+        body_guards = guards + (Guard(stmt.test, True),)
+        body_entry = self._new_block(body_guards)
+        self._edge(head, body_entry)
+        is_forever = isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        if not is_forever:
+            self._edge(head, exit_block)
+        self.loops.append(_LoopContext(head, exit_block))
+        body_tail = self._body(stmt.body, body_entry, body_guards)
+        self.loops.pop()
+        if body_tail is not None:
+            self._edge(body_tail, head)
+        if stmt.orelse:
+            else_tail = self._body(stmt.orelse, exit_block, guards)
+            if else_tail is not None and else_tail != exit_block:
+                return else_tail
+        if not self.blocks[exit_block].pred:
+            return None
+        return exit_block
+
+    def _for(
+        self, stmt: Union[ast.For, ast.AsyncFor], current: int, guards: Tuple[Guard, ...]
+    ) -> Optional[int]:
+        head = self._new_block(guards)
+        self._edge(current, head)
+        # The head element models "advance the iterator and bind the target";
+        # an async for suspends on every iteration edge.
+        self._append(
+            head,
+            Element(
+                stmt,
+                awaits=isinstance(stmt, ast.AsyncFor) or contains_await(stmt.iter),
+            ),
+        )
+        exit_block = self._new_block(guards)
+        body_guards = guards + (Guard(stmt.iter, True),)
+        body_entry = self._new_block(body_guards)
+        self._edge(head, body_entry)
+        self._edge(head, exit_block)
+        self.loops.append(_LoopContext(head, exit_block))
+        body_tail = self._body(stmt.body, body_entry, body_guards)
+        self.loops.pop()
+        if body_tail is not None:
+            self._edge(body_tail, head)
+        if stmt.orelse:
+            else_tail = self._body(stmt.orelse, exit_block, guards)
+            if else_tail is not None and else_tail != exit_block:
+                return else_tail
+        return exit_block
+
+    def _try(self, stmt: ast.Try, current: int, guards: Tuple[Guard, ...]) -> Optional[int]:
+        body_entry = self._new_block(guards)
+        self._edge(current, body_entry)
+        body_tail = self._body(stmt.body, body_entry, guards)
+        join = self._new_block(guards)
+        # May-edges: an exception can surface at the start or end of the
+        # protected region (approximation documented in the module docstring).
+        handler_tails: List[Optional[int]] = []
+        for handler in stmt.handlers:
+            handler_entry = self._new_block(guards)
+            self._edge(body_entry, handler_entry)
+            if body_tail is not None:
+                self._edge(body_tail, handler_entry)
+            handler_tails.append(self._body(handler.body, handler_entry, guards))
+        if body_tail is not None:
+            if stmt.orelse:
+                body_tail = self._body(stmt.orelse, body_tail, guards)
+            if body_tail is not None:
+                self._edge(body_tail, join)
+        for tail in handler_tails:
+            if tail is not None:
+                self._edge(tail, join)
+        if stmt.finalbody:
+            if not self.blocks[join].pred:
+                # All paths terminated; the finally body still runs on the
+                # way out, so lower it reachable from the protected region.
+                self._edge(body_entry, join)
+            return self._body(stmt.finalbody, join, guards)
+        if not self.blocks[join].pred:
+            return None
+        return join
+
+    def _with(
+        self, stmt: Union[ast.With, ast.AsyncWith], current: int, guards: Tuple[Guard, ...]
+    ) -> Optional[int]:
+        is_async = isinstance(stmt, ast.AsyncWith)
+        enter_awaits = is_async or any(contains_await(item) for item in stmt.items)
+        if enter_awaits:
+            point = self._new_block(guards)
+            self._edge(current, point)
+            self._append(point, Element(stmt, awaits=True))
+            current = self._new_block(guards)
+            self._edge(point, current)
+        else:
+            self._append(current, Element(stmt))
+        tail = self._body(stmt.body, current, guards)
+        if tail is not None and is_async:
+            # ``__aexit__`` suspends again on the way out.
+            point = self._new_block(guards)
+            self._edge(tail, point)
+            self._append(point, Element(stmt, awaits=True))
+            after = self._new_block(guards)
+            self._edge(point, after)
+            return after
+        return tail
+
+    def _match(self, stmt: ast.Match, current: int, guards: Tuple[Guard, ...]) -> Optional[int]:
+        self._append(
+            current,
+            Element(stmt.subject, is_test=True, awaits=contains_await(stmt.subject)),
+        )
+        join = self._new_block(guards)
+        any_live = False
+        for case in stmt.cases:
+            case_entry = self._new_block(guards + (Guard(stmt.subject, True),))
+            self._edge(current, case_entry)
+            tail = self._body(case.body, case_entry, self.blocks[case_entry].guards)
+            if tail is not None:
+                self._edge(tail, join)
+                any_live = True
+        # A match with no irrefutable case can fall through.
+        self._edge(current, join)
+        return join if (any_live or self.blocks[join].pred) else None
+
+
+def build_cfg(func: FunctionNode, name: Optional[str] = None) -> CFG:
+    """Lower one function definition into a :class:`CFG`."""
+    return _Builder(func, name if name is not None else func.name).build()
+
+
+def function_cfgs(tree: ast.Module) -> Iterator[CFG]:
+    """Yield a CFG for every function in ``tree``, including nested ones.
+
+    Names are dotted symbols (``Class.method``, ``outer.inner``), matching
+    the convention of :func:`repro.analysis.modinfo.walk_with_symbols`.
+    """
+
+    def visit(node: ast.AST, symbol: str) -> Iterator[CFG]:
+        for child in ast.iter_child_nodes(node):
+            child_symbol = symbol
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                child_symbol = f"{symbol}.{child.name}" if symbol else child.name
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield build_cfg(child, child_symbol)
+            yield from visit(child, child_symbol)
+
+    yield from visit(tree, "")

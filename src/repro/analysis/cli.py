@@ -4,6 +4,8 @@ Usage (also reachable as ``python -m repro.experiments lint ...``)::
 
     python -m repro.analysis [paths ...]         # lint src/repro by default
     python -m repro.analysis --format json       # machine-readable output
+    python -m repro.analysis --format sarif      # SARIF 2.1.0 for CI upload
+    python -m repro.analysis --changed           # only files changed vs origin/main
     python -m repro.analysis --list-rules        # rule catalogue
     python -m repro.analysis --explain NUM001    # one rule's docs
     python -m repro.analysis --write-baseline    # accept current findings
@@ -17,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import subprocess
 import sys
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
@@ -31,6 +34,7 @@ from .baseline import (
 from .engine import LintResult, lint_paths
 from .findings import Finding
 from .rules import all_rules, get_rule
+from .sarif import render_sarif
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -51,9 +55,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help="lint only files changed versus --base (fast pre-commit mode)",
+    )
+    parser.add_argument(
+        "--base",
+        metavar="REF",
+        default="origin/main",
+        help="git ref --changed diffs against (default: origin/main)",
     )
     parser.add_argument(
         "--output",
@@ -94,6 +109,41 @@ def _build_parser() -> argparse.ArgumentParser:
         "--explain", metavar="ID", default=None, help="print one rule's documentation"
     )
     return parser
+
+
+def _changed_paths(base: str, within: Sequence[Path]) -> Optional[List[Path]]:
+    """Python files changed versus ``base`` that live under ``within``.
+
+    Returns ``None`` when git itself fails (not a repo, unknown ref) so the
+    caller can distinguish "nothing changed" from "could not ask".  Deleted
+    files are skipped — there is nothing left to lint.
+    """
+    try:
+        top = subprocess.run(
+            ["git", "rev-parse", "--show-toplevel"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+        diff = subprocess.run(
+            ["git", "diff", "--name-only", base, "--"],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    roots = [p.resolve() for p in within]
+    selected: List[Path] = []
+    for line in diff.splitlines():
+        if not line.endswith(".py"):
+            continue
+        candidate = (Path(top) / line).resolve()
+        if not candidate.exists():
+            continue
+        if any(candidate == root or root in candidate.parents for root in roots):
+            selected.append(candidate)
+    return selected
 
 
 def _rule_catalogue() -> str:
@@ -211,6 +261,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(exc.args[0], file=sys.stderr)
             return EXIT_USAGE
 
+    if args.changed:
+        changed = _changed_paths(args.base, paths)
+        if changed is None:
+            print(
+                f"reprolint: --changed: git diff against {args.base!r} failed",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+        if not changed:
+            print(f"reprolint: no python files changed vs {args.base}")
+            return EXIT_CLEAN
+        paths = changed
+
     result = lint_paths(paths, rules=rules)
 
     # ------------------------------------------------------------ baseline
@@ -243,6 +306,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.format == "json":
         report = _render_json(result, new, baselined, stale)
+    elif args.format == "sarif":
+        report = render_sarif(result, new, baselined)
     else:
         report = _render_text(result, new, baselined, stale, args.show_suppressed)
 

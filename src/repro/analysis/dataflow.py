@@ -1,0 +1,223 @@
+"""Generic forward dataflow solving over :mod:`repro.analysis.cfg` graphs.
+
+One solver, two clients today:
+
+* **TIME001** runs a *taint* analysis — each variable (or attribute chain)
+  maps to the set of time-domain labels its value may carry (``{"sim"}``,
+  ``{"wall"}``, both, or neither) — and flags expressions that combine both
+  domains arithmetically.
+* **ASYNC003** runs a *staleness* analysis — guard facts validated by a
+  branch test decay to stale when execution crosses an await-point node,
+  and a mutation control-dependent on a stale fact is a check-then-act race.
+
+Both fit the classic monotone-framework shape, so the solver is written
+once against three callables:
+
+``join(a, b)``
+    Least upper bound of two abstract states (must be commutative,
+    associative, idempotent).
+``transfer(block, state)``
+    Abstract execution of one basic block from its in-state to its
+    out-state.  Must be monotone and must NOT mutate ``state``.
+``equals(a, b)``
+    State equality, used for the fixpoint test (defaults to ``==``).
+
+The worklist iterates in reverse postorder, which converges in
+O(depth of loop nesting) passes for the reducible graphs the CFG builder
+produces.  A hard iteration cap turns a non-monotone transfer function
+(a rule-author bug) into a loud :class:`DataflowDivergence` rather than a
+hang.
+
+The taint-state helpers at the bottom (:data:`TaintState`, immutable-map
+operations) are shared by the rules so each rule only writes its transfer
+function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    TypeVar,
+)
+
+from .cfg import CFG, Block
+
+S = TypeVar("S")
+
+#: Fixpoint pass cap: |blocks| * this factor block visits before giving up.
+MAX_VISIT_FACTOR = 64
+
+
+class DataflowDivergence(RuntimeError):
+    """The fixpoint iteration failed to converge (non-monotone transfer)."""
+
+
+def solve_forward(
+    cfg: CFG,
+    entry_state: S,
+    bottom: S,
+    join: Callable[[S, S], S],
+    transfer: Callable[[Block, S], S],
+    equals: Optional[Callable[[S, S], bool]] = None,
+) -> Dict[int, S]:
+    """Run a forward worklist analysis to fixpoint.
+
+    Returns the **in-state** of every block (keyed by block id).  Rules
+    that need program-point precision re-run their transfer function over
+    a block's elements starting from the returned in-state — that final
+    pass is where findings are collected, so the fixpoint iterations stay
+    side-effect free.
+    """
+    eq = equals if equals is not None else (lambda a, b: a == b)
+    order = cfg.reverse_postorder()
+    position = {block_id: index for index, block_id in enumerate(order)}
+
+    in_states: Dict[int, S] = {block_id: bottom for block_id in position}
+    in_states[cfg.entry] = entry_state
+    out_states: Dict[int, S] = {}
+
+    # Seed with every block so unreachable code still gets `bottom` states.
+    worklist = list(order)
+    in_list = set(worklist)
+    budget = max(1, len(cfg.blocks)) * MAX_VISIT_FACTOR
+
+    while worklist:
+        if budget <= 0:
+            raise DataflowDivergence(
+                f"dataflow did not converge on {cfg.name!r} "
+                f"({len(cfg.blocks)} blocks); transfer function is likely "
+                "non-monotone"
+            )
+        budget -= 1
+        # Pop the earliest block in reverse postorder for fast convergence.
+        worklist.sort(key=lambda b: position.get(b, 0))
+        block_id = worklist.pop(0)
+        in_list.discard(block_id)
+        block = cfg.block(block_id)
+
+        state = in_states[block_id]
+        if block.pred:
+            merged: Optional[S] = None
+            for pred in block.pred:
+                pred_out = out_states.get(pred)
+                if pred_out is None:
+                    continue
+                merged = pred_out if merged is None else join(merged, pred_out)
+            if merged is not None:
+                state = merged if block_id != cfg.entry else join(entry_state, merged)
+            in_states[block_id] = state
+
+        new_out = transfer(block, state)
+        old_out = out_states.get(block_id)
+        if old_out is not None and eq(old_out, new_out):
+            continue
+        out_states[block_id] = new_out
+        for succ in block.succ:
+            if succ not in in_list:
+                in_list.add(succ)
+                worklist.append(succ)
+    return in_states
+
+
+# --------------------------------------------------------------------------
+# Taint lattice: immutable mapping  key -> frozenset of labels.
+# Keys are canonical expression strings (``ast.unparse``); labels are
+# rule-defined (e.g. "sim" / "wall").  Join is the pointwise union, so the
+# lattice height is |keys| * |labels| and termination is structural.
+# --------------------------------------------------------------------------
+
+Taints = FrozenSet[str]
+TaintState = Mapping[str, Taints]
+
+EMPTY_TAINTS: Taints = frozenset()
+EMPTY_STATE: TaintState = {}
+
+
+def taint_join(a: TaintState, b: TaintState) -> TaintState:
+    """Pointwise union of two taint states."""
+    if not a:
+        return b
+    if not b:
+        return a
+    merged: Dict[str, Taints] = dict(a)
+    for key, labels in b.items():
+        existing = merged.get(key)
+        merged[key] = labels if existing is None else existing | labels
+    return merged
+
+
+def taint_set(state: TaintState, key: str, labels: Taints) -> TaintState:
+    """Strong update: ``key`` now carries exactly ``labels``."""
+    updated = dict(state)
+    if labels:
+        updated[key] = labels
+    else:
+        updated.pop(key, None)
+    return updated
+
+
+def taint_get(state: TaintState, key: str) -> Taints:
+    return state.get(key, EMPTY_TAINTS)
+
+
+def taint_equal(a: TaintState, b: TaintState) -> bool:
+    if a is b:
+        return True
+    if len(a) != len(b):
+        # Keys mapped to the empty set are normalized away by taint_set,
+        # so a raw length comparison is safe.
+        return False
+    return all(b.get(key) == labels for key, labels in a.items())
+
+
+def canonical(node: ast.AST) -> str:
+    """Canonical source form of an expression, used as a state key.
+
+    ``ast.unparse`` gives a normalized rendering, so ``self._inbox[ wid ]``
+    and ``self._inbox[wid]`` share one key.
+    """
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse covers all exprs we feed
+        return f"<{type(node).__name__}@{getattr(node, 'lineno', 0)}>"
+
+
+def assign_targets(stmt: ast.stmt) -> Iterable[Tuple[ast.expr, Optional[ast.expr]]]:
+    """(target, value) pairs for assignment-like statements.
+
+    Tuple targets are flattened; the value is None when it cannot be
+    attributed to one element (starred unpacking keeps the whole RHS).
+    """
+    if isinstance(stmt, ast.Assign):
+        for target in stmt.targets:
+            yield from _flatten_target(target, stmt.value)
+    elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+        yield from _flatten_target(stmt.target, stmt.value)
+    elif isinstance(stmt, ast.AugAssign):
+        yield stmt.target, stmt.value
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        yield from _flatten_target(stmt.target, None)
+
+
+def _flatten_target(
+    target: ast.expr, value: Optional[ast.expr]
+) -> Iterable[Tuple[ast.expr, Optional[ast.expr]]]:
+    if isinstance(target, (ast.Tuple, ast.List)):
+        elements = target.elts
+        values: Optional[List[ast.expr]] = None
+        if isinstance(value, (ast.Tuple, ast.List)) and len(value.elts) == len(elements):
+            values = list(value.elts)
+        for index, element in enumerate(elements):
+            yield from _flatten_target(
+                element, values[index] if values is not None else value
+            )
+    else:
+        yield target, value

@@ -3,19 +3,23 @@
 Adding a rule: subclass :class:`~repro.analysis.rules.base.Rule` in a module
 here, then append an instance to :data:`RULES`.  IDs are namespaced by
 concern — DET (determinism), NUM (numerics), OBS (observability), KER
-(kernels/layering), API (typing surface) — with three digits for ordering
-within a concern.
+(kernels/layering), API (typing surface), ASYNC (event-loop safety),
+TIME (time-domain hygiene), EXC (exception handling) — with three digits
+for ordering within a concern.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List
 
+from .async_safety import BlockingCallRule, StalenessRaceRule, UnawaitedCoroutineRule
 from .base import Rule
 from .determinism import ArithmeticSeedRule, ThreadedRngRule, WallClockRule
+from .exceptions import BroadExceptRule
 from .layering import LayeringRule
 from .numerics import FloatEqualityRule
 from .observability import NullObjectFacadeRule
+from .timeflow import TimeDomainTaintRule
 from .typing_api import PublicApiAnnotationsRule
 
 #: Every registered rule, in report order.
@@ -27,6 +31,11 @@ RULES: List[Rule] = [
     NullObjectFacadeRule(),
     LayeringRule(),
     PublicApiAnnotationsRule(),
+    BlockingCallRule(),
+    UnawaitedCoroutineRule(),
+    StalenessRaceRule(),
+    TimeDomainTaintRule(),
+    BroadExceptRule(),
 ]
 
 _BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}

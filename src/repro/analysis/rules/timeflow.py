@@ -1,0 +1,373 @@
+"""TIME001 — time-domain taint: sim time and wall time must not mix.
+
+Since PR 8 the codebase runs the same REACT middleware under two clocks:
+the DES :class:`~repro.sim.engine.Engine` (sim seconds, ``clock.now``) and
+the live gateway's ``WallClockRuntime`` (``loop.time()``-derived).  Both
+domains are plain floats, so nothing stops ``deadline - loop.time()`` where
+``deadline`` came from sim time — the comparison is meaningless and the
+paper's Eq. 2/3 deadline checks silently evaluate against the wrong clock.
+
+TIME001 runs an intra-procedural forward taint analysis over each function
+CFG (:mod:`repro.analysis.dataflow`):
+
+* **Sources.**  ``<clock-ish receiver>.now`` attribute reads carry the
+  ``sim`` label (receivers named ``clock``/``engine``/``runtime`` modulo
+  leading underscores — the type is unknown statically, so conventional
+  naming stands in, same trade-off as DET001's ``loop.time()`` heuristic).
+  ``time.monotonic()``/``time.time()``/``perf_counter()`` and
+  ``loop.time()``-style reads carry ``wall``.
+* **Propagation.**  Assignments (including tuple unpacking, aug-assign,
+  ``for`` targets and ``with ... as``) carry labels to variables and
+  attribute chains; arithmetic and min/max/abs/float pass labels through.
+* **Sinks.**  A binary arithmetic expression or an ordering/equality
+  comparison with ``sim`` on one side and ``wall`` on the other is a
+  finding.
+
+The analysis is intra-procedural by design: a cross-domain value that
+escapes through a call boundary needs an explicit conversion at that
+boundary anyway, which is exactly the structure the rule pushes toward.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Callable, Iterator, List, Optional, Set, Tuple
+
+from ..cfg import CFG, Block, function_cfgs
+from ..dataflow import (
+    EMPTY_STATE,
+    EMPTY_TAINTS,
+    DataflowDivergence,
+    Taints,
+    TaintState,
+    assign_targets,
+    canonical,
+    solve_forward,
+    taint_equal,
+    taint_get,
+    taint_join,
+    taint_set,
+)
+from ..findings import Finding
+from ..modinfo import ModuleInfo, enclosing_symbols
+from .base import Rule
+from .determinism import _loop_time_receiver
+
+#: Taint labels.
+SIM = "sim"
+WALL = "wall"
+
+#: Receiver basenames (leading underscores stripped) whose ``.now`` reads
+#: are sim-time sources: ``clock.now``, ``self._engine.now``,
+#: ``runtime.now``.
+SIM_RECEIVERS = frozenset({"clock", "engine", "runtime", "sim_clock", "event_clock"})
+
+#: Wall-clock calls producing float seconds (datetime objects excluded —
+#: mixing those with floats raises at runtime already).
+WALL_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+    }
+)
+
+#: ``asyncio.get_running_loop().time()``-style factories.
+LOOP_FACTORIES = frozenset({"asyncio.get_running_loop", "asyncio.get_event_loop"})
+
+#: Builtins that return a value in the same time domain as their inputs.
+PASSTHROUGH_CALLS = frozenset({"min", "max", "abs", "round", "float", "sum"})
+
+#: Comparison ops that constitute a cross-domain sink.
+_ORDERING_CMPS = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+#: One detected mix: (node carrying line/col, kind description).
+_Mix = Tuple[ast.AST, str]
+
+
+def _receiver_basename(node: ast.expr) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id.lstrip("_")
+    if isinstance(node, ast.Attribute):
+        return node.attr.lstrip("_")
+    return None
+
+
+def _is_sim_source(node: ast.Attribute) -> bool:
+    if node.attr != "now":
+        return False
+    base = _receiver_basename(node.value)
+    return base is not None and base in SIM_RECEIVERS
+
+
+def _is_wall_call(module: ModuleInfo, call: ast.Call) -> bool:
+    name = module.qualified_name(call.func)
+    if name is not None and name in WALL_CALLS:
+        return True
+    if _loop_time_receiver(call) is not None:
+        return True
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "time"
+        and isinstance(func.value, ast.Call)
+    ):
+        factory = module.qualified_name(func.value.func)
+        return factory is not None and factory in LOOP_FACTORIES
+    return False
+
+
+def _mixes(a: Taints, b: Taints) -> bool:
+    return (SIM in a and WALL in b) or (WALL in a and SIM in b)
+
+
+class _TaintEval:
+    """Evaluate one expression's taint under a state, collecting mixes."""
+
+    def __init__(
+        self,
+        module: ModuleInfo,
+        state: TaintState,
+        collect: Optional[List[_Mix]],
+    ) -> None:
+        self.module = module
+        self.state = state
+        self.collect = collect
+
+    def _mix(self, node: ast.AST, kind: str) -> None:
+        if self.collect is not None:
+            self.collect.append((node, kind))
+
+    def eval(self, expr: ast.expr) -> Taints:
+        if isinstance(expr, ast.Name):
+            return taint_get(self.state, expr.id)
+        if isinstance(expr, ast.Attribute):
+            if _is_sim_source(expr):
+                return frozenset({SIM})
+            if isinstance(expr.value, ast.Call):
+                self.eval(expr.value)
+            return taint_get(self.state, canonical(expr))
+        if isinstance(expr, ast.Subscript):
+            inner = self.eval(expr.value)
+            if isinstance(expr.slice, ast.expr):
+                self.eval(expr.slice)
+            return taint_get(self.state, canonical(expr)) | inner
+        if isinstance(expr, ast.Call):
+            return self._call(expr)
+        if isinstance(expr, ast.BinOp):
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            if _mixes(left, right):
+                self._mix(expr, "arithmetic")
+            return left | right
+        if isinstance(expr, ast.Compare):
+            operands = [self.eval(expr.left)]
+            operands.extend(self.eval(comparator) for comparator in expr.comparators)
+            for index, op in enumerate(expr.ops):
+                if isinstance(op, _ORDERING_CMPS) and _mixes(
+                    operands[index], operands[index + 1]
+                ):
+                    self._mix(expr, "comparison")
+            return EMPTY_TAINTS
+        if isinstance(expr, ast.BoolOp):
+            labels: Taints = EMPTY_TAINTS
+            for value in expr.values:
+                labels |= self.eval(value)
+            return labels
+        if isinstance(expr, ast.IfExp):
+            self.eval(expr.test)
+            return self.eval(expr.body) | self.eval(expr.orelse)
+        if isinstance(expr, ast.UnaryOp):
+            return self.eval(expr.operand)
+        if isinstance(expr, ast.Await):
+            return self.eval(expr.value)
+        if isinstance(expr, ast.Starred):
+            return self.eval(expr.value)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            labels = EMPTY_TAINTS
+            for element in expr.elts:
+                labels |= self.eval(element)
+            return labels
+        if isinstance(expr, ast.Dict):
+            for key in expr.keys:
+                if key is not None:
+                    self.eval(key)
+            for value in expr.values:
+                self.eval(value)
+            return EMPTY_TAINTS
+        if isinstance(
+            expr,
+            (
+                ast.Constant,
+                ast.Lambda,
+                ast.ListComp,
+                ast.SetComp,
+                ast.DictComp,
+                ast.GeneratorExp,
+                ast.JoinedStr,
+            ),
+        ):
+            # Comprehensions introduce their own scope; skipping them only
+            # loses precision, never soundness of the report (may-analysis).
+            return EMPTY_TAINTS
+        labels = EMPTY_TAINTS
+        for child in ast.iter_child_nodes(expr):
+            if isinstance(child, ast.expr):
+                labels |= self.eval(child)
+        return labels
+
+    def _call(self, call: ast.Call) -> Taints:
+        if _is_wall_call(self.module, call):
+            return frozenset({WALL})
+        name = self.module.qualified_name(call.func)
+        arg_labels: Taints = EMPTY_TAINTS
+        for arg in call.args:
+            arg_labels |= self.eval(arg)
+        for keyword in call.keywords:
+            arg_labels |= self.eval(keyword.value)
+        if name is not None and name in PASSTHROUGH_CALLS:
+            return arg_labels
+        # Unknown callee: arguments were still evaluated (so mixes inside
+        # them are reported), but the return value is untracked.
+        return EMPTY_TAINTS
+
+
+def _target_key(target: ast.expr) -> Optional[str]:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, (ast.Attribute, ast.Subscript)):
+        return canonical(target)
+    return None
+
+
+def _time_mixes(cfg: CFG, module: ModuleInfo) -> List[_Mix]:
+    """Solve the taint fixpoint, then collect mixes in a final pass."""
+
+    def transfer_with(
+        collect: Optional[List[_Mix]],
+    ) -> Callable[[Block, TaintState], TaintState]:
+        def transfer(block: Block, state: TaintState) -> TaintState:
+            for element in block.elements:
+                node = element.node
+                ev = _TaintEval(module, state, collect)
+                if element.is_test:
+                    if isinstance(node, ast.expr):
+                        ev.eval(node)
+                    continue
+                state = _step(node, state, ev)
+            return state
+
+        return transfer
+
+    def _step(node: ast.AST, state: TaintState, ev: _TaintEval) -> TaintState:
+        ev.state = state
+        if isinstance(node, ast.Expr):
+            ev.eval(node.value)
+        elif isinstance(node, ast.Return):
+            if node.value is not None:
+                ev.eval(node.value)
+        elif isinstance(node, ast.Assert):
+            ev.eval(node.test)
+        elif isinstance(node, ast.Raise):
+            if node.exc is not None:
+                ev.eval(node.exc)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign, ast.For, ast.AsyncFor)):
+            iter_labels: Optional[Taints] = None
+            for target, value in assign_targets(node):
+                if isinstance(node, (ast.For, ast.AsyncFor)):
+                    if iter_labels is None:
+                        iter_labels = ev.eval(node.iter)
+                    labels = iter_labels
+                elif value is None:
+                    labels = EMPTY_TAINTS
+                else:
+                    labels = ev.eval(value)
+                key = _target_key(target)
+                if isinstance(node, ast.AugAssign) and key is not None:
+                    existing = taint_get(state, key)
+                    if _mixes(existing, labels):
+                        ev._mix(node, "arithmetic")
+                    labels = labels | existing
+                if key is not None:
+                    state = taint_set(state, key, labels)
+                    ev.state = state
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                key = _target_key(target)
+                if key is not None:
+                    state = taint_set(state, key, EMPTY_TAINTS)
+                    ev.state = state
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                labels = ev.eval(item.context_expr)
+                if item.optional_vars is not None:
+                    key = _target_key(item.optional_vars)
+                    if key is not None:
+                        state = taint_set(state, key, labels)
+                        ev.state = state
+        return state
+
+    try:
+        in_states = solve_forward(
+            cfg,
+            entry_state=EMPTY_STATE,
+            bottom=EMPTY_STATE,
+            join=taint_join,
+            transfer=transfer_with(None),
+            equals=taint_equal,
+        )
+    except DataflowDivergence:  # pragma: no cover - defensive
+        return []
+    mixes: List[_Mix] = []
+    collecting = transfer_with(mixes)
+    for block in cfg.blocks:
+        collecting(block, in_states.get(block.id, EMPTY_STATE))
+    # One syntactic site can surface through several flattened targets.
+    seen: Set[Tuple[int, int, str]] = set()
+    unique: List[_Mix] = []
+    for node, kind in mixes:
+        key = (getattr(node, "lineno", 0), getattr(node, "col_offset", 0), kind)
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append((node, kind))
+    return unique
+
+
+class TimeDomainTaintRule(Rule):
+    """TIME001: sim-time and wall-clock values never meet in one expression."""
+
+    id = "TIME001"
+    title = "no arithmetic/comparison mixing sim time with wall-clock time"
+    rationale = (
+        "The DES engine and the live gateway both hand out float seconds, "
+        "but on different clocks: EventClock.now counts simulated seconds "
+        "from zero, loop.time()/time.monotonic() counts host uptime.  An "
+        "expression combining both (deadline - loop.time() where deadline "
+        "is sim time) type-checks, runs, and yields garbage — deadlines "
+        "fire years early or never.  Convert explicitly at the domain "
+        "boundary (WallClockRuntime owns that mapping) and keep each "
+        "function in one domain."
+    )
+    scope = ("repro",)
+
+    def check(self, module: ModuleInfo) -> Iterator[Finding]:
+        symbols = enclosing_symbols(module.tree)
+        for cfg in function_cfgs(module.tree):
+            for node, kind in _time_mixes(cfg, module):
+                lineno = getattr(node, "lineno", cfg.func.lineno)
+                col = getattr(node, "col_offset", 0)
+                yield self.finding(
+                    module,
+                    lineno,
+                    col,
+                    f"{kind} mixes a sim-time value (EventClock `.now`) with "
+                    "a wall-clock value (loop.time()/time.monotonic()); the "
+                    "two clocks share no epoch — convert at the domain "
+                    "boundary instead",
+                    symbols.get(id(node), cfg.name),
+                )

@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 renderer for reprolint.
+
+SARIF (Static Analysis Results Interchange Format) is the OASIS standard
+consumed by GitHub code scanning, VS Code's SARIF viewer, and most CI
+annotation tooling.  One ``run`` per invocation: the tool descriptor lists
+every registered rule, each new finding becomes a ``result`` at level
+``error`` with a ``partialFingerprints`` entry carrying the same stable
+fingerprint the baseline uses, and baselined findings are emitted with an
+``external`` suppression so viewers render them greyed-out instead of
+dropping them on the floor.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional
+
+from .. import __version__
+from .engine import LintResult
+from .findings import Finding
+from .rules import all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+#: Synthetic rule ID used for files that fail to parse.
+PARSE_RULE_ID = "PARSE"
+
+
+def _rule_descriptor(rule_id: str, title: str, rationale: str) -> Dict[str, Any]:
+    descriptor: Dict[str, Any] = {
+        "id": rule_id,
+        "shortDescription": {"text": title},
+    }
+    if rationale:
+        descriptor["fullDescription"] = {"text": rationale}
+    return descriptor
+
+
+def _tool_component() -> Dict[str, Any]:
+    rules = [_rule_descriptor(r.id, r.title, r.rationale) for r in all_rules()]
+    rules.append(_rule_descriptor(PARSE_RULE_ID, "File failed to parse", ""))
+    return {
+        "name": "reprolint",
+        "version": __version__,
+        "informationUri": "docs/STATIC_ANALYSIS.md",
+        "rules": rules,
+    }
+
+
+def _result(finding: Finding, suppressed: bool = False) -> Dict[str, Any]:
+    region: Dict[str, Any] = {"startLine": max(finding.line, 1)}
+    if finding.col:
+        # SARIF columns are 1-based; Finding.col follows ast's 0-based offsets.
+        region["startColumn"] = finding.col + 1
+    result: Dict[str, Any] = {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": region,
+                }
+            }
+        ],
+    }
+    if finding.fingerprint:
+        result["partialFingerprints"] = {"reprolintFingerprint/v1": finding.fingerprint}
+    if finding.symbol:
+        result["message"]["text"] = f"{finding.message} [{finding.symbol}]"
+    if suppressed:
+        result["suppressions"] = [{"kind": "external"}]
+    return result
+
+
+def render_sarif(
+    result: LintResult,
+    new: List[Finding],
+    baselined: Optional[List[Finding]] = None,
+) -> str:
+    """Serialize one lint run as a SARIF 2.1.0 log (JSON string)."""
+    results = [_result(f) for f in result.errors]
+    results.extend(_result(f) for f in new)
+    results.extend(_result(f, suppressed=True) for f in (baselined or []))
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {"driver": _tool_component()},
+                "results": results,
+                "columnKind": "utf16CodeUnits",
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)

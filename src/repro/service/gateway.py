@@ -120,6 +120,10 @@ class ServiceGateway:
         self._completions = self.registry.counter(
             "service_completed_total", "Answers accepted by the gateway"
         )
+        self._handler_errors = self.registry.counter(
+            "service_handler_errors_total",
+            "Handler exceptions answered with HTTP 500",
+        )
         self._workers_gauge = self.registry.gauge(
             "service_workers", "Workers currently registered"
         )
@@ -163,7 +167,7 @@ class ServiceGateway:
             backlog_fn=self._backlog,
             registry=self.registry,
         )
-        self._httpd = HttpServer(self._handle)
+        self._httpd = HttpServer(self._handle, error_counter=self._handler_errors)
         self.host, self.port = await self._httpd.start(config.host, config.port)
         self._ready = True
 

@@ -24,7 +24,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
-from typing import Awaitable, Callable, Dict, Optional, Tuple
+from typing import Awaitable, Callable, Dict, Optional, Protocol, Tuple
 from urllib.parse import parse_qsl, urlsplit
 
 MAX_HEADER_LINE = 8 * 1024
@@ -49,6 +49,12 @@ _REASONS = {
 
 class BadRequest(Exception):
     """Malformed HTTP input; the connection is answered 400 and closed."""
+
+
+class SupportsInc(Protocol):
+    """Structural stand-in for an obs counter — httpd never imports obs."""
+
+    def inc(self, amount: float = 1.0) -> None: ...
 
 
 @dataclass
@@ -179,9 +185,11 @@ class HttpServer:
         self,
         handler: Handler,
         on_error: Optional[Callable[[str], None]] = None,
+        error_counter: Optional[SupportsInc] = None,
     ) -> None:
         self._handler = handler
         self._on_error = on_error
+        self._error_counter = error_counter
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: set = set()
         self._writers: set = set()
@@ -258,6 +266,8 @@ class HttpServer:
             except BadRequest as exc:
                 response = json_response({"error": str(exc)}, status=400)
             except Exception as exc:  # noqa: BLE001 - handler crash -> 500
+                if self._error_counter is not None:
+                    self._error_counter.inc()
                 self._log(f"handler error on {request.method} {request.path}: {exc!r}")
                 response = json_response({"error": "internal error"}, status=500)
             try:

@@ -124,14 +124,19 @@ class AsyncHttpClient:
         )
 
     async def close(self) -> None:
-        if self._writer is not None:
-            self._writer.close()
-            try:
-                await self._writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-            self._reader = None
-            self._writer = None
+        # Drop the shared references before suspending in wait_closed():
+        # a concurrent request()/close() resuming mid-await must not see a
+        # half-closed connection (ASYNC003 check-then-act discipline).
+        writer = self._writer
+        if writer is None:
+            return
+        self._reader = None
+        self._writer = None
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
 
     async def request(
         self, method: str, path: str, payload: Optional[dict] = None

@@ -1,0 +1,45 @@
+"""ASYNC001 fixture: blocking calls reachable from ``async def``.
+
+Linted under ``repro.service.fixture_async001`` (in scope) and re-linted
+under ``repro.sim.*`` to pin the scope boundary.  Cases: direct blocking
+calls, a transitive sync-helper chain, suppressed hit, clean async code
+(including blocking work correctly pushed off the loop).
+"""
+
+import asyncio
+import subprocess
+import time
+
+
+def sync_leaf() -> None:
+    time.sleep(0.1)  # fine in a sync def; flagged only via async chains
+
+
+def sync_chain() -> None:
+    sync_leaf()
+
+
+async def positive_direct() -> None:
+    time.sleep(0.5)  # HIT: blocks the event loop
+    subprocess.run(["true"])  # HIT: sync subprocess wait
+    with open("/tmp/fixture") as handle:  # HIT: sync file I/O
+        handle.read()
+    await asyncio.sleep(0)
+
+
+async def positive_transitive() -> None:
+    sync_chain()  # HIT: sync_chain -> sync_leaf -> time.sleep
+    await asyncio.sleep(0)
+
+
+async def suppressed_hit() -> None:
+    # Justified: one-shot startup calibration before the loop serves traffic.
+    time.sleep(0.0)  # reprolint: disable=ASYNC001
+    await asyncio.sleep(0)
+
+
+async def clean() -> None:
+    await asyncio.sleep(0.01)
+    await asyncio.to_thread(time.sleep, 0.01)  # blocking pushed off-loop
+    loop = asyncio.get_running_loop()
+    await loop.run_in_executor(None, sync_leaf)  # function reference, not a call

@@ -1,0 +1,47 @@
+"""ASYNC002 fixture: coroutine results must be awaited/stored/gathered.
+
+Linted under ``repro.service.fixture_async002``; the rule's scope is all
+of ``repro``, so the exclusion case lints under a non-repro module name.
+Cases: bare local coroutine call, bare asyncio factory, bare method
+coroutine via ``self``, suppressed hit, clean (awaited / task-wrapped /
+stored / sync calls).
+"""
+
+import asyncio
+
+
+async def notify() -> None:
+    await asyncio.sleep(0)
+
+
+async def positive_hits() -> None:
+    notify()  # HIT: coroutine built and dropped
+    asyncio.sleep(0.5)  # HIT: known awaitable factory, never awaited
+    await notify()
+
+
+class Server:
+    async def beat(self) -> None:
+        await asyncio.sleep(0)
+
+    async def run(self) -> None:
+        self.beat()  # HIT: method coroutine dropped
+        await self.beat()
+
+
+async def suppressed_hit() -> None:
+    # Justified: deliberate fire-and-forget in a shutdown-path smoke shim.
+    notify()  # reprolint: disable=ASYNC002
+    await asyncio.sleep(0)
+
+
+def sync_helper() -> None:
+    return None
+
+
+async def clean() -> None:
+    await notify()
+    pending = notify()  # stored, awaited below
+    task = asyncio.create_task(notify())
+    await asyncio.gather(task, pending)
+    sync_helper()  # bare sync call is fine

@@ -1,0 +1,52 @@
+"""ASYNC003 fixture: check-then-act staleness across await points.
+
+Linted under ``repro.service.fixture_async003`` (in scope) and re-linted
+under ``repro.sim.*`` for the scope boundary.  Cases: stale inbox pop,
+stale task-phase write, stale while-guard write, plus the two sanctioned
+shapes (re-test on the resume edge; mutate before suspending), a
+suppressed hit, and unguarded mutation (clean).
+"""
+
+import asyncio
+
+
+class RegionState:
+    def __init__(self) -> None:
+        self._inbox = {}
+        self._running = True
+
+    async def positive_pop(self, worker_id: int) -> None:
+        if worker_id in self._inbox:
+            await asyncio.sleep(0.01)
+            self._inbox.pop(worker_id)  # HIT: guard stale on the resume edge
+
+    async def positive_phase(self, task) -> None:
+        if task.phase is not None:
+            await asyncio.sleep(0.01)
+            task.phase = "done"  # HIT: guarded attribute write after await
+
+    async def positive_while(self) -> None:
+        while self._running:
+            await asyncio.sleep(0.01)
+            self._running = False  # HIT: guard read before the suspension
+
+    async def revalidated(self, worker_id: int) -> None:
+        if worker_id in self._inbox:
+            await asyncio.sleep(0.01)
+            if worker_id in self._inbox:  # re-test on the resume edge
+                self._inbox.pop(worker_id)
+
+    async def mutate_before_await(self, worker_id: int) -> None:
+        if worker_id in self._inbox:
+            self._inbox.pop(worker_id)  # mutation precedes the suspension
+            await asyncio.sleep(0.01)
+
+    async def suppressed_hit(self, worker_id: int) -> None:
+        if worker_id in self._inbox:
+            await asyncio.sleep(0.01)
+            # Justified: pop(key, None) is idempotent under the race.
+            self._inbox.pop(worker_id, None)  # reprolint: disable=ASYNC003
+
+    async def clean(self) -> None:
+        await asyncio.sleep(0.01)
+        self._inbox = {}  # no guard protects this write

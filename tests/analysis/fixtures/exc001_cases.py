@@ -1,0 +1,58 @@
+"""EXC001 fixture: broad excepts in handler code re-raise or count.
+
+Linted under ``repro.service.fixture_exc001`` (in scope) and re-linted
+under ``repro.core.*`` for the scope boundary.  Cases: swallowed broad
+except, bare except, broad member of a tuple, suppressed hit, and the
+three sanctioned shapes (re-raise, counter increment, specific types).
+"""
+
+
+def positive_swallow(handler) -> None:
+    try:
+        handler()
+    except Exception:  # HIT: swallowed without a trace
+        pass
+
+
+def positive_bare(handler) -> object:
+    try:
+        return handler()
+    except:  # noqa: E722  HIT: bare except
+        return None
+
+
+def positive_tuple(handler) -> None:
+    try:
+        handler()
+    except (ValueError, Exception) as exc:  # HIT: tuple hides a broad catch
+        del exc
+
+
+def suppressed_hit(handler) -> None:
+    try:
+        handler()
+    except Exception:  # reprolint: disable=EXC001
+        # Justified: probe used only to detect capability, never on the
+        # dispatch path.
+        pass
+
+
+def clean_reraise(handler) -> None:
+    try:
+        handler()
+    except Exception:
+        raise
+
+
+def clean_counted(handler, errors) -> None:
+    try:
+        handler()
+    except Exception:
+        errors.labels(reason="handler").inc()
+
+
+def clean_specific(handler) -> None:
+    try:
+        handler()
+    except (ValueError, KeyError):
+        pass

@@ -1,0 +1,60 @@
+"""TIME001 fixture: sim-time and wall-clock values must not mix.
+
+Linted under ``repro.service.fixture_time001`` (wall-clock reads are
+legitimate there, so DET001 stays quiet and TIME001 isolates the mixing
+bug).  The rule's scope is all of ``repro``; the exclusion case lints
+under a non-repro module name.  Cases: direct arithmetic mix, ordering
+comparison, propagation through locals, branch-join may-mix, suppressed
+hit, single-domain clean code, and a conversion at a call boundary.
+"""
+
+import asyncio
+import time
+
+
+def positive_direct(clock, loop) -> float:
+    deadline = clock.now + 5.0
+    return deadline - loop.time()  # HIT: sim minus wall
+
+
+def positive_compare(clock) -> bool:
+    return clock.now < time.monotonic()  # HIT: ordering across domains
+
+
+def positive_through_locals(engine, loop) -> float:
+    start = engine.now
+    elapsed = loop.time()
+    budget = start + 1.0
+    return budget - elapsed  # HIT: labels carried through locals
+
+
+async def positive_branch_join(runtime, flag: bool) -> float:
+    if flag:
+        stamp = runtime.now
+    else:
+        stamp = asyncio.get_running_loop().time()
+    return stamp - time.monotonic()  # HIT: may-sim joined with wall
+
+
+def suppressed_hit(clock, loop) -> float:
+    # Justified: diagnostic epoch-offset log line, never fed to deadlines.
+    return clock.now - loop.time()  # reprolint: disable=TIME001
+
+
+def clean_sim_only(clock) -> float:
+    horizon = clock.now + 5.0
+    return min(horizon, clock.now + 1.0)
+
+
+def clean_wall_only(loop) -> float:
+    origin = loop.time()
+    return loop.time() - origin
+
+
+def to_sim(value: float) -> float:
+    return value * 1.0
+
+
+def clean_boundary(clock, loop) -> float:
+    mapped = to_sim(loop.time())  # explicit conversion severs the label
+    return mapped + clock.now

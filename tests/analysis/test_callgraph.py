@@ -1,0 +1,203 @@
+"""Call-graph resolution tests: local, self-method, cross-module, limits."""
+
+import ast
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    calls_in,
+    definition_table,
+    transitive_blocking_path,
+)
+from repro.analysis.modinfo import load_module, load_module_source
+
+HELPERS = '''
+import time
+
+
+def leaf():
+    time.sleep(1.0)
+
+
+def chain():
+    leaf()
+
+
+async def fetch():
+    return 1
+'''
+
+MAIN = '''
+import asyncio
+
+from mypkg import helpers
+from mypkg.helpers import fetch
+
+
+def local_sync():
+    return 2
+
+
+async def local_async():
+    await asyncio.sleep(0)
+
+
+class Server:
+    async def beat(self):
+        await asyncio.sleep(0)
+
+    async def run(self):
+        self.beat()
+        local_async()
+        helpers.chain()
+        fetch()
+'''
+
+
+def build_tree(tmp_path):
+    pkg = tmp_path / "mypkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "helpers.py").write_text(HELPERS)
+    (pkg / "main.py").write_text(MAIN)
+    return load_module(pkg / "main.py", rel_path="mypkg/main.py", module="mypkg.main")
+
+
+def find_calls(info, symbol):
+    table = definition_table(info)
+    return calls_in(table[symbol])
+
+
+def call_named(calls, text):
+    return next(c for c in calls if text in ast.unparse(c.func))
+
+
+class TestLocalResolution:
+    def test_module_level_function(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "local_async"), "Server")
+        assert ref is not None
+        assert ref.qualname == "local_async"
+        assert ref.is_async
+
+    def test_self_method(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "self.beat"), "Server")
+        assert ref is not None
+        assert ref.qualname == "Server.beat"
+        assert ref.is_async
+
+    def test_self_method_without_class_context(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        assert graph.resolve_call(call_named(calls, "self.beat"), None) is None
+
+
+class TestCrossModule:
+    def test_module_attribute_call(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "helpers.chain"), "Server")
+        assert ref is not None
+        assert ref.module == "mypkg.helpers"
+        assert not ref.is_async
+
+    def test_from_import_symbol(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "fetch"), "Server")
+        assert ref is not None
+        assert ref.module == "mypkg.helpers"
+        assert ref.is_async
+
+    def test_in_memory_fixture_disables_cross_module(self):
+        info = load_module_source(
+            MAIN, rel_path="<memory>", module="mypkg.main"
+        )
+        graph = CallGraph(info)
+        assert graph.root is None
+        calls = find_calls(info, "Server.run")
+        assert graph.resolve_call(call_named(calls, "helpers.chain"), "Server") is None
+        # Local names still resolve without a source root.
+        assert graph.resolve_call(call_named(calls, "local_async"), "Server") is not None
+
+    def test_third_party_names_resolve_to_none(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "local_async")
+        assert graph.resolve_call(call_named(calls, "asyncio.sleep"), None) is None
+
+
+class TestCoroutineDetection:
+    def test_known_asyncio_factory(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "local_async")
+        name = graph.is_coroutine_call(call_named(calls, "asyncio.sleep"))
+        assert name == "asyncio.sleep"
+
+    def test_cross_module_async_def(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        assert graph.is_coroutine_call(call_named(calls, "fetch")) == "fetch"
+
+    def test_sync_function_is_not_coroutine(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        assert graph.is_coroutine_call(call_named(calls, "helpers.chain")) is None
+
+
+class TestTransitiveBlocking:
+    def test_chain_across_modules(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "helpers.chain"), "Server")
+        path = transitive_blocking_path(graph, ref, {"time.sleep"})
+        assert path == ["chain", "leaf", "time.sleep"]
+
+    def test_depth_limit(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "helpers.chain"), "Server")
+        # chain -> leaf -> time.sleep needs depth 2; a cap of 1 misses it.
+        assert transitive_blocking_path(graph, ref, {"time.sleep"}, max_depth=1) is None
+
+    def test_no_blocking_means_none(self, tmp_path):
+        info = build_tree(tmp_path)
+        graph = CallGraph(info)
+        calls = find_calls(info, "Server.run")
+        ref = graph.resolve_call(call_named(calls, "local_async"), "Server")
+        # async callee: the walk refuses to descend (calling it never blocks).
+        assert transitive_blocking_path(graph, ref, {"time.sleep"}) is None
+
+
+class TestDefinitionTable:
+    def test_dotted_symbols(self, tmp_path):
+        info = build_tree(tmp_path)
+        table = definition_table(info)
+        assert "Server.run" in table
+        assert "Server.beat" in table
+        assert "local_sync" in table
+
+    def test_calls_in_skips_nested_defs(self):
+        info = load_module_source(
+            "def outer():\n"
+            "    a()\n"
+            "    def inner():\n"
+            "        b()\n"
+            "    return inner\n",
+            rel_path="<memory>",
+            module="m",
+        )
+        names = {ast.unparse(c.func) for c in calls_in(definition_table(info)["outer"])}
+        assert names == {"a"}

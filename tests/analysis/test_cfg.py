@@ -1,0 +1,259 @@
+"""CFG construction unit tests: shapes, await points, guards, edges."""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import Guard, build_cfg, contains_await, function_cfgs
+
+
+def cfg_of(source, name=None):
+    tree = ast.parse(source)
+    cfgs = {c.name: c for c in function_cfgs(tree)}
+    if name is None:
+        assert len(cfgs) == 1
+        return next(iter(cfgs.values()))
+    return cfgs[name]
+
+
+def reachable(cfg):
+    seen = {cfg.entry}
+    stack = [cfg.entry]
+    while stack:
+        for nxt in cfg.block(stack.pop()).succ:
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append(nxt)
+    return seen
+
+
+class TestContainsAwait:
+    def test_await_expression(self):
+        stmt = ast.parse("async def f():\n    x = await g()").body[0].body[0]
+        assert contains_await(stmt)
+
+    def test_async_comprehension(self):
+        stmt = ast.parse("async def f():\n    return [x async for x in it]").body[0].body[0]
+        assert contains_await(stmt)
+
+    def test_nested_def_is_opaque(self):
+        stmt = ast.parse(
+            "async def f():\n    async def g():\n        await h()"
+        ).body[0].body[0]
+        assert not contains_await(stmt)
+
+
+class TestBranchJoin:
+    SOURCE = """
+def f(x):
+    a = 1
+    if x:
+        b = 2
+    else:
+        b = 3
+    return b
+"""
+
+    def test_then_and_else_meet_at_join(self):
+        cfg = cfg_of(self.SOURCE)
+        # The return statement's block has (at least) two predecessors.
+        ret_blocks = [
+            b
+            for b in cfg.blocks
+            if any(isinstance(e.node, ast.Return) for e in b.elements)
+        ]
+        assert len(ret_blocks) == 1
+        join = ret_blocks[0]
+        assert len(join.pred) >= 1
+        # Walking back: both branch tails flow into the join's predecessors.
+        assert cfg.exit in join.succ
+
+    def test_branch_guards(self):
+        cfg = cfg_of(self.SOURCE)
+        guard_branches = set()
+        for block in cfg.blocks:
+            for guard in block.guards:
+                guard_branches.add(guard.branch)
+        assert guard_branches == {True, False}
+
+    def test_join_has_no_branch_guard(self):
+        cfg = cfg_of(self.SOURCE)
+        ret_block = next(
+            b
+            for b in cfg.blocks
+            if any(isinstance(e.node, ast.Return) for e in b.elements)
+        )
+        assert ret_block.guards == ()
+
+
+class TestLoops:
+    def test_while_has_back_edge(self):
+        cfg = cfg_of("def f(x):\n    while x:\n        x -= 1\n    return x")
+        heads = [
+            b for b in cfg.blocks if any(e.is_test for e in b.elements) and b.pred
+        ]
+        assert any(len(h.pred) >= 2 for h in heads)  # entry edge + back edge
+
+    def test_while_true_no_exit_edge_from_head(self):
+        cfg = cfg_of("def f():\n    while True:\n        pass")
+        head = next(b for b in cfg.blocks if any(e.is_test for e in b.elements))
+        # The only successor is the loop body; no fallthrough to the exit.
+        assert len(head.succ) == 1
+
+    def test_break_targets_loop_exit(self):
+        cfg = cfg_of(
+            "def f(x):\n    while x:\n        if x > 2:\n            break\n    return x"
+        )
+        assert cfg.exit in reachable(cfg)
+
+    def test_for_loop_guard_is_iter(self):
+        cfg = cfg_of("def f(items):\n    for i in items:\n        print(i)")
+        body_guards = [g for b in cfg.blocks for g in b.guards]
+        assert any(isinstance(g.test, ast.Name) and g.test.id == "items" for g in body_guards)
+
+
+class TestTryFinally:
+    SOURCE = """
+def f(x):
+    try:
+        risky(x)
+    except ValueError:
+        handle()
+    finally:
+        cleanup()
+"""
+
+    def test_handler_reachable_from_body(self):
+        cfg = cfg_of(self.SOURCE)
+        handler_blocks = [
+            b
+            for b in cfg.blocks
+            if any(
+                isinstance(e.node, ast.Expr)
+                and isinstance(e.node.value, ast.Call)
+                and isinstance(e.node.value.func, ast.Name)
+                and e.node.value.func.id == "handle"
+                for e in b.elements
+            )
+        ]
+        assert handler_blocks and handler_blocks[0].id in reachable(cfg)
+
+    def test_finally_reachable_on_both_paths(self):
+        cfg = cfg_of(self.SOURCE)
+        cleanup_block = next(
+            b
+            for b in cfg.blocks
+            if any(
+                isinstance(e.node, ast.Expr)
+                and isinstance(e.node.value, ast.Call)
+                and isinstance(e.node.value.func, ast.Name)
+                and e.node.value.func.id == "cleanup"
+                for e in b.elements
+            )
+        )
+        # Joined from the protected body AND the handler.
+        assert len(cleanup_block.pred) >= 2
+
+    def test_all_paths_terminate_finally_still_lowered(self):
+        cfg = cfg_of(
+            "def f():\n    try:\n        return 1\n    finally:\n        cleanup()"
+        )
+        assert cfg.exit in reachable(cfg)
+
+
+class TestAwaitPoints:
+    def test_await_isolated_into_own_block(self):
+        cfg = cfg_of(
+            "async def f():\n    a = 1\n    await g()\n    b = 2"
+        )
+        await_blocks = cfg.await_blocks()
+        assert len(await_blocks) == 1
+        assert len(await_blocks[0].elements) == 1
+
+    def test_async_for_head_awaits(self):
+        cfg = cfg_of("async def f(it):\n    async for x in it:\n        use(x)")
+        assert any(
+            e.awaits and isinstance(e.node, ast.AsyncFor)
+            for b in cfg.blocks
+            for e in b.elements
+        )
+
+    def test_async_with_enter_and_exit_await(self):
+        cfg = cfg_of("async def f(lock):\n    async with lock:\n        body()")
+        assert len(cfg.await_blocks()) == 2  # __aenter__ and __aexit__
+
+    def test_sync_function_has_no_await_blocks(self):
+        cfg = cfg_of("def f():\n    g()\n    return 1")
+        assert cfg.await_blocks() == []
+        assert not cfg.is_async
+
+
+class TestNestedAsyncDefs:
+    SOURCE = """
+class Server:
+    async def outer(self):
+        async def inner():
+            await leaf()
+        await inner()
+
+def top():
+    return 1
+"""
+
+    def test_each_function_gets_a_cfg_with_dotted_name(self):
+        tree = ast.parse(self.SOURCE)
+        names = {c.name for c in function_cfgs(tree)}
+        assert names == {"Server.outer", "Server.outer.inner", "top"}
+
+    def test_nested_await_does_not_leak_into_outer(self):
+        tree = ast.parse(self.SOURCE)
+        cfgs = {c.name: c for c in function_cfgs(tree)}
+        # outer awaits once (its own `await inner()`), not twice.
+        assert len(cfgs["Server.outer"].await_blocks()) == 1
+        assert len(cfgs["Server.outer.inner"].await_blocks()) == 1
+        assert cfgs["top"].await_blocks() == []
+
+
+class TestReversePostorder:
+    def test_entry_first_and_all_blocks_present(self):
+        cfg = cfg_of(
+            "def f(x):\n    while x:\n        if x > 1:\n            x -= 1\n    return x"
+        )
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert sorted(order) == sorted(b.id for b in cfg.blocks)
+
+    def test_match_statement_lowered(self):
+        cfg = cfg_of(
+            "def f(x):\n    match x:\n        case 1:\n            a = 1\n"
+            "        case _:\n            a = 2\n    return a"
+        )
+        assert cfg.exit in reachable(cfg)
+
+    def test_dead_code_block_exists_without_preds(self):
+        cfg = cfg_of("def f():\n    return 1\n    unreachable()")
+        dead = [
+            b
+            for b in cfg.blocks
+            if b.elements and not b.pred and b.id not in (cfg.entry,)
+        ]
+        assert dead  # still materialized so rules can scan it
+
+
+class TestGuardStacks:
+    def test_nested_guards_accumulate(self):
+        cfg = cfg_of(
+            "def f(a, b):\n    if a:\n        if b:\n            act()"
+        )
+        depths = [len(b.guards) for b in cfg.blocks]
+        assert max(depths) == 2
+
+    def test_guard_records_test_expression(self):
+        cfg = cfg_of("def f(a):\n    if a > 1:\n        act()")
+        guards = [g for b in cfg.blocks for g in b.guards]
+        assert guards and all(isinstance(g, Guard) for g in guards)
+        assert any(isinstance(g.test, ast.Compare) for g in guards)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    pytest.main([__file__, "-q"])

@@ -1,0 +1,180 @@
+"""Forward-solver and taint-lattice unit tests.
+
+The solver is exercised through a deliberately simple client: reaching
+"definedness" of names (assigned anywhere upstream), which has easily
+hand-checkable answers on branchy/loopy graphs.
+"""
+
+import ast
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dataflow import (
+    EMPTY_STATE,
+    EMPTY_TAINTS,
+    DataflowDivergence,
+    assign_targets,
+    canonical,
+    solve_forward,
+    taint_equal,
+    taint_get,
+    taint_join,
+    taint_set,
+)
+
+
+def _defined_transfer(block, state):
+    for element in block.elements:
+        node = element.node
+        if isinstance(node, ast.stmt):
+            for target, _ in assign_targets(node):
+                if isinstance(target, ast.Name):
+                    state = taint_set(state, target.id, frozenset({"def"}))
+    return state
+
+
+def solve(source):
+    func = ast.parse(source).body[0]
+    cfg = build_cfg(func)
+    in_states = solve_forward(
+        cfg,
+        entry_state=EMPTY_STATE,
+        bottom=EMPTY_STATE,
+        join=taint_join,
+        transfer=_defined_transfer,
+        equals=taint_equal,
+    )
+    return cfg, in_states
+
+
+def _exit_state(cfg, in_states):
+    # The exit block has no elements, so its in-state is the final answer
+    # once the solver has merged every terminating path.  Recompute it from
+    # predecessors for robustness.
+    merged = in_states[cfg.exit]
+    for pred in cfg.block(cfg.exit).pred:
+        merged = taint_join(merged, _defined_transfer(cfg.block(pred), in_states[pred]))
+    return merged
+
+
+class TestSolver:
+    def test_straight_line(self):
+        cfg, states = solve("def f():\n    a = 1\n    b = a\n    return b")
+        final = _exit_state(cfg, states)
+        assert taint_get(final, "a") and taint_get(final, "b")
+
+    def test_branch_join_unions_facts(self):
+        cfg, states = solve(
+            "def f(x):\n    if x:\n        a = 1\n    else:\n        b = 2\n    return 0"
+        )
+        final = _exit_state(cfg, states)
+        # May-analysis: both branches' definitions survive the join.
+        assert taint_get(final, "a") == frozenset({"def"})
+        assert taint_get(final, "b") == frozenset({"def"})
+
+    def test_loop_body_fact_reaches_exit(self):
+        cfg, states = solve(
+            "def f(x):\n    while x:\n        a = 1\n    return 0"
+        )
+        final = _exit_state(cfg, states)
+        assert taint_get(final, "a") == frozenset({"def"})
+
+    def test_try_finally_merges_handler_facts(self):
+        cfg, states = solve(
+            "def f():\n    try:\n        a = 1\n    except ValueError:\n"
+            "        b = 2\n    finally:\n        c = 3\n    return 0"
+        )
+        final = _exit_state(cfg, states)
+        for name in ("a", "b", "c"):
+            assert taint_get(final, name) == frozenset({"def"}), name
+
+    def test_divergence_guard_trips_on_non_monotone_transfer(self):
+        func = ast.parse("def f(x):\n    while x:\n        a = 1\n    return 0").body[0]
+        cfg = build_cfg(func)
+        visits = {}
+
+        def flipping(block, state):
+            # Each block's out-state alternates forever: never a fixpoint.
+            visits[block.id] = visits.get(block.id, 0) + 1
+            return {"flip": frozenset({str(visits[block.id] % 2)})}
+
+        with pytest.raises(DataflowDivergence):
+            solve_forward(
+                cfg,
+                entry_state=EMPTY_STATE,
+                bottom=EMPTY_STATE,
+                join=lambda a, b: b,
+                transfer=flipping,
+                equals=taint_equal,
+            )
+
+    def test_unreachable_blocks_get_bottom(self):
+        cfg, states = solve("def f():\n    return 1\n    a = 2")
+        dead = [b for b in cfg.blocks if b.elements and not b.pred]
+        assert dead
+        assert states[dead[0].id] == EMPTY_STATE
+
+
+class TestTaintLattice:
+    def test_join_is_pointwise_union(self):
+        a = {"x": frozenset({"sim"})}
+        b = {"x": frozenset({"wall"}), "y": frozenset({"sim"})}
+        merged = taint_join(a, b)
+        assert merged["x"] == frozenset({"sim", "wall"})
+        assert merged["y"] == frozenset({"sim"})
+
+    def test_join_identity_on_empty(self):
+        a = {"x": frozenset({"sim"})}
+        assert taint_join(a, EMPTY_STATE) is a
+        assert taint_join(EMPTY_STATE, a) is a
+
+    def test_set_is_strong_update(self):
+        state = taint_set(EMPTY_STATE, "x", frozenset({"sim"}))
+        state = taint_set(state, "x", frozenset({"wall"}))
+        assert taint_get(state, "x") == frozenset({"wall"})
+
+    def test_set_empty_labels_removes_key(self):
+        state = taint_set(EMPTY_STATE, "x", frozenset({"sim"}))
+        state = taint_set(state, "x", EMPTY_TAINTS)
+        assert "x" not in state
+        assert taint_get(state, "x") == EMPTY_TAINTS
+
+    def test_equal(self):
+        a = taint_set(EMPTY_STATE, "x", frozenset({"sim"}))
+        b = taint_set(EMPTY_STATE, "x", frozenset({"sim"}))
+        c = taint_set(EMPTY_STATE, "x", frozenset({"wall"}))
+        assert taint_equal(a, b)
+        assert not taint_equal(a, c)
+        assert not taint_equal(a, EMPTY_STATE)
+
+
+class TestHelpers:
+    def test_canonical_normalizes_spacing(self):
+        a = ast.parse("self._inbox[ wid ]", mode="eval").body
+        b = ast.parse("self._inbox[wid]", mode="eval").body
+        assert canonical(a) == canonical(b)
+
+    def test_assign_targets_flattens_tuples(self):
+        stmt = ast.parse("a, b = 1, 2").body[0]
+        pairs = list(assign_targets(stmt))
+        assert [t.id for t, _ in pairs] == ["a", "b"]
+        assert [v.value for _, v in pairs] == [1, 2]
+
+    def test_assign_targets_mismatched_tuple_keeps_whole_rhs(self):
+        stmt = ast.parse("a, b = pair()").body[0]
+        pairs = list(assign_targets(stmt))
+        assert len(pairs) == 2
+        assert all(isinstance(v, ast.Call) for _, v in pairs)
+
+    def test_assign_targets_for_loop_has_no_value(self):
+        stmt = ast.parse("for i in items:\n    pass").body[0]
+        pairs = list(assign_targets(stmt))
+        assert len(pairs) == 1
+        assert pairs[0][1] is None
+
+    def test_assign_targets_augassign(self):
+        stmt = ast.parse("x += 1").body[0]
+        pairs = list(assign_targets(stmt))
+        assert len(pairs) == 1
+        assert isinstance(pairs[0][0], ast.Name)

@@ -245,7 +245,7 @@ class TestAPI001:
 
 
 class TestRuleRegistry:
-    def test_seven_rules_registered_with_docs(self):
+    def test_twelve_rules_registered_with_docs(self):
         rules = all_rules()
         ids = [r.id for r in rules]
         assert ids == [
@@ -256,6 +256,11 @@ class TestRuleRegistry:
             "OBS001",
             "KER001",
             "API001",
+            "ASYNC001",
+            "ASYNC002",
+            "ASYNC003",
+            "TIME001",
+            "EXC001",
         ]
         for rule in rules:
             assert rule.title, rule.id
@@ -271,7 +276,180 @@ class TestRuleRegistry:
             "OBS001": ("obs001_cases.py", "repro.platform.fixture_obs001"),
             "KER001": ("ker001_cases.py", "repro.core.kernels.fixture_ker001"),
             "API001": ("api001_cases.py", "repro.core.fixture_api001"),
+            "ASYNC001": ("async001_cases.py", "repro.service.fixture_async001"),
+            "ASYNC002": ("async002_cases.py", "repro.service.fixture_async002"),
+            "ASYNC003": ("async003_cases.py", "repro.service.fixture_async003"),
+            "TIME001": ("time001_cases.py", "repro.service.fixture_time001"),
+            "EXC001": ("exc001_cases.py", "repro.service.fixture_exc001"),
         }
         for rule_id, (filename, module) in cases.items():
             result = lint_fixture(filename, module, rule_ids=[rule_id])
             assert any(f.rule == rule_id for f in result.findings), rule_id
+
+
+class TestASYNC001:
+    def test_positive_hits(self):
+        result = lint_fixture("async001_cases.py", "repro.service.fixture_async001")
+        hits = rules_of(result, "ASYNC001")
+        assert len(hits) == 4
+        messages = " ".join(f.message for f in hits)
+        assert "time.sleep" in messages
+        assert "subprocess.run" in messages
+        assert "open" in messages
+        assert "sync_chain -> sync_leaf -> time.sleep" in messages
+
+    def test_suppressed(self):
+        result = lint_fixture("async001_cases.py", "repro.service.fixture_async001")
+        suppressed = [f for f in result.suppressed if f.rule == "ASYNC001"]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "suppressed_hit"
+
+    def test_clean_unfiltered(self):
+        # The clean coroutine (to_thread / run_in_executor shapes) must not
+        # trip ASYNC001 — nor any other rule.
+        result = lint_fixture("async001_cases.py", "repro.service.fixture_async001")
+        assert not any(f.symbol == "clean" for f in result.findings)
+        # Blocking calls in *sync* defs are never ASYNC001 findings.
+        assert not any(f.symbol.startswith("sync_") for f in result.findings)
+
+    def test_scope_excluded(self):
+        result = lint_fixture(
+            "async001_cases.py", "repro.sim.fixture_async001", rule_ids=["ASYNC001"]
+        )
+        assert not rules_of(result, "ASYNC001")
+
+
+class TestASYNC002:
+    def test_positive_hits(self):
+        result = lint_fixture("async002_cases.py", "repro.service.fixture_async002")
+        hits = rules_of(result, "ASYNC002")
+        assert len(hits) == 3
+        messages = " ".join(f.message for f in hits)
+        assert "notify" in messages  # local coroutine resolved
+        assert "asyncio.sleep" in messages  # known awaitable factory
+        assert "Server.beat" in messages  # self.method resolved via the class
+
+    def test_suppressed(self):
+        result = lint_fixture("async002_cases.py", "repro.service.fixture_async002")
+        suppressed = [f for f in result.suppressed if f.rule == "ASYNC002"]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "suppressed_hit"
+
+    def test_clean_unfiltered(self):
+        result = lint_fixture("async002_cases.py", "repro.service.fixture_async002")
+        assert not any(f.symbol == "clean" for f in result.findings)
+
+    def test_scope_is_all_of_repro(self):
+        result = lint_fixture(
+            "async002_cases.py", "repro.sim.fixture_async002", rule_ids=["ASYNC002"]
+        )
+        assert len(rules_of(result, "ASYNC002")) == 3
+
+    def test_scope_excluded_outside_repro(self):
+        result = lint_fixture(
+            "async002_cases.py", "scripts.fixture_async002", rule_ids=["ASYNC002"]
+        )
+        assert not rules_of(result, "ASYNC002")
+
+
+class TestASYNC003:
+    def test_positive_hits(self):
+        result = lint_fixture("async003_cases.py", "repro.service.fixture_async003")
+        hits = rules_of(result, "ASYNC003")
+        assert len(hits) == 3
+        symbols = {f.symbol for f in hits}
+        assert symbols == {
+            "RegionState.positive_pop",
+            "RegionState.positive_phase",
+            "RegionState.positive_while",
+        }
+        messages = " ".join(f.message for f in hits)
+        assert "self._inbox" in messages
+        assert "task.phase" in messages
+        assert "self._running" in messages
+
+    def test_suppressed(self):
+        result = lint_fixture("async003_cases.py", "repro.service.fixture_async003")
+        suppressed = [f for f in result.suppressed if f.rule == "ASYNC003"]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "RegionState.suppressed_hit"
+
+    def test_sanctioned_shapes_unfiltered(self):
+        # Re-testing on the resume edge and mutating before the await are
+        # the two fixes the rule message recommends; neither may fire.
+        result = lint_fixture("async003_cases.py", "repro.service.fixture_async003")
+        assert not any(f.symbol == "RegionState.revalidated" for f in result.findings)
+        assert not any(
+            f.symbol == "RegionState.mutate_before_await" for f in result.findings
+        )
+        assert not any(f.symbol == "RegionState.clean" for f in result.findings)
+
+    def test_scope_excluded(self):
+        result = lint_fixture(
+            "async003_cases.py", "repro.sim.fixture_async003", rule_ids=["ASYNC003"]
+        )
+        assert not rules_of(result, "ASYNC003")
+
+
+class TestTIME001:
+    def test_positive_hits(self):
+        result = lint_fixture("time001_cases.py", "repro.service.fixture_time001")
+        hits = rules_of(result, "TIME001")
+        assert len(hits) == 4
+        symbols = {f.symbol for f in hits}
+        assert symbols == {
+            "positive_direct",
+            "positive_compare",
+            "positive_through_locals",
+            "positive_branch_join",
+        }
+        kinds = " ".join(f.message for f in hits)
+        assert "arithmetic" in kinds
+        assert "comparison" in kinds
+
+    def test_suppressed(self):
+        result = lint_fixture("time001_cases.py", "repro.service.fixture_time001")
+        suppressed = [f for f in result.suppressed if f.rule == "TIME001"]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "suppressed_hit"
+
+    def test_clean_unfiltered(self):
+        # Single-domain arithmetic and call-boundary conversion stay quiet.
+        result = lint_fixture("time001_cases.py", "repro.service.fixture_time001")
+        for symbol in ("clean_sim_only", "clean_wall_only", "clean_boundary", "to_sim"):
+            assert not any(f.symbol == symbol for f in result.findings), symbol
+
+    def test_scope_excluded_outside_repro(self):
+        result = lint_fixture(
+            "time001_cases.py", "scripts.fixture_time001", rule_ids=["TIME001"]
+        )
+        assert not rules_of(result, "TIME001")
+
+
+class TestEXC001:
+    def test_positive_hits(self):
+        result = lint_fixture("exc001_cases.py", "repro.service.fixture_exc001")
+        hits = rules_of(result, "EXC001")
+        assert len(hits) == 3
+        symbols = {f.symbol for f in hits}
+        assert symbols == {"positive_swallow", "positive_bare", "positive_tuple"}
+        messages = " ".join(f.message for f in hits)
+        assert "broad `except Exception`" in messages
+        assert "bare `except:`" in messages
+
+    def test_suppressed(self):
+        result = lint_fixture("exc001_cases.py", "repro.service.fixture_exc001")
+        suppressed = [f for f in result.suppressed if f.rule == "EXC001"]
+        assert len(suppressed) == 1
+        assert suppressed[0].symbol == "suppressed_hit"
+
+    def test_clean_unfiltered(self):
+        result = lint_fixture("exc001_cases.py", "repro.service.fixture_exc001")
+        for symbol in ("clean_reraise", "clean_counted", "clean_specific"):
+            assert not any(f.symbol == symbol for f in result.findings), symbol
+
+    def test_scope_excluded(self):
+        result = lint_fixture(
+            "exc001_cases.py", "repro.core.fixture_exc001", rule_ids=["EXC001"]
+        )
+        assert not rules_of(result, "EXC001")

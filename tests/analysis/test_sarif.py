@@ -1,0 +1,176 @@
+"""SARIF 2.1.0 renderer and the --format sarif / --changed CLI paths."""
+
+import json
+import subprocess
+
+from repro.analysis.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+from repro.analysis.engine import lint_source
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, render_sarif
+
+DIRTY = "import time\n\n\ndef f() -> float:\n    return time.time()\n"
+CLEAN = "def f(x: int) -> int:\n    return x + 1\n"
+
+
+def make_pkg(tmp_path, source, name="clockish.py"):
+    pkg = tmp_path / "repro" / "sim"
+    pkg.mkdir(parents=True)
+    (tmp_path / "repro" / "__init__.py").write_text("")
+    (pkg / "__init__.py").write_text("")
+    (pkg / name).write_text(source)
+    return pkg / name
+
+
+def render(source):
+    result = lint_source(source, module="repro.sim.clockish", path="repro/sim/clockish.py")
+    return json.loads(render_sarif(result, result.findings, []))
+
+
+class TestRenderSarif:
+    def test_log_envelope(self):
+        log = render(DIRTY)
+        assert log["version"] == SARIF_VERSION
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+
+    def test_driver_lists_every_rule(self):
+        log = render(CLEAN)
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "reprolint"
+        ids = {r["id"] for r in driver["rules"]}
+        for rule_id in ("DET001", "ASYNC001", "ASYNC003", "TIME001", "EXC001", "PARSE"):
+            assert rule_id in ids
+
+    def test_result_shape(self):
+        log = render(DIRTY)
+        results = log["runs"][0]["results"]
+        assert len(results) == 1
+        res = results[0]
+        assert res["ruleId"] == "DET001"
+        assert res["level"] == "error"
+        assert res["message"]["text"]
+        loc = res["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "repro/sim/clockish.py"
+        assert loc["region"]["startLine"] == 5
+        # ast columns are 0-based, SARIF's are 1-based.
+        assert loc["region"]["startColumn"] >= 1
+        assert res["partialFingerprints"]["reprolintFingerprint/v1"]
+        assert "suppressions" not in res
+
+    def test_baselined_findings_carry_external_suppression(self):
+        result = lint_source(DIRTY, module="repro.sim.clockish", path="repro/sim/c.py")
+        log = json.loads(render_sarif(result, [], result.findings))
+        res = log["runs"][0]["results"][0]
+        assert res["suppressions"] == [{"kind": "external"}]
+
+    def test_clean_run_has_empty_results(self):
+        log = render(CLEAN)
+        assert log["runs"][0]["results"] == []
+
+    def test_parse_errors_use_parse_rule(self, tmp_path):
+        from repro.analysis.engine import lint_file
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("def broken(:\n")
+        result = lint_file(bad)
+        log = json.loads(render_sarif(result, result.findings, []))
+        assert log["runs"][0]["results"][0]["ruleId"] == "PARSE"
+
+
+class TestSarifCli:
+    def test_format_sarif_writes_valid_log(self, tmp_path, capsys):
+        make_pkg(tmp_path, DIRTY)
+        code = main([str(tmp_path), "--no-baseline", "--format", "sarif"])
+        assert code == EXIT_FINDINGS
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == SARIF_VERSION
+        assert log["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_sarif_to_output_file(self, tmp_path, capsys):
+        make_pkg(tmp_path, DIRTY)
+        report = tmp_path / "lint.sarif"
+        main([str(tmp_path), "--no-baseline", "--format", "sarif", "--output", str(report)])
+        assert json.loads(report.read_text())["runs"]
+        assert capsys.readouterr().out == ""
+
+
+def git(repo, *argv):
+    subprocess.run(
+        ["git", *argv],
+        cwd=repo,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+
+
+def make_git_repo(tmp_path):
+    """A committed tree with one clean file; returns the repo root."""
+    make_pkg(tmp_path, CLEAN, name="stable.py")
+    git(tmp_path, "init", "-q", "-b", "main")
+    git(tmp_path, "-c", "user.name=t", "-c", "user.email=t@t", "add", ".")
+    git(
+        tmp_path,
+        "-c", "user.name=t", "-c", "user.email=t@t",
+        "commit", "-q", "-m", "seed",
+    )
+    return tmp_path
+
+
+class TestChangedFlag:
+    def test_only_changed_files_are_linted(self, tmp_path, capsys, monkeypatch):
+        repo = make_git_repo(tmp_path)
+        # Commit a second, already-dirty file; then dirty the stable one in
+        # the worktree.  --changed must lint only the modified file, so the
+        # committed-but-untouched violation stays invisible.
+        dirty_committed = repo / "repro" / "sim" / "legacy.py"
+        dirty_committed.write_text(DIRTY)
+        git(repo, "add", str(dirty_committed))
+        git(
+            repo,
+            "-c", "user.name=t", "-c", "user.email=t@t",
+            "commit", "-q", "-m", "legacy",
+        )
+        (repo / "repro" / "sim" / "stable.py").write_text(DIRTY)
+        monkeypatch.chdir(repo)
+        code = main([str(repo), "--no-baseline", "--changed", "--base", "HEAD"])
+        assert code == EXIT_FINDINGS
+        out = capsys.readouterr().out
+        assert "1 files" in out
+        assert "stable.py" in out
+        assert "legacy.py" not in out
+
+    def test_no_changes_is_clean(self, tmp_path, capsys, monkeypatch):
+        repo = make_git_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        code = main([str(repo), "--no-baseline", "--changed", "--base", "HEAD"])
+        assert code == EXIT_CLEAN
+        assert "no python files changed vs HEAD" in capsys.readouterr().out
+
+    def test_changes_outside_requested_paths_ignored(self, tmp_path, capsys, monkeypatch):
+        repo = make_git_repo(tmp_path)
+        other = repo / "scripts"
+        other.mkdir()
+        (other / "tool.py").write_text(DIRTY)
+        git(repo, "add", "scripts")
+        monkeypatch.chdir(repo)
+        code = main(
+            [str(repo / "repro"), "--no-baseline", "--changed", "--base", "HEAD"]
+        )
+        assert code == EXIT_CLEAN
+        assert "no python files changed" in capsys.readouterr().out
+
+    def test_deleted_files_are_skipped(self, tmp_path, capsys, monkeypatch):
+        repo = make_git_repo(tmp_path)
+        (repo / "repro" / "sim" / "stable.py").unlink()
+        monkeypatch.chdir(repo)
+        code = main([str(repo), "--no-baseline", "--changed", "--base", "HEAD"])
+        assert code == EXIT_CLEAN
+
+    def test_bad_base_is_usage_error(self, tmp_path, capsys, monkeypatch):
+        repo = make_git_repo(tmp_path)
+        monkeypatch.chdir(repo)
+        code = main(
+            [str(repo), "--no-baseline", "--changed", "--base", "no-such-ref"]
+        )
+        assert code == EXIT_USAGE
+        assert "git diff" in capsys.readouterr().err

@@ -164,6 +164,52 @@ class TestHttpSurface:
         run_async(main())
 
 
+class TestHandlerErrorCounter:
+    def test_handler_crash_increments_counter_and_returns_500(self):
+        from repro.service.httpd import HttpServer
+
+        class Counter:
+            def __init__(self):
+                self.count = 0.0
+
+            def inc(self, amount: float = 1.0) -> None:
+                self.count += amount
+
+        async def main():
+            counter = Counter()
+
+            async def exploding(request):
+                raise RuntimeError("boom")
+
+            server = HttpServer(exploding, error_counter=counter)
+            host, port = await server.start()
+            client = AsyncHttpClient(host, port)
+            try:
+                status, body = await client.request("GET", "/healthz")
+                assert status == 500
+                assert body == {"error": "internal error"}
+            finally:
+                await client.close()
+                await server.close()
+            return counter.count
+
+        assert run_async(main()) == 1.0
+
+    def test_gateway_exports_handler_error_metric(self):
+        async def main():
+            gateway = await boot()
+            client = AsyncHttpClient(gateway.host, gateway.port)
+            try:
+                status, text = await client.request("GET", "/metrics")
+                assert status == 200
+                assert b"service_handler_errors_total 0" in text
+            finally:
+                await client.close()
+                await gateway.stop()
+
+        run_async(main())
+
+
 class TestBackpressure:
     def test_rate_limit_returns_429_with_retry_hint(self):
         async def main():

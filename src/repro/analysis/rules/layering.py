@@ -84,6 +84,7 @@ LAYERING: Dict[str, Tuple[str, ...]] = {
         "repro.core",
     ),
     "repro.platform": ("repro.service", "repro.experiments", "repro.dist"),
+    "repro.scenarios": ("repro.service", "repro.experiments", "repro.dist"),
     "repro.retainer": (
         "repro.service",
         "repro.experiments",

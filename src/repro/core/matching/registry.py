@@ -14,6 +14,7 @@ from .greedy import GreedyMatcher, SortedGreedyMatcher
 from .hungarian import HungarianMatcher
 from .metropolis import MetropolisMatcher, MetropolisParameters
 from .react import ReactMatcher, ReactParameters
+from .threshold import ThresholdMatcher
 
 MatcherFactory = Callable[..., Matcher]
 
@@ -72,6 +73,7 @@ register("metropolis", MetropolisMatcher)
 register("greedy", GreedyMatcher)
 register("sorted-greedy", SortedGreedyMatcher)
 register("hungarian", HungarianMatcher)
+register("threshold", ThresholdMatcher)
 
 # UniformMatcher registers here too, imported late to avoid a cycle in
 # postponed-annotation evaluation order.

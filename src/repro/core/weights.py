@@ -19,9 +19,22 @@ from typing import Sequence
 
 import numpy as np
 
-from ..model.region import haversine_km
+from ..model.region import haversine_km, haversine_km_matrix
 from ..model.task import Task
 from ..model.worker import WorkerProfile
+
+
+def _pairwise_km(
+    workers: Sequence[WorkerProfile], tasks: Sequence[Task]
+) -> np.ndarray:
+    """(workers × tasks) great-circle distance matrix, one broadcast call."""
+    wlat = np.array([w.latitude for w in workers], dtype=np.float64)
+    wlon = np.array([w.longitude for w in workers], dtype=np.float64)
+    tlat = np.array([t.latitude for t in tasks], dtype=np.float64)
+    tlon = np.array([t.longitude for t in tasks], dtype=np.float64)
+    return haversine_km_matrix(
+        wlat[:, None], wlon[:, None], tlat[None, :], tlon[None, :]
+    )
 
 
 class WeightFunction(abc.ABC):
@@ -95,6 +108,18 @@ class DistanceWeight(WeightFunction):
     def matrix(
         self, workers: Sequence[WorkerProfile], tasks: Sequence[Task]
     ) -> np.ndarray:
+        km = _pairwise_km(workers, tasks)
+        return np.maximum(0.0, 1.0 - km / self.max_km)
+
+    def matrix_scalar(
+        self, workers: Sequence[WorkerProfile], tasks: Sequence[Task]
+    ) -> np.ndarray:
+        """Pre-vectorization reference path (one scalar haversine per cell).
+
+        Kept as the bit-equivalence oracle for :meth:`matrix` and as the
+        baseline side of the ``distance_weight`` perf benchmark; not used
+        on any hot path.
+        """
         out = np.empty((len(workers), len(tasks)), dtype=np.float64)
         for i, worker in enumerate(workers):
             for j, task in enumerate(tasks):
@@ -103,6 +128,34 @@ class DistanceWeight(WeightFunction):
                 )
                 out[i, j] = max(0.0, 1.0 - km / self.max_km)
         return out
+
+
+class TravelTimeWeight(WeightFunction):
+    """Travel-time-aware spatial weight (Liu & Xu-style edge utility).
+
+    Converts the worker→task great-circle distance into a travel time at
+    ``speed_kmh`` and maps it linearly onto [0, 1]: weight 1 for a worker
+    already on site, 0 once the trip alone would eat ``horizon_s`` seconds
+    — i.e. the worker could not plausibly reach the task within a typical
+    deadline, so the edge is worthless to every matcher.
+    """
+
+    name = "travel-time"
+
+    def __init__(self, speed_kmh: float = 30.0, horizon_s: float = 600.0) -> None:
+        if speed_kmh <= 0:
+            raise ValueError(f"speed_kmh must be positive, got {speed_kmh}")
+        if horizon_s <= 0:
+            raise ValueError(f"horizon_s must be positive, got {horizon_s}")
+        self.speed_kmh = speed_kmh
+        self.horizon_s = horizon_s
+
+    def matrix(
+        self, workers: Sequence[WorkerProfile], tasks: Sequence[Task]
+    ) -> np.ndarray:
+        km = _pairwise_km(workers, tasks)
+        travel_s = km / self.speed_kmh * 3600.0
+        return np.clip(1.0 - travel_s / self.horizon_s, 0.0, 1.0)
 
 
 class HybridWeight(WeightFunction):
@@ -142,10 +195,11 @@ class ConstantWeight(WeightFunction):
 
 
 def make_weight_function(name: str, **kwargs: float) -> WeightFunction:
-    """Factory by name: accuracy | distance | hybrid | constant."""
+    """Factory by name: accuracy | distance | travel-time | hybrid | constant."""
     factories = {
         "accuracy": AccuracyWeight,
         "distance": DistanceWeight,
+        "travel-time": TravelTimeWeight,
         "hybrid": HybridWeight,
         "constant": ConstantWeight,
     }

@@ -20,6 +20,7 @@ from .drivers import (
     run_comparison_sharded,
     run_endtoend_repetitions,
     run_scalability_sharded,
+    run_scenario_sharded,
 )
 from .executor import (
     ExecutionReport,
@@ -32,6 +33,7 @@ from .merge import (
     merge_endtoend,
     merge_metrics,
     merge_scalability,
+    merge_scenario,
     merged_snapshot,
 )
 from .shards import (
@@ -59,12 +61,14 @@ __all__ = [
     "merge_endtoend",
     "merge_metrics",
     "merge_scalability",
+    "merge_scenario",
     "merged_snapshot",
     "register_handler",
     "run_chaos_sharded",
     "run_comparison_sharded",
     "run_endtoend_repetitions",
     "run_scalability_sharded",
+    "run_scenario_sharded",
     "run_shard",
     "safe_id",
     "write_checkpoint",

@@ -26,13 +26,16 @@ from ..experiments.chaos import ChaosConfig, ChaosRunResult, standard_schedule
 from ..experiments.config import EndToEndConfig, ScalabilityConfig
 from ..experiments.endtoend import EndToEndResult, default_policies
 from ..experiments.scalability import ScalabilityResult
+from ..experiments.scenario import ScenarioConfig, ScenarioResult
 from ..platform.policies import SchedulingPolicy
+from ..scenarios.baselines import scenario_policies
 from ..sim.rng import spawn_seeds
 from .executor import ExecutionReport, execute_shards
 from .merge import (
     merge_chaos,
     merge_endtoend,
     merge_scalability,
+    merge_scenario,
     merged_snapshot,
 )
 from .shards import MetricsSnapshot, ShardOutcome, ShardSpec, TelemetrySpec, safe_id
@@ -105,6 +108,43 @@ def run_comparison_sharded(
     ]
     report = execute_shards(specs, parallel=parallel, checkpoint_dir=checkpoint_dir)
     results: Dict[str, EndToEndResult] = merge_endtoend(report.outcomes)
+    return _finish(results, report)
+
+
+def run_scenario_sharded(
+    config: ScenarioConfig,
+    policies: Optional[Sequence[SchedulingPolicy]] = None,
+    parallel: int = 1,
+    checkpoint_dir: Optional[PathLike] = None,
+    telemetry: Optional[TelemetrySpec] = None,
+) -> ShardedRun:
+    """Sharded ``run_scenario_comparison``: one shard per policy, same seed.
+
+    Each shard runs the full multi-region scenario hermetically (fresh
+    engine, fresh RNG registry, task-id reset), so the merged dict is
+    byte-identical to the sequential driver's for any ``parallel``.
+    """
+    chosen = policies if policies is not None else scenario_policies()
+    seen: Dict[str, None] = {}
+    for policy in chosen:
+        if policy.name in seen:
+            raise ValueError(f"duplicate policy name {policy.name!r}")
+        seen.setdefault(policy.name)
+    specs = [
+        ShardSpec(
+            shard_id=safe_id("scenario", policy.name),
+            kind="scenario",
+            payload={
+                "policy": policy,
+                "config": config,
+                "label": policy.name,
+                "telemetry": telemetry,
+            },
+        )
+        for policy in chosen
+    ]
+    report = execute_shards(specs, parallel=parallel, checkpoint_dir=checkpoint_dir)
+    results: Dict[str, ScenarioResult] = merge_scenario(report.outcomes)
     return _finish(results, report)
 
 

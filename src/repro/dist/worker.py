@@ -23,6 +23,7 @@ from typing import Any, Callable, Dict, Optional, Tuple
 from ..experiments.chaos import run_chaos
 from ..experiments.endtoend import run_endtoend
 from ..experiments.scalability import evaluate_point
+from ..experiments.scenario import run_scenario
 from ..obs.runtime import Observability
 from .shards import MetricsSnapshot, ShardOutcome, ShardSpec, TelemetrySpec
 
@@ -90,6 +91,21 @@ def _run_chaos_shard(spec: ShardSpec) -> ShardOutcome:
     )
 
 
+def _run_scenario_shard(spec: ShardSpec) -> ShardOutcome:
+    payload = spec.payload
+    telemetry: Optional[TelemetrySpec] = payload.get("telemetry")
+    obs = _make_observability(telemetry)
+    result = run_scenario(payload["policy"], payload["config"], observability=obs)
+    snapshot, written = _finish_telemetry(obs, telemetry, payload["label"])
+    return ShardOutcome(
+        shard_id=spec.shard_id,
+        kind=spec.kind,
+        result=result,
+        snapshot=snapshot,
+        written=written,
+    )
+
+
 def _run_scalability_shard(spec: ShardSpec) -> ShardOutcome:
     payload = spec.payload
     point = evaluate_point(
@@ -110,6 +126,7 @@ HANDLERS: Dict[str, ShardHandler] = {
     "endtoend": _run_endtoend_shard,
     "chaos": _run_chaos_shard,
     "scalability": _run_scalability_shard,
+    "scenario": _run_scenario_shard,
 }
 
 

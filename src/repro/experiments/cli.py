@@ -28,6 +28,7 @@ from ..dist import (
     run_chaos_sharded,
     run_comparison_sharded,
     run_scalability_sharded,
+    run_scenario_sharded,
 )
 from ..obs.runtime import Observability
 from ..workload.crowdflower import analyze_case_study, generate_case_study
@@ -60,6 +61,11 @@ from .reporting import (
     report_fig10,
 )
 from .scalability import run_scalability
+from .scenario import (
+    ScenarioConfig,
+    report_scenario,
+    run_scenario_comparison,
+)
 
 
 def _matching_config(quick: bool) -> MatchingSweepConfig:
@@ -106,6 +112,17 @@ def _scalability_config(quick: bool) -> ScalabilityConfig:
             drain_time=300.0,
         )
     return ScalabilityConfig()
+
+
+def _scenario_config(quick: bool) -> ScenarioConfig:
+    # The quick variant keeps the same saturation ratio as the default
+    # (verified empirically: every policy still performs region splits,
+    # cross-region migrations, and budget shedding).
+    if quick:
+        return ScenarioConfig(
+            n_tasks=150, n_workers=50, horizon=150.0, requester_budget=0.3
+        )
+    return ScenarioConfig()
 
 
 def _maybe_export(out: Optional[str], writer, *args) -> str:
@@ -355,6 +372,28 @@ def _run_chaos(
     return report + ("\n" + "\n".join(notes) if notes else "")
 
 
+def _run_scenario(
+    quick: bool,
+    out: Optional[str] = None,
+    parallel: Optional[int] = None,
+    resume: Optional[str] = None,
+) -> str:
+    # Budgets x hot-region skew x heterogeneous tasks against the
+    # related-work baselines (docs/EXPERIMENTS.md, "Scenario pack").
+    config = _scenario_config(quick)
+    if parallel is None and resume is None:
+        results = run_scenario_comparison(config)
+        notes: List[str] = []
+    else:
+        run = run_scenario_sharded(
+            config, parallel=parallel or 1, checkpoint_dir=resume
+        )
+        results = run.results
+        notes = _sharded_notes(run)
+    report = report_scenario(results)
+    return report + ("\n" + "\n".join(notes) if notes else "")
+
+
 def _run_loadtest(quick: bool, out: Optional[str] = None) -> str:
     # Wall-clock run: boots the repro.service gateway on an ephemeral port
     # and drives it over real HTTP (docs/SERVICE.md).  No --out series.
@@ -394,6 +433,7 @@ COMMANDS: Dict[str, Callable[..., str]] = {
     "voting": _run_voting,
     "endtoend": _run_endtoend,
     "chaos": _run_chaos,
+    "scenario": _run_scenario,
     "bench": _run_bench,
     "loadtest": _run_loadtest,
 }
@@ -404,7 +444,7 @@ TRACEABLE = ("endtoend", "chaos")
 
 #: Commands with a sharded execution path (--parallel / --resume; see
 #: docs/SCALING.md).  fig9/fig10 are the scalability sweep.
-PARALLEL_COMMANDS = ("endtoend", "chaos", "fig9", "fig10")
+PARALLEL_COMMANDS = ("endtoend", "chaos", "fig9", "fig10", "scenario")
 
 #: Commands that understand --retainer-size / --retainer-cost
 #: (the marketplace retainer comparison; docs/RETAINER.md).

@@ -213,6 +213,48 @@ def run_platform_benchmarks(quick: bool = False) -> List[BenchResult]:
         )
     )
 
+    # Spatial weight matrix: broadcast haversine vs. the per-cell scalar
+    # oracle it replaced (DistanceWeight.matrix_scalar).  Same seeded geo
+    # scatter on both sides; the scalar wall is the speedup denominator.
+    from ..core.weights import DistanceWeight
+    from ..model.task import Task
+
+    geo_rng = np.random.default_rng(BENCH_SEED)
+    geo_workers = []
+    for worker_id in range(n):
+        profile = WorkerProfile(worker_id=worker_id)
+        profile.latitude = float(geo_rng.uniform(38.0, 38.2))
+        profile.longitude = float(geo_rng.uniform(23.6, 23.8))
+        geo_workers.append(profile)
+    geo_tasks = [
+        Task(
+            latitude=float(geo_rng.uniform(38.0, 38.2)),
+            longitude=float(geo_rng.uniform(23.6, 23.8)),
+            deadline=60.0,
+        )
+        for _ in range(n)
+    ]
+    weight = DistanceWeight(max_km=10.0)
+    scalar_wall = _median_wall(
+        lambda: weight.matrix_scalar(geo_workers, geo_tasks), repeats
+    )
+    wall = _median_wall(lambda: weight.matrix(geo_workers, geo_tasks), repeats)
+    results.append(
+        BenchResult(
+            bench="distance_weight",
+            params={
+                "n_workers": n,
+                "n_tasks": n,
+                "repeats": repeats,
+                "scalar_wall_seconds": scalar_wall,
+                "speedup_vs_reference": scalar_wall / wall if wall > 0 else 0.0,
+            },
+            wall_seconds=wall,
+            throughput=n * n / wall,
+            commit=commit,
+        )
+    )
+
     # Eq. 3 matrix (graph-construction hot path).  Fits are warmed first so
     # the record tracks evaluation throughput, not one-off fitting cost.
     estimator = DeadlineEstimator(min_history=3)

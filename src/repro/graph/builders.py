@@ -23,7 +23,7 @@ probability-matrix call, boolean masks, then a single ``from_dense``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -35,6 +35,21 @@ from .bipartite import BipartiteGraph
 
 #: Weight granted to cold-start (untrained) workers' edges.
 MAX_WEIGHT = 1.0
+
+
+class BudgetGate(Protocol):
+    """Structural interface for per-requester budget enforcement.
+
+    Implemented by :class:`repro.scenarios.budget.BudgetLedger`; declared
+    here (structurally, so the graph layer never imports the scenarios
+    layer) because edge *non-instantiation* is how every matcher respects
+    budgets at once — a task whose requester cannot fund its reward gets no
+    edges, so no matching algorithm can assign it.
+    """
+
+    def allows(self, task: Task) -> bool:
+        """Whether the task's requester can still fund its reward."""
+        ...
 
 
 @dataclass(frozen=True)
@@ -59,6 +74,7 @@ class GraphBuildReport:
     candidate_edges: int = 0
     pruned_by_probability: int = 0
     pruned_by_reward: int = 0
+    pruned_by_budget: int = 0
     pruned_by_weight: int = 0
     cold_start_workers: int = 0
     kept_edges: int = 0
@@ -82,6 +98,9 @@ class AssignmentGraphBuilder:
     reward_ranges:
         Optional worker_id → :class:`RewardRange` map enabling the §III-C
         pricing extension.
+    budget:
+        Optional :class:`BudgetGate`: tasks whose requester can no longer
+        fund the reward get no edges at all (budget-aware scenarios).
     """
 
     def __init__(
@@ -91,6 +110,7 @@ class AssignmentGraphBuilder:
         edge_probability_bound: float = 0.1,
         min_weight: Optional[float] = None,
         reward_ranges: Optional[Dict[int, RewardRange]] = None,
+        budget: Optional[BudgetGate] = None,
     ) -> None:
         if not (0.0 <= edge_probability_bound <= 1.0):
             raise ValueError(
@@ -103,6 +123,7 @@ class AssignmentGraphBuilder:
         self.edge_probability_bound = edge_probability_bound
         self.min_weight = min_weight
         self.reward_ranges = reward_ranges or {}
+        self.budget = budget
 
     def build(
         self,
@@ -171,6 +192,19 @@ class AssignmentGraphBuilder:
                 dropped = int((keep[i] & ~ok).sum())
                 report.pruned_by_reward += dropped
                 keep[i] &= ok
+
+        # Budget gate: a task whose requester cannot fund its reward gets
+        # its whole column cleared — no matcher, randomized or greedy, can
+        # then pick it up.  Applies to cold-start edges too: training a
+        # worker on an unfundable task would still owe its reward.
+        if self.budget is not None:
+            funded = np.array(
+                [self.budget.allows(task) for task in tasks], dtype=bool
+            )
+            if not funded.all():
+                dropped = int((keep & ~funded[None, :]).sum())
+                report.pruned_by_budget = dropped
+                keep &= funded[None, :]
 
         # Low-weight pruning (established workers only — cold-start edges
         # are the training mechanism and must survive).

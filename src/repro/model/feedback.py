@@ -15,6 +15,7 @@ from typing import Optional
 
 import numpy as np
 
+from .task import TaskCategory
 from .worker import WorkerBehavior
 
 
@@ -54,8 +55,19 @@ class FeedbackModel:
     def __init__(self, rng: np.random.Generator) -> None:
         self._rng = rng
 
-    def judge(self, behavior: WorkerBehavior, on_time: bool) -> FeedbackOutcome:
-        positive = behavior.sample_feedback(self._rng, on_time)
+    def judge(
+        self,
+        behavior: WorkerBehavior,
+        on_time: bool,
+        category: Optional[TaskCategory] = None,
+    ) -> FeedbackOutcome:
+        """Draw one feedback decision.
+
+        ``category`` routes the Bernoulli through the worker's per-type
+        skill (heterogeneous-task extension); omitted, the scalar quality
+        applies — the paper's original rule.
+        """
+        positive = behavior.sample_feedback(self._rng, on_time, category=category)
         rating = self._draw_rating(positive, on_time)
         return FeedbackOutcome(positive=positive, rating=rating, on_time=on_time)
 

@@ -21,6 +21,8 @@ import math
 from dataclasses import dataclass, field
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 _REGION_IDS = itertools.count()
 
 
@@ -28,8 +30,13 @@ _REGION_IDS = itertools.count()
 class Region:
     """A non-overlapping axis-aligned geographic rectangle.
 
-    Boundaries are half-open ``[min, max)`` except the global top edge, so a
-    grid of regions tiles the plane with no point belonging to two regions.
+    Boundaries are half-open ``[min, max)`` except *closed* max edges, so a
+    grid of regions tiles the plane with no point belonging to two regions
+    while points exactly on the global top/right edge still route somewhere.
+    A standalone region defaults to closed max edges (it covers its whole
+    bounding box, matching :meth:`RegionGrid.locate`'s clamping); inside a
+    grid only the last row/column keeps them closed, and :meth:`split` hands
+    the midline to exactly one half.
     """
 
     lat_min: float
@@ -38,16 +45,24 @@ class Region:
     lon_max: float
     region_id: int = field(default_factory=lambda: next(_REGION_IDS))
     tier: int = 0
+    #: Whether points exactly on ``lat_max`` / ``lon_max`` belong to this
+    #: region.  True by default (global top/right edge semantics); grids and
+    #: splits clear the flag on interior edges so no point is double-owned.
+    closed_lat_max: bool = True
+    closed_lon_max: bool = True
 
     def __post_init__(self) -> None:
         if self.lat_min >= self.lat_max or self.lon_min >= self.lon_max:
             raise ValueError(f"degenerate region bounds: {self}")
 
     def contains(self, latitude: float, longitude: float) -> bool:
-        return (
-            self.lat_min <= latitude < self.lat_max
-            and self.lon_min <= longitude < self.lon_max
+        lat_ok = self.lat_min <= latitude < self.lat_max or (
+            self.closed_lat_max and latitude == self.lat_max
         )
+        lon_ok = self.lon_min <= longitude < self.lon_max or (
+            self.closed_lon_max and longitude == self.lon_max
+        )
+        return lat_ok and lon_ok
 
     @property
     def center(self) -> Tuple[float, float]:
@@ -57,18 +72,57 @@ class Region:
     def area(self) -> float:
         return (self.lat_max - self.lat_min) * (self.lon_max - self.lon_min)
 
+    @property
+    def splittable(self) -> bool:
+        """Whether :meth:`split` can produce two non-degenerate halves.
+
+        False once the split axis is so thin that its floating-point
+        midpoint collapses onto an endpoint — the stopping condition for
+        the coordinator's bounded re-split cascade.
+        """
+        if (self.lat_max - self.lat_min) >= (self.lon_max - self.lon_min):
+            mid = (self.lat_min + self.lat_max) / 2
+            return self.lat_min < mid < self.lat_max
+        mid = (self.lon_min + self.lon_max) / 2
+        return self.lon_min < mid < self.lon_max
+
     def split(self) -> Tuple["Region", "Region"]:
-        """Split along the longer axis into two equal halves (§V-D remedy)."""
+        """Split along the longer axis into two equal halves (§V-D remedy).
+
+        The midline belongs to the upper/right half only (the lower half's
+        new max edge is open); the parent's outer closed-edge flags carry
+        over, so every parent point lands in exactly one child.
+        """
         if (self.lat_max - self.lat_min) >= (self.lon_max - self.lon_min):
             mid = (self.lat_min + self.lat_max) / 2
             return (
-                Region(self.lat_min, mid, self.lon_min, self.lon_max, tier=self.tier),
-                Region(mid, self.lat_max, self.lon_min, self.lon_max, tier=self.tier),
+                Region(
+                    self.lat_min, mid, self.lon_min, self.lon_max,
+                    tier=self.tier,
+                    closed_lat_max=False,
+                    closed_lon_max=self.closed_lon_max,
+                ),
+                Region(
+                    mid, self.lat_max, self.lon_min, self.lon_max,
+                    tier=self.tier,
+                    closed_lat_max=self.closed_lat_max,
+                    closed_lon_max=self.closed_lon_max,
+                ),
             )
         mid = (self.lon_min + self.lon_max) / 2
         return (
-            Region(self.lat_min, self.lat_max, self.lon_min, mid, tier=self.tier),
-            Region(self.lat_min, self.lat_max, mid, self.lon_max, tier=self.tier),
+            Region(
+                self.lat_min, self.lat_max, self.lon_min, mid,
+                tier=self.tier,
+                closed_lat_max=self.closed_lat_max,
+                closed_lon_max=False,
+            ),
+            Region(
+                self.lat_min, self.lat_max, mid, self.lon_max,
+                tier=self.tier,
+                closed_lat_max=self.closed_lat_max,
+                closed_lon_max=self.closed_lon_max,
+            ),
         )
 
 
@@ -93,12 +147,19 @@ class RegionGrid:
         self.rows, self.cols = rows, cols
         dlat = (lat_max - lat_min) / rows
         dlon = (lon_max - lon_min) / cols
+        # Only the grid's outermost top/right cells keep their max edges
+        # closed: interior cell boundaries stay half-open so the cells tile
+        # the bounding box with no point belonging to two regions, while a
+        # point exactly on the global top/right edge is still owned (by the
+        # same cell ``locate``'s clamping picks).
         self._regions: List[Region] = [
             Region(
                 lat_min + r * dlat,
                 lat_min + (r + 1) * dlat,
                 lon_min + c * dlon,
                 lon_min + (c + 1) * dlon,
+                closed_lat_max=(r == rows - 1),
+                closed_lon_max=(c == cols - 1),
             )
             for r in range(rows)
             for c in range(cols)
@@ -166,7 +227,12 @@ def build_tiers(
         n = 2**level
         grid = RegionGrid(lat_min, lat_max, lon_min, lon_max, rows=n, cols=n)
         regions = tuple(
-            Region(g.lat_min, g.lat_max, g.lon_min, g.lon_max, tier=level)
+            Region(
+                g.lat_min, g.lat_max, g.lon_min, g.lon_max,
+                tier=level,
+                closed_lat_max=g.closed_lat_max,
+                closed_lon_max=g.closed_lon_max,
+            )
             for g in grid
         )
         tiers.append(RegionTier(level=level, regions=regions))
@@ -183,3 +249,30 @@ def haversine_km(
     dlambda = (lon2 - lon1) * rad
     a = math.sin(dphi / 2) ** 2 + math.cos(phi1) * math.cos(phi2) * math.sin(dlambda / 2) ** 2
     return 2 * 6371.0 * math.asin(math.sqrt(a))
+
+
+def haversine_km_matrix(
+    lat1: np.ndarray,
+    lon1: np.ndarray,
+    lat2: np.ndarray,
+    lon2: np.ndarray,
+) -> np.ndarray:
+    """Broadcast haversine: pairwise great-circle distances in km.
+
+    Bit-equivalent to :func:`haversine_km` evaluated elementwise at the
+    distances the spatial weights see — the operation order matches term
+    for term and every intermediate stays a float64, so the vectorized
+    weight functions can replace the scalar double loop without perturbing
+    any seeded experiment.  (At antipodal ranges libm and numpy
+    transcendentals may differ by an ulp, thousands of km past every
+    weight cutoff.)  Inputs
+    broadcast like any numpy ufunc; the distance-weight hot path passes
+    ``lat1[:, None]`` against ``lat2[None, :]`` to get the full
+    workers × tasks matrix in one call.
+    """
+    rad = math.pi / 180.0
+    phi1, phi2 = lat1 * rad, lat2 * rad
+    dphi = (lat2 - lat1) * rad
+    dlambda = (lon2 - lon1) * rad
+    a = np.sin(dphi / 2) ** 2 + np.cos(phi1) * np.cos(phi2) * np.sin(dlambda / 2) ** 2
+    return np.asarray(2 * 6371.0 * np.arcsin(np.sqrt(a)))

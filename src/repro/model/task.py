@@ -63,8 +63,13 @@ class Task:
         counted from :attr:`submitted_at` (paper: ``deadline_j``; the
         experiments draw it uniformly from [60, 120] s).
     reward:
-        Monetary reward; only used by the reward-range pruning extension
-        (§III-C "Task Rewards").
+        Monetary reward; used by the reward-range pruning extension
+        (§III-C "Task Rewards") and charged against the submitting
+        requester's budget in the budget-constrained scenarios.
+    requester_id:
+        Owner of the task for per-requester budget accounting
+        (:mod:`repro.scenarios.budget`); None means unbudgeted — the
+        paper's original experiments, where requesters are anonymous.
     """
 
     latitude: float
@@ -75,6 +80,7 @@ class Task:
     description: str = ""
     task_id: int = field(default_factory=_next_task_id)
     submitted_at: float = 0.0
+    requester_id: Optional[int] = None
 
     # Mutable platform-side state --------------------------------------
     phase: TaskPhase = TaskPhase.UNASSIGNED

@@ -16,7 +16,7 @@ Two views of a worker are deliberately kept separate, mirroring the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional
 
 import numpy as np
 
@@ -63,6 +63,11 @@ class WorkerBehavior:
     #: 60-120 s deadlines, which is what its traditional-baseline numbers
     #: imply (see DESIGN.md / EXPERIMENTS.md calibration notes).
     delay_floor: Optional[float] = None
+    #: Heterogeneous-task extension (Assadi et al.): per-category latent
+    #: quality overriding ``quality`` for the listed categories.  ``None``
+    #: (the default) keeps the paper's single-skill worker; categories not
+    #: in the mapping fall back to ``quality``.
+    quality_by_category: Optional[Mapping[TaskCategory, float]] = None
 
     def __post_init__(self) -> None:
         if not (0 < self.min_time <= self.max_time):
@@ -90,6 +95,12 @@ class WorkerBehavior:
                 f"delay_floor ({self.delay_floor}) must lie in "
                 f"[max_time={self.max_time}, delay_cap={self.delay_cap}]"
             )
+        if self.quality_by_category is not None:
+            for category, q in self.quality_by_category.items():
+                if not (0.0 <= q <= 1.0):
+                    raise ValueError(
+                        f"quality for {category} must be in [0,1], got {q}"
+                    )
 
     def sample_outcome(self, rng: np.random.Generator) -> ExecutionDraw:
         """Draw one execution outcome.
@@ -110,11 +121,32 @@ class WorkerBehavior:
         """Duration-only view of :meth:`sample_outcome` (analysis helper)."""
         return self.sample_outcome(rng).duration
 
-    def sample_feedback(self, rng: np.random.Generator, on_time: bool) -> bool:
-        """Requester feedback: positive iff on time and Bernoulli(quality)."""
+    def quality_for(self, category: Optional[TaskCategory]) -> float:
+        """Latent quality on ``category`` tasks (heterogeneous extension).
+
+        Falls back to the scalar ``quality`` when no category is given or
+        the worker has no per-category skill entry for it, so homogeneous
+        populations behave exactly as before.
+        """
+        if category is not None and self.quality_by_category is not None:
+            return self.quality_by_category.get(category, self.quality)
+        return self.quality
+
+    def sample_feedback(
+        self,
+        rng: np.random.Generator,
+        on_time: bool,
+        category: Optional[TaskCategory] = None,
+    ) -> bool:
+        """Requester feedback: positive iff on time and Bernoulli(quality).
+
+        ``category`` selects the per-type skill when the worker has one;
+        the draw count is identical either way, so seeded runs without
+        per-category skills are unperturbed.
+        """
         if not on_time:
             return False
-        return bool(rng.random() < self.quality)
+        return bool(rng.random() < self.quality_for(category))
 
 
 @dataclass

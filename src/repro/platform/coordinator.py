@@ -15,7 +15,7 @@ protocol is out of the paper's scope).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..model.region import Region
 from ..model.task import Task
@@ -64,17 +64,21 @@ class Coordinator:
         overload_queue_limit: Optional[int] = None,
         observability: Optional[ObservabilityLike] = None,
         server_factory: Optional[ServerFactory] = None,
+        max_splits_per_submit: int = 4,
     ) -> None:
         if not regions:
             raise ValueError("at least one region is required")
         if overload_queue_limit is not None and overload_queue_limit < 1:
             raise ValueError("overload_queue_limit must be >= 1")
+        if max_splits_per_submit < 1:
+            raise ValueError("max_splits_per_submit must be >= 1")
         self._engine = engine
         self._policy = policy
         self._rng = rng
         self._cost_model = cost_model
         self._server_factory = server_factory
         self._overload_limit = overload_queue_limit
+        self._max_splits_per_submit = max_splits_per_submit
         # Split telemetry only: child servers are built without observability
         # because several MetricsCollectors binding one registry would fight
         # over the same counters.  Per-server obs belongs to single-server
@@ -89,6 +93,8 @@ class Coordinator:
         )
         self._entries: List[RegionEntry] = []
         self._splits = 0
+        self._tasks_migrated = 0
+        self._workers_migrated = 0
         self._next_server_id = 0
         for region in regions:
             self._entries.append(self._make_entry(region))
@@ -139,6 +145,16 @@ class Coordinator:
     def splits_performed(self) -> int:
         return self._splits
 
+    @property
+    def tasks_migrated(self) -> int:
+        """Queued tasks handed to a freshly split-off server, cumulative."""
+        return self._tasks_migrated
+
+    @property
+    def workers_migrated(self) -> int:
+        """Idle workers re-routed to a freshly split-off server, cumulative."""
+        return self._workers_migrated
+
     def _entry_for(self, latitude: float, longitude: float) -> RegionEntry:
         for entry in self._entries:
             if entry.region.contains(latitude, longitude):
@@ -162,15 +178,32 @@ class Coordinator:
         )
 
     def submit_task(self, task: Task) -> None:
-        """Route by the task's coordinates, then check for overload."""
+        """Route by the task's coordinates, then check for overload.
+
+        Splitting cascades: one split halves a region but migrates only the
+        queued tasks of the *new* half, so either half can still sit above
+        ``overload_queue_limit`` — both are re-checked (and re-split) until
+        every resulting server is under the limit, its region is too thin to
+        split further, or ``max_splits_per_submit`` splits have been spent
+        on this submission.
+        """
         entry = self._entry_for(task.latitude, task.longitude)
         entry.server.submit_task(task)
-        if self._overload_limit is not None:
-            if entry.server.task_management.unassigned_count > self._overload_limit:
-                self._split(entry)
+        if self._overload_limit is None:
+            return
+        budget = self._max_splits_per_submit
+        pending = [entry]
+        while pending and budget > 0:
+            candidate = pending.pop(0)
+            queue = candidate.server.task_management.unassigned_count
+            if queue <= self._overload_limit or not candidate.region.splittable:
+                continue
+            kept, created = self._split(candidate)
+            budget -= 1
+            pending.extend((kept, created))
 
     # --------------------------------------------------------------- split
-    def _split(self, entry: RegionEntry) -> None:
+    def _split(self, entry: RegionEntry) -> Tuple[RegionEntry, RegionEntry]:
         """Split an overloaded region in half (§V-D).
 
         The existing server keeps one half (with all its in-flight work and
@@ -179,21 +212,22 @@ class Coordinator:
         assigned — tasks whose coordinates fall inside it.  Workers who are
         mid-execution stay on the old server regardless of location: a live
         hand-off protocol is outside the paper's scope.
+
+        Returns the (kept-half, new-half) entries so the submit-path cascade
+        can re-check both for residual overload.
         """
         half_keep, half_new = entry.region.split()
         idx = self._entries.index(entry)
         old = entry.server
         new_entry = self._make_entry(half_new)
         new_server = new_entry.server
-        self._entries[idx : idx + 1] = [
-            RegionEntry(
-                region=half_keep,
-                server=old,
-                server_id=entry.server_id,
-                rng=entry.rng,
-            ),
-            new_entry,
-        ]
+        keep_entry = RegionEntry(
+            region=half_keep,
+            server=old,
+            server_id=entry.server_id,
+            rng=entry.rng,
+        )
+        self._entries[idx : idx + 1] = [keep_entry, new_entry]
         self._splits += 1
 
         # Migrate idle workers located in the new half.  Live servers keep
@@ -214,6 +248,7 @@ class Coordinator:
             # new region it now belongs to.
             profile.online = True
             new_server.add_worker(profile, behavior)
+            self._workers_migrated += 1
 
         # Migrate the queued tasks belonging to the new half — this is the
         # actual load relief the paper's remedy is after.
@@ -222,6 +257,7 @@ class Coordinator:
         )
         for task in migrated:
             new_server.adopt_task(task)
+        self._tasks_migrated += len(migrated)
 
         self._obs_splits.inc()
         self._obs_regions.set(len(self._entries))
@@ -232,6 +268,7 @@ class Coordinator:
             regions=len(self._entries),
             migrated_tasks=len(migrated),
         )
+        return keep_entry, new_entry
 
     # -------------------------------------------------------------- summary
     def aggregate_summary(self) -> Dict[str, float]:

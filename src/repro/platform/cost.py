@@ -121,7 +121,9 @@ class PaperCalibratedCost(CostModel):
         elif algorithm == "hungarian":
             n = max(shape.n_workers, shape.n_tasks)
             base = KAPPA_HUNGARIAN * float(n) ** 3
-        elif algorithm == "sorted-greedy":
+        elif algorithm in ("sorted-greedy", "threshold"):
+            # The threshold matcher is a sorted-greedy sweep with an early
+            # exit at the quality bar; same O(E log E) sort dominates.
             base = KAPPA_SORTED_GREEDY * shape.n_edges * math.log2(shape.n_edges + 1)
         else:
             raise KeyError(f"no calibrated cost for algorithm {algorithm!r}")

@@ -16,7 +16,7 @@ experiment harnesses can swap techniques declaratively:
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Any, Optional
+from typing import Any, Optional, Tuple
 
 from ..core.matching.base import Matcher
 from ..core.matching.registry import create_matcher
@@ -89,6 +89,11 @@ class SchedulingPolicy:
     k_constant: float = 0.05
     adaptive_cycles: bool = False
     weight_function_name: str = "accuracy"
+    #: Constructor kwargs for the weight function, as a tuple of
+    #: ``(name, value)`` pairs so the frozen policy stays hashable — e.g.
+    #: ``(("speed_kmh", 25.0),)`` for the travel-time weight.  ``None``
+    #: (the default) builds the weight with its defaults.
+    weight_params: Optional[Tuple[Tuple[str, float], ...]] = None
     #: Enables Eq. 3 edge pruning and the Eq. 2 reassignment monitor.
     use_probabilistic_model: bool = True
     #: Lower bound on Eq. 3 below which edges are pruned.
@@ -160,7 +165,9 @@ class SchedulingPolicy:
         return create_matcher(self.matcher_name)
 
     def build_weight_function(self) -> WeightFunction:
-        return make_weight_function(self.weight_function_name)
+        return make_weight_function(
+            self.weight_function_name, **dict(self.weight_params or ())
+        )
 
     def with_overrides(self, **kwargs: Any) -> "SchedulingPolicy":
         """Derived policy with some fields replaced (ablation helper)."""

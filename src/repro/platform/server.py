@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.deadline import DeadlineEstimator
-from ..graph.builders import AssignmentGraphBuilder, RewardRange
+from ..graph.builders import AssignmentGraphBuilder, BudgetGate, RewardRange
 from ..model.feedback import FeedbackModel
 from ..model.task import Task, TaskPhase
 from ..model.worker import WorkerBehavior, WorkerProfile
@@ -68,6 +68,7 @@ class REACTServer:
         reward_ranges: Optional[Dict[int, RewardRange]] = None,
         resilience: Optional[ResilienceConfig] = None,
         observability: Optional[ObservabilityLike] = None,
+        budget: Optional[BudgetGate] = None,
     ) -> None:
         self.engine = engine
         self.policy = policy
@@ -80,7 +81,7 @@ class REACTServer:
         cost_model = cost_model if cost_model is not None else PaperCalibratedCost()
 
         self.profiling = ProfilingComponent()
-        self.task_management = TaskManagementComponent()
+        self.task_management = TaskManagementComponent(budget=budget)
         self.estimator = DeadlineEstimator(
             min_history=policy.min_history,
             family=make_family(policy.duration_model),
@@ -110,6 +111,7 @@ class REACTServer:
             estimator=self.estimator,
             edge_probability_bound=bound,
             reward_ranges=reward_ranges,
+            budget=budget,
         )
         self.scheduling = SchedulingComponent(
             engine=engine,
@@ -157,6 +159,10 @@ class REACTServer:
         self.execution_hook: Optional[
             Callable[[_Execution, Task, WorkerProfile], None]
         ] = None
+        #: budget hook (:mod:`repro.scenarios.budget`): called once per
+        #: completed task with (task, worker_id) so the requester's ledger
+        #: can be charged exactly when the reward is actually owed
+        self.completion_hook: Optional[Callable[[Task, int], None]] = None
 
     # ------------------------------------------------------------ lifecycle
     def start(self) -> None:
@@ -229,7 +235,9 @@ class REACTServer:
         self._tracer.instant(
             "task.submitted", cat="task", task_id=task.task_id, deadline=task.deadline
         )
-        self.task_management.add_task(task)
+        if not self.task_management.add_task(task):
+            self._record_budget_shed(task)
+            return
         self.scheduling.maybe_trigger()
 
     def adopt_task(self, task: Task) -> None:
@@ -239,8 +247,38 @@ class REACTServer:
         received by its original server, so only the queueing happens here.
         """
         self._tracer.instant("task.adopted", cat="task", task_id=task.task_id)
-        self.task_management.add_task(task)
+        if not self.task_management.add_task(task):
+            self._record_budget_shed(task)
+            return
         self.scheduling.maybe_trigger()
+
+    def _record_budget_shed(self, task: Task) -> None:
+        """Load shedding: intake refused the task (requester budget dry).
+
+        Books the same expired-unassigned outcome as a queue retirement so
+        ``check_conservation`` still balances (finished = completed + shed).
+        """
+        self._tracer.instant(
+            "task.shed",
+            cat="task",
+            task_id=task.task_id,
+            reason="budget_exhausted",
+            requester_id=task.requester_id,
+        )
+        self.metrics.record_expired_unassigned(
+            TaskOutcome(
+                task_id=task.task_id,
+                submitted_at=task.submitted_at,
+                completed_at=None,
+                deadline=task.deadline,
+                met_deadline=False,
+                positive_feedback=False,
+                assignments=task.assignments,
+                final_worker=None,
+                worker_time=None,
+                total_time=None,
+            )
+        )
 
     # ------------------------------------------------------------ callbacks
     def _on_assign(self, task: Task, worker: WorkerProfile) -> None:
@@ -337,7 +375,7 @@ class REACTServer:
         )
         on_time = task.met_deadline
         behavior = self._behaviors[execution.worker_id]
-        outcome_fb = self._feedback.judge(behavior, on_time)
+        outcome_fb = self._feedback.judge(behavior, on_time, category=task.category)
         self.profiling.record_completion(
             execution.worker_id,
             execution_time=execution.duration,
@@ -358,6 +396,8 @@ class REACTServer:
                 total_time=task.total_time,
             )
         )
+        if self.completion_hook is not None:
+            self.completion_hook(task, execution.worker_id)
         # A completion frees a worker; queued tasks may now be matchable.
         self.scheduling.maybe_trigger()
 

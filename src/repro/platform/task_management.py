@@ -9,15 +9,16 @@ transitions between them.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterator, List
+from typing import Callable, Dict, Iterator, List, Optional
 
+from ..graph.builders import BudgetGate
 from ..model.task import Task, TaskPhase
 
 
 class TaskManagementComponent:
     """Task pools and lifecycle transitions for one REACT server."""
 
-    def __init__(self) -> None:
+    def __init__(self, budget: Optional[BudgetGate] = None) -> None:
         # Insertion-ordered dicts double as FIFO queues with O(1) removal.
         self._unassigned: Dict[int, Task] = {}
         self._assigned: Dict[int, Task] = {}
@@ -27,14 +28,33 @@ class TaskManagementComponent:
         #: withdrawn tasks parked by the resilience layer's retry backoff;
         #: invisible to the matcher until their backoff delay elapses
         self._deferred: Dict[int, Task] = {}
+        #: per-requester budget gate (budget-constrained scenarios); tasks
+        #: of an exhausted requester are shed at intake instead of queued
+        self._budget = budget
+        #: tasks shed at intake because the requester's budget ran dry
+        self.shed_by_budget = 0
 
     # -------------------------------------------------------------- intake
-    def add_task(self, task: Task) -> None:
+    def add_task(self, task: Task) -> bool:
+        """Queue a new task; returns False when it was budget-shed instead.
+
+        A shed task moves straight to the finished pool with phase EXPIRED
+        (mirroring the expired-at-checkout path): the requester can no
+        longer fund its reward, so queueing it would only let the matcher
+        waste batch capacity on a column the budget gate will clear anyway.
+        The caller records the expired-unassigned outcome.
+        """
         if task.phase is not TaskPhase.UNASSIGNED:
             raise ValueError(f"task {task.task_id} is not unassigned")
         if task.task_id in self._unassigned or task.task_id in self._assigned:
             raise ValueError(f"task {task.task_id} already known")
+        if self._budget is not None and not self._budget.allows(task):
+            task.mark_expired()
+            self._finished[task.task_id] = task
+            self.shed_by_budget += 1
+            return False
         self._unassigned[task.task_id] = task
+        return True
 
     # -------------------------------------------------------------- counts
     @property

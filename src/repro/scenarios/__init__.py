@@ -1,0 +1,38 @@
+"""Scenario pack: budget, spatial and heterogeneous-task extensions.
+
+The paper's §V experiments run one homogeneous region with anonymous
+requesters.  This package supplies the three ingredients its motivating
+applications (§I-II) actually have — per-requester budgets, geography that
+matters, and task types with type-specific worker skill — so the
+platform's multi-region coordinator, budget gating and load shedding are
+exercised for real:
+
+* :mod:`repro.scenarios.budget` — per-requester budget ledger implementing
+  the :class:`repro.graph.builders.BudgetGate` protocol (Liu & Xu-style
+  budget-aware assignment).
+* :mod:`repro.scenarios.spatial` — hot-region arrival skew and worker
+  placement over the coordinator's bounding box.
+* :mod:`repro.scenarios.heterogeneous` — specialist worker populations
+  with per-category latent quality (Assadi et al.-style heterogeneity).
+* :mod:`repro.scenarios.baselines` — the policy roster a scenario runs:
+  REACT/Metropolis/Greedy plus the two related-work baselines.
+
+The experiment driver lives in :mod:`repro.experiments.scenario`; this
+package holds only the reusable scenario ingredients (it may be imported
+by experiments and dist layers, and imports only model/core/graph/workload
+below it — see the KER001 layering table).
+"""
+
+from .baselines import scenario_policies
+from .budget import BudgetLedger
+from .heterogeneous import SpecialistConfig, specialize_population
+from .spatial import SpatialConfig, SpatialSampler
+
+__all__ = [
+    "BudgetLedger",
+    "SpatialConfig",
+    "SpatialSampler",
+    "SpecialistConfig",
+    "specialize_population",
+    "scenario_policies",
+]

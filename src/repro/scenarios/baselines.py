@@ -1,0 +1,65 @@
+"""The scenario policy roster: REACT's matchers vs two related-work rules.
+
+A scenario run compares the repo's three main techniques against batch
+analogues of the two papers the scenario ingredients come from:
+
+* ``greedy_spatial`` — Liu & Xu's budget-aware spatial crowdsourcing
+  assigns greedily on a travel-cost-aware utility with no probabilistic
+  model; here: the Greedy matcher over the travel-time weight, per-task
+  triggering, region-graph cost accounting (the same O(V·E) scan REACT's
+  paper charges Greedy with).
+* ``ratio`` — Assadi et al.'s threshold ("competitive-ratio") rule for
+  heterogeneous tasks only assigns a worker whose estimated skill on the
+  task's type clears a bar; here: the ``threshold`` matcher over the
+  hybrid accuracy×distance weight, so the bar is on the learned per-type
+  accuracy blended with proximity.
+
+The REACT/Metropolis/Greedy entries run the hybrid weight too — in a
+spatial scenario every technique should at least see the geography;
+budgets are enforced below the policy layer (edge gating + intake
+shedding) and need nothing here.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..platform.policies import (
+    SchedulingPolicy,
+    greedy_policy,
+    metropolis_policy,
+    react_policy,
+)
+
+#: Travel-time weight parameters shared by the spatial baselines: a metro
+#: courier speed and a horizon matching the §V-C deadline band, so a worker
+#: across the box still gets a usable (but dominated) weight.
+_TRAVEL_PARAMS: Tuple[Tuple[str, float], ...] = (
+    ("speed_kmh", 25.0),
+    ("horizon_s", 3600.0),
+)
+
+
+def scenario_policies() -> Tuple[SchedulingPolicy, ...]:
+    """The five techniques a scenario run compares."""
+    return (
+        react_policy(weight_function_name="hybrid"),
+        metropolis_policy(weight_function_name="hybrid"),
+        greedy_policy(weight_function_name="hybrid"),
+        SchedulingPolicy(
+            name="greedy_spatial",
+            matcher_name="greedy",
+            weight_function_name="travel-time",
+            weight_params=_TRAVEL_PARAMS,
+            use_probabilistic_model=False,
+            charge_region_graph=True,
+            batch_threshold=1,
+        ),
+        SchedulingPolicy(
+            name="ratio",
+            matcher_name="threshold",
+            weight_function_name="hybrid",
+            use_probabilistic_model=False,
+            batch_threshold=5,
+        ),
+    )

@@ -1,0 +1,88 @@
+"""Per-requester budget ledger (Liu & Xu-style budget-aware assignment).
+
+Each requester starts with a fixed budget; every completed task charges its
+reward against the owner's balance.  The ledger implements the
+:class:`repro.graph.builders.BudgetGate` protocol, which is enforced at two
+layers:
+
+* **Edge non-instantiation** — the graph builder clears the columns of
+  tasks whose requester cannot fund the reward, so *every* matcher
+  (randomized or greedy) respects budgets without knowing they exist.
+* **Intake shedding** — :class:`repro.platform.task_management.
+  TaskManagementComponent` refuses to queue an unfundable task outright
+  (load shedding), keeping exhausted requesters from occupying queue slots.
+
+Charging happens **on completion**, when the reward is actually owed.  A
+requester with several tasks in flight can therefore overshoot his budget
+by at most the rewards already committed to workers — the platform honours
+assignments it published, exactly as a real marketplace must.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping
+
+from ..model.task import Task
+
+
+class BudgetLedger:
+    """Tracks per-requester balances and answers fundability queries."""
+
+    def __init__(self, budgets: Mapping[int, float]) -> None:
+        for requester_id, budget in budgets.items():
+            if budget < 0:
+                raise ValueError(
+                    f"budget for requester {requester_id} must be >= 0, got {budget}"
+                )
+        self._budgets: Dict[int, float] = dict(budgets)
+        self._spent: Dict[int, float] = {rid: 0.0 for rid in budgets}
+        self._charges = 0
+
+    # ------------------------------------------------------------- queries
+    def allows(self, task: Task) -> bool:
+        """BudgetGate protocol: can the task's requester fund its reward?
+
+        Tasks without a requester (``requester_id=None``) and requesters the
+        ledger does not know are unbudgeted — always allowed, so the paper's
+        original anonymous-requester experiments pass through untouched.
+        """
+        rid = task.requester_id
+        if rid is None or rid not in self._budgets:
+            return True
+        return self.remaining(rid) >= task.reward
+
+    def remaining(self, requester_id: int) -> float:
+        """Unspent balance (clamped at zero for display)."""
+        return max(0.0, self._budgets[requester_id] - self._spent[requester_id])
+
+    def exhausted_requesters(self) -> List[int]:
+        """Requesters whose balance cannot fund even a zero-reward task."""
+        return sorted(
+            rid for rid in self._budgets if self._spent[rid] >= self._budgets[rid]
+        )
+
+    # ------------------------------------------------------------ mutation
+    def charge(self, task: Task) -> None:
+        """Charge a completed task's reward to its requester.
+
+        Unknown/anonymous requesters are no-ops (their tasks were never
+        gated either).  The balance may go negative: the reward was owed
+        the moment the assignment was published.
+        """
+        rid = task.requester_id
+        if rid is None or rid not in self._budgets:
+            return
+        self._spent[rid] += task.reward
+        self._charges += 1
+
+    # ------------------------------------------------------------- summary
+    def summary(self) -> Dict[str, float]:
+        total_budget = sum(self._budgets.values())
+        total_spent = sum(self._spent.values())
+        return {
+            "requesters": float(len(self._budgets)),
+            "total_budget": round(total_budget, 4),
+            "total_spent": round(total_spent, 4),
+            "charges": float(self._charges),
+            "exhausted_requesters": float(len(self.exhausted_requesters())),
+        }

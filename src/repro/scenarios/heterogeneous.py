@@ -1,0 +1,79 @@
+"""Heterogeneous-task worker populations (Assadi et al.-style skills).
+
+Assadi, Hsu & Jabbari model task heterogeneity as per-type worker skill:
+a worker who is excellent at image labeling may be mediocre at price
+checks.  :func:`specialize_population` turns the paper's scalar-quality
+population into exactly that — each worker gets one specialty category
+(round-robin, so every category is covered regardless of population size)
+with boosted latent quality, while the remaining categories are penalized.
+
+The platform sees nothing new: :class:`~repro.model.worker.WorkerBehavior`
+already routes feedback draws through ``quality_by_category``, and Eq. 1
+weights are per-category by construction, so the matcher *learns* the
+specialties from feedback alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+from ..model.task import TaskCategory
+from ..model.worker import WorkerBehavior, WorkerProfile
+
+
+def _clamp(value: float) -> float:
+    return min(1.0, max(0.0, value))
+
+
+@dataclass(frozen=True)
+class SpecialistConfig:
+    """How sharply workers specialize.
+
+    ``specialty_boost`` is added to the worker's scalar quality on his
+    specialty category; ``offcat_penalty`` is subtracted on every other
+    listed category (both clamped to [0, 1]).  Categories not in the
+    scenario's list fall back to the scalar quality.
+    """
+
+    categories: Tuple[TaskCategory, ...] = (
+        TaskCategory.TRAFFIC_MONITORING,
+        TaskCategory.PRICE_CHECK,
+        TaskCategory.IMAGE_LABELING,
+    )
+    specialty_boost: float = 0.25
+    offcat_penalty: float = 0.30
+
+    def __post_init__(self) -> None:
+        if not self.categories:
+            raise ValueError("need at least one category")
+        if len(set(self.categories)) != len(self.categories):
+            raise ValueError("categories must be distinct")
+        if self.specialty_boost < 0 or self.offcat_penalty < 0:
+            raise ValueError("boost/penalty must be non-negative")
+
+
+def specialize_population(
+    population: Sequence[Tuple[WorkerProfile, WorkerBehavior]],
+    config: SpecialistConfig,
+) -> List[Tuple[WorkerProfile, WorkerBehavior]]:
+    """Assign each worker a specialty and derive per-category qualities.
+
+    Specialties rotate round-robin through ``config.categories`` in
+    population order — deterministic (no RNG draws), so specializing a
+    seeded population perturbs no other stream.
+    """
+    specialized: List[Tuple[WorkerProfile, WorkerBehavior]] = []
+    categories = config.categories
+    for index, (profile, behavior) in enumerate(population):
+        specialty = categories[index % len(categories)]
+        skills: Dict[TaskCategory, float] = {}
+        for category in categories:
+            if category is specialty:
+                skills[category] = _clamp(behavior.quality + config.specialty_boost)
+            else:
+                skills[category] = _clamp(behavior.quality - config.offcat_penalty)
+        specialized.append(
+            (profile, replace(behavior, quality_by_category=skills))
+        )
+    return specialized

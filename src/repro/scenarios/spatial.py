@@ -1,0 +1,117 @@
+"""Spatial workload shaping: hot-region arrival skew and worker placement.
+
+The paper's overload remedy ("split the regions so that each of the
+servers would contain sufficient workers and tasks without being
+overloaded", §V-D) only fires when arrivals concentrate somewhere.
+:class:`SpatialSampler` produces exactly that: a fraction ``hot_fraction``
+of tasks lands in one small hot cell of the bounding box, the rest is
+uniform — forcing the Coordinator to split the hot region and migrate its
+queue while the cold regions idle along.
+
+Workers are placed uniformly (people live everywhere; demand spikes
+somewhere), which also makes travel time a real differentiator for the
+spatial weight functions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from ..model.region import Region, RegionGrid
+
+
+@dataclass(frozen=True)
+class SpatialConfig:
+    """Geometry of a scenario: bounding box, grid and hot cell.
+
+    The defaults model a ~22 km × ~17 km metro area (0.2° of latitude)
+    partitioned into a 1×2 grid, with the hot cell occupying the top-right
+    ``hot_size`` fraction of the box — deliberately inside one grid cell so
+    the skew overloads a single server.
+    """
+
+    lat_min: float = 38.0
+    lat_max: float = 38.2
+    lon_min: float = 23.6
+    lon_max: float = 23.8
+    rows: int = 1
+    cols: int = 2
+    #: Probability that a task arrival lands inside the hot cell.
+    hot_fraction: float = 0.8
+    #: Side of the hot cell as a fraction of the bbox side (top-right corner).
+    hot_size: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not (self.lat_min < self.lat_max and self.lon_min < self.lon_max):
+            raise ValueError("bounding box must have positive extent")
+        if self.rows < 1 or self.cols < 1:
+            raise ValueError("grid must have at least one cell")
+        if not (0.0 <= self.hot_fraction <= 1.0):
+            raise ValueError(f"hot_fraction must be in [0,1], got {self.hot_fraction}")
+        if not (0.0 < self.hot_size <= 1.0):
+            raise ValueError(f"hot_size must be in (0,1], got {self.hot_size}")
+
+    @property
+    def hot_cell(self) -> Region:
+        """The hot cell: the top-right ``hot_size`` corner of the bbox."""
+        lat_span = self.lat_max - self.lat_min
+        lon_span = self.lon_max - self.lon_min
+        return Region(
+            lat_min=self.lat_max - self.hot_size * lat_span,
+            lat_max=self.lat_max,
+            lon_min=self.lon_max - self.hot_size * lon_span,
+            lon_max=self.lon_max,
+        )
+
+    def make_grid(self) -> RegionGrid:
+        """The coordinator's initial region partition."""
+        return RegionGrid(
+            lat_min=self.lat_min,
+            lat_max=self.lat_max,
+            lon_min=self.lon_min,
+            lon_max=self.lon_max,
+            rows=self.rows,
+            cols=self.cols,
+        )
+
+
+class SpatialSampler:
+    """Draws task and worker locations for a :class:`SpatialConfig`.
+
+    One location costs exactly two uniform draws plus (for tasks) one
+    Bernoulli, so reshaping the geometry never changes the *number* of
+    stream consumptions — seeded runs stay comparable across configs.
+    """
+
+    def __init__(self, config: SpatialConfig, rng: np.random.Generator) -> None:
+        self.config = config
+        self._rng = rng
+        self._hot = config.hot_cell
+
+    def _uniform_in(self, region_lat: Tuple[float, float], region_lon: Tuple[float, float]) -> Tuple[float, float]:
+        lat = float(self._rng.uniform(region_lat[0], region_lat[1]))
+        lon = float(self._rng.uniform(region_lon[0], region_lon[1]))
+        return lat, lon
+
+    def task_location(self) -> Tuple[float, float]:
+        """Skewed draw: hot cell with probability ``hot_fraction``."""
+        cfg = self.config
+        hot = float(self._rng.random()) < cfg.hot_fraction
+        if hot:
+            return self._uniform_in(
+                (self._hot.lat_min, self._hot.lat_max),
+                (self._hot.lon_min, self._hot.lon_max),
+            )
+        return self._uniform_in(
+            (cfg.lat_min, cfg.lat_max), (cfg.lon_min, cfg.lon_max)
+        )
+
+    def worker_location(self) -> Tuple[float, float]:
+        """Uniform draw over the whole bounding box."""
+        cfg = self.config
+        return self._uniform_in(
+            (cfg.lat_min, cfg.lat_max), (cfg.lon_min, cfg.lon_max)
+        )

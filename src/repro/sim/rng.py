@@ -143,3 +143,4 @@ STREAM_TASKS = "tasks"
 STREAM_CHURN = "churn"
 STREAM_CHAOS = "chaos"
 STREAM_WORKER_ARRIVALS = "worker-arrivals"
+STREAM_SCENARIO_GEO = "scenario-geo"

@@ -11,7 +11,7 @@ coordinates and a human-readable description like the paper's examples
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, Optional, Sequence
 
 import numpy as np
 
@@ -115,6 +115,67 @@ class PoiSuggestionGenerator(TaskGenerator):
 
     def describe(self, lat: float, lon: float) -> str:
         return f"Suggest a point of interest near ({lat:.4f}, {lon:.4f})"
+
+
+class CategoryMixGenerator(TaskGenerator):
+    """Heterogeneous-task workload: each task draws its category from a mix.
+
+    The scenario pack (Assadi et al. heterogeneous-tasks extension) needs
+    batches that interleave task types so per-type worker skills actually
+    matter to the matcher.  ``weights`` biases the draw (uniform when
+    omitted); each draw costs exactly one ``rng.random()`` so adding or
+    re-weighting categories never perturbs the deadline/reward draws of
+    *other* tasks in a seeded run.
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        categories: Sequence[TaskCategory],
+        weights: Optional[Sequence[float]] = None,
+        config: Optional[TaskGeneratorConfig] = None,
+        region: Optional[Region] = None,
+    ) -> None:
+        super().__init__(rng, config, region)
+        if not categories:
+            raise ValueError("need at least one category")
+        if weights is not None:
+            if len(weights) != len(categories):
+                raise ValueError(
+                    f"{len(weights)} weights for {len(categories)} categories"
+                )
+            if any(w < 0 for w in weights) or sum(weights) <= 0:
+                raise ValueError("weights must be non-negative with positive sum")
+            total = float(sum(weights))
+            weights = [w / total for w in weights]
+        self._categories = list(categories)
+        self._weights = list(weights) if weights is not None else None
+
+    def _draw_category(self) -> TaskCategory:
+        u = float(self._rng.random())
+        if self._weights is None:
+            idx = min(int(u * len(self._categories)), len(self._categories) - 1)
+            return self._categories[idx]
+        acc = 0.0
+        for category, w in zip(self._categories, self._weights):
+            acc += w
+            if u < acc:
+                return category
+        return self._categories[-1]
+
+    def make(self, submitted_at: float = 0.0) -> Task:
+        category = self._draw_category()
+        lat, lon = self._location()
+        cfg = self._config
+        return Task(
+            latitude=lat,
+            longitude=lon,
+            deadline=float(self._rng.uniform(cfg.deadline_low, cfg.deadline_high)),
+            reward=float(self._rng.uniform(cfg.reward_low, cfg.reward_high)),
+            category=category,
+            description=self.describe(lat, lon),
+            submitted_at=submitted_at,
+        )
 
 
 def make_generator(

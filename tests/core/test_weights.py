@@ -8,6 +8,7 @@ from repro.core.weights import (
     ConstantWeight,
     DistanceWeight,
     HybridWeight,
+    TravelTimeWeight,
     make_weight_function,
 )
 from repro.model.task import Task, TaskCategory
@@ -87,6 +88,52 @@ class TestDistanceWeight:
         with pytest.raises(ValueError):
             DistanceWeight(max_km=0)
 
+    def test_matrix_bit_equal_to_scalar_oracle(self):
+        """The broadcast path must reproduce the per-cell path bit-for-bit."""
+        rng = np.random.default_rng(99)
+        workers = [
+            _worker(i, lat=float(rng.uniform(38.0, 38.2)),
+                    lon=float(rng.uniform(23.6, 23.8)))
+            for i in range(17)
+        ]
+        tasks = [
+            _task(lat=float(rng.uniform(38.0, 38.2)),
+                  lon=float(rng.uniform(23.6, 23.8)))
+            for _ in range(23)
+        ]
+        fn = DistanceWeight(max_km=10.0)
+        assert np.array_equal(fn.matrix(workers, tasks),
+                              fn.matrix_scalar(workers, tasks))
+
+
+class TestTravelTimeWeight:
+    def test_on_site_is_one(self):
+        fn = TravelTimeWeight(speed_kmh=25.0, horizon_s=3600.0)
+        assert fn.single(_worker(lat=38.0, lon=23.7), _task(lat=38.0, lon=23.7)) == 1.0
+
+    def test_unreachable_is_zero(self):
+        # ~300 km at 25 km/h is a 12 h trip against a 10-minute horizon.
+        fn = TravelTimeWeight(speed_kmh=25.0, horizon_s=600.0)
+        assert fn.single(_worker(lat=37.98, lon=23.73), _task(lat=40.64, lon=22.94)) == 0.0
+
+    def test_decay_is_monotone_in_distance(self):
+        fn = TravelTimeWeight(speed_kmh=25.0, horizon_s=7 * 24 * 3600.0)
+        near = fn.single(_worker(lat=38.0, lon=23.7), _task(lat=38.1, lon=23.7))
+        far = fn.single(_worker(lat=38.0, lon=23.7), _task(lat=40.0, lon=23.7))
+        assert 0 < far < near < 1
+
+    def test_faster_travel_raises_weight(self):
+        worker, task = _worker(lat=38.0, lon=23.7), _task(lat=38.1, lon=23.7)
+        slow = TravelTimeWeight(speed_kmh=5.0, horizon_s=3600.0).single(worker, task)
+        fast = TravelTimeWeight(speed_kmh=50.0, horizon_s=3600.0).single(worker, task)
+        assert fast > slow
+
+    @pytest.mark.parametrize("kwargs", [{"speed_kmh": 0}, {"horizon_s": 0},
+                                        {"speed_kmh": -1}, {"horizon_s": -1}])
+    def test_invalid_params(self, kwargs):
+        with pytest.raises(ValueError):
+            TravelTimeWeight(**kwargs)
+
 
 class TestHybridWeight:
     def test_blend(self):
@@ -123,6 +170,7 @@ class TestFactory:
         [
             ("accuracy", AccuracyWeight),
             ("distance", DistanceWeight),
+            ("travel-time", TravelTimeWeight),
             ("hybrid", HybridWeight),
             ("constant", ConstantWeight),
         ],

@@ -12,6 +12,7 @@ class TestCreate:
     def test_known_names(self):
         assert set(available_matchers()) == {
             "react", "metropolis", "greedy", "sorted-greedy", "hungarian", "uniform",
+            "threshold",
         }
 
     def test_react_with_parameters(self):

@@ -1,0 +1,53 @@
+"""Unit tests for the threshold ("ratio") matching baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.greedy import SortedGreedyMatcher
+from repro.core.matching.registry import create_matcher
+from repro.core.matching.threshold import ThresholdMatcher
+from repro.graph.bipartite import BipartiteGraph
+
+
+class TestThreshold:
+    def test_valid_matching(self, small_graph):
+        ThresholdMatcher().match(small_graph).validate()
+
+    def test_edges_below_bar_are_never_taken(self):
+        edges = [(0, 0, 0.9), (1, 1, 0.4), (2, 2, 0.6)]
+        graph = BipartiteGraph.from_edges(3, 3, edges)
+        result = ThresholdMatcher(threshold=0.5).match(graph)
+        assert result.task_assignment() == {0: 0, 2: 2}
+
+    def test_prefers_quality_over_coverage(self):
+        # A generalist (0.45 on both tasks) is below the bar; the specialist
+        # takes his specialty and the other task goes unassigned instead of
+        # to a weak match.
+        edges = [(0, 0, 0.45), (0, 1, 0.45), (1, 0, 0.9)]
+        graph = BipartiteGraph.from_edges(2, 2, edges)
+        result = ThresholdMatcher(threshold=0.5).match(graph)
+        assert result.task_assignment() == {0: 1}
+
+    def test_zero_threshold_equals_sorted_greedy(self, rng):
+        graph = BipartiteGraph.full(rng.random((20, 15)))
+        ratio = ThresholdMatcher(threshold=0.0).match(graph)
+        greedy = SortedGreedyMatcher().match(graph)
+        assert ratio.task_assignment() == greedy.task_assignment()
+
+    def test_empty_graph(self):
+        assert ThresholdMatcher().match(BipartiteGraph.empty(2, 2)).size == 0
+
+    def test_deterministic(self, small_graph):
+        a = ThresholdMatcher().match(small_graph)
+        b = ThresholdMatcher().match(small_graph)
+        assert np.array_equal(a.edge_indices, b.edge_indices)
+
+    @pytest.mark.parametrize("threshold", [-0.1, 1.1])
+    def test_invalid_threshold(self, threshold):
+        with pytest.raises(ValueError):
+            ThresholdMatcher(threshold=threshold)
+
+    def test_registry_creates_threshold(self):
+        matcher = create_matcher("threshold")
+        assert isinstance(matcher, ThresholdMatcher)
+        assert matcher.name == "threshold"

@@ -10,7 +10,7 @@ class TestDispatch:
         expected = {
             "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
             "case-study", "ablations", "voting", "endtoend", "chaos", "bench",
-            "loadtest",
+            "loadtest", "scenario",
         }
         assert set(COMMANDS) == expected
 
@@ -33,6 +33,15 @@ class TestDispatch:
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_scenario_quick(self, capsys):
+        assert main(["scenario", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Scenario pack" in out
+        assert "total splits performed:" in out
+        # The quick config must actually exercise the overload remedy.
+        splits = int(out.split("total splits performed: ")[1].split()[0])
+        assert splits >= 1
 
 
 class TestExport:

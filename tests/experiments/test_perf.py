@@ -73,6 +73,7 @@ class TestDriver:
         platform = json.loads((tmp_path / "BENCH_platform.json").read_text())
         assert {r["bench"] for r in platform} == {
             "graph_build_prune",
+            "distance_weight",
             "eq3_matrix",
             "eq2_sweep",
             "endtoend_obs_overhead",

@@ -88,7 +88,9 @@ class TestSplitMechanics:
         assert not original.profiling.get(1).available
         for _ in range(11):
             coordinator.submit_task(_task(1.0, 5.0))
-        assert coordinator.splits_performed == 1
+        # the point load cascades (all tasks land in one ever-smaller half),
+        # bounded by max_splits_per_submit
+        assert 1 <= coordinator.splits_performed <= 4
         assert 1 in original.profiling  # busy worker did not migrate
 
     def test_migrated_tasks_complete_on_new_server(self):
@@ -104,7 +106,11 @@ class TestSplitMechanics:
         assert coordinator.splits_performed >= 1
         owner = next(s for s in coordinator.servers if 1 in s.profiling)
         assert owner is not original
-        assert owner.task_management.unassigned_count == 5
+        # the cascade scatters the queue across the split-off regions, but
+        # no task is lost and the worker's own region holds at least one
+        total_queued = sum(s.task_management.unassigned_count for s in coordinator.servers)
+        assert total_queued == 5
+        assert owner.task_management.unassigned_count >= 1
         # fire a batch on the owning server (the test policy's threshold is
         # deliberately high so splits, not batches, drive the scenario)
         owner.scheduling.periodic_trigger(engine.now)
@@ -127,7 +133,7 @@ class TestSplitMechanics:
         engine.run(until=1.0)
         for _ in range(7):  # force a split mid-batch
             coordinator.submit_task(_task(1.0, 5.0))
-        assert coordinator.splits_performed == 1
+        assert coordinator.splits_performed >= 1
         engine.run(until=300.0)  # publish fires; must not raise
 
 

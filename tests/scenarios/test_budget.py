@@ -1,0 +1,64 @@
+"""Unit tests for the per-requester budget ledger."""
+
+import pytest
+
+from repro.model.task import Task
+from repro.scenarios.budget import BudgetLedger
+
+
+def _task(requester=0, reward=0.05):
+    return Task(
+        latitude=0.0, longitude=0.0, deadline=60.0,
+        reward=reward, requester_id=requester,
+    )
+
+
+class TestBudgetLedger:
+    def test_allows_until_exhausted(self):
+        ledger = BudgetLedger({0: 0.10})
+        task = _task(reward=0.05)
+        assert ledger.allows(task)
+        ledger.charge(task)
+        assert ledger.allows(_task(reward=0.05))
+        ledger.charge(_task(reward=0.05))
+        assert not ledger.allows(_task(reward=0.05))
+        assert ledger.exhausted_requesters() == [0]
+
+    def test_anonymous_and_unknown_requesters_unbudgeted(self):
+        ledger = BudgetLedger({0: 0.0})
+        assert ledger.allows(_task(requester=None))
+        assert ledger.allows(_task(requester=99))
+        ledger.charge(_task(requester=None))
+        ledger.charge(_task(requester=99))
+        assert ledger.summary()["charges"] == 0.0
+
+    def test_remaining_clamped_at_zero(self):
+        ledger = BudgetLedger({0: 0.05})
+        # Charge-on-completion may overshoot: in-flight assignments are
+        # honoured even past the budget.
+        ledger.charge(_task(reward=0.08))
+        assert ledger.remaining(0) == 0.0
+        assert ledger.summary()["total_spent"] == pytest.approx(0.08)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError, match="must be >= 0"):
+            BudgetLedger({0: -1.0})
+
+    def test_independent_requesters(self):
+        ledger = BudgetLedger({0: 0.05, 1: 1.0})
+        ledger.charge(_task(requester=0, reward=0.05))
+        assert not ledger.allows(_task(requester=0))
+        assert ledger.allows(_task(requester=1))
+        assert ledger.exhausted_requesters() == [0]
+
+    def test_summary_shape(self):
+        ledger = BudgetLedger({0: 0.5, 1: 0.5})
+        ledger.charge(_task(requester=1, reward=0.1))
+        summary = ledger.summary()
+        assert summary == {
+            "requesters": 2.0,
+            "total_budget": 1.0,
+            "total_spent": 0.1,
+            "charges": 1.0,
+            "exhausted_requesters": 0.0,
+        }

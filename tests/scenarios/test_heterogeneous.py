@@ -1,0 +1,78 @@
+"""Unit tests for specialist worker populations."""
+
+import pytest
+
+from repro.model.task import TaskCategory
+from repro.model.worker import WorkerBehavior, WorkerProfile
+from repro.scenarios.heterogeneous import SpecialistConfig, specialize_population
+
+
+def _population(n, quality=0.6):
+    return [
+        (
+            WorkerProfile(worker_id=i),
+            WorkerBehavior(min_time=1.0, max_time=5.0, quality=quality),
+        )
+        for i in range(n)
+    ]
+
+
+class TestSpecialistConfig:
+    def test_defaults_valid(self):
+        config = SpecialistConfig()
+        assert len(config.categories) == 3
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError, match="distinct"):
+            SpecialistConfig(
+                categories=(TaskCategory.PRICE_CHECK, TaskCategory.PRICE_CHECK)
+            )
+
+    def test_empty_categories_rejected(self):
+        with pytest.raises(ValueError):
+            SpecialistConfig(categories=())
+
+    def test_negative_boost_rejected(self):
+        with pytest.raises(ValueError):
+            SpecialistConfig(specialty_boost=-0.1)
+
+
+class TestSpecializePopulation:
+    def test_round_robin_covers_every_category(self):
+        config = SpecialistConfig()
+        specialized = specialize_population(_population(6), config)
+        for index, (_, behavior) in enumerate(specialized):
+            specialty = config.categories[index % 3]
+            skills = behavior.quality_by_category
+            assert skills[specialty] == pytest.approx(0.6 + 0.25)
+            for category in config.categories:
+                if category is not specialty:
+                    assert skills[category] == pytest.approx(0.6 - 0.30)
+
+    def test_skills_clamped_to_unit_interval(self):
+        config = SpecialistConfig(specialty_boost=0.9, offcat_penalty=0.9)
+        specialized = specialize_population(_population(3, quality=0.5), config)
+        for _, behavior in specialized:
+            for value in behavior.quality_by_category.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_original_behavior_not_mutated(self):
+        population = _population(2)
+        specialize_population(population, SpecialistConfig())
+        for _, behavior in population:
+            assert behavior.quality_by_category is None
+
+    def test_quality_for_routes_through_skills(self):
+        config = SpecialistConfig()
+        (_, behavior), *_ = specialize_population(_population(1), config)
+        specialty = config.categories[0]
+        assert behavior.quality_for(specialty) == pytest.approx(0.85)
+        # Categories outside the scenario list fall back to the scalar.
+        assert behavior.quality_for(TaskCategory.GENERIC) == pytest.approx(0.6)
+
+    def test_no_rng_consumed(self):
+        # Determinism by construction: same population in, same skills out.
+        a = specialize_population(_population(5), SpecialistConfig())
+        b = specialize_population(_population(5), SpecialistConfig())
+        for (_, ba), (_, bb) in zip(a, b):
+            assert ba.quality_by_category == bb.quality_by_category
